@@ -1,0 +1,218 @@
+package netfail
+
+// Ablation experiments for the design choices DESIGN.md calls out:
+// each toggles one mechanism of the substitution model and checks (or
+// reports, for the benchmarks) how a headline result moves. These are
+// the experiments behind the calibration story in EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/netsim"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// TestLinkIDExtensionRecoversMultiLinkCoverage exercises the paper's
+// footnote-1 extension end to end: with RFC 5307 link identifiers on
+// the wire, the analysis can include the multi-link adjacencies it
+// otherwise discards, and the listener produces per-link failures for
+// them.
+func TestLinkIDExtensionRecoversMultiLinkCoverage(t *testing.T) {
+	base := smallConfig(31)
+	withIDs := base
+	withIDs.EnableLinkIDs = true
+
+	campBase, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campIDs, err := Simulate(withIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := AnalyzeCampaign(campBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended, err := AnalyzeCampaignWithOptions(campIDs, AnalysisOptions{IncludeMultiLink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nLinks := len(campBase.Network.Links)
+	if got := len(legacy.Analysis.AnalyzedLinks); got >= nLinks {
+		t.Errorf("legacy analysis should discard multi-link links: %d of %d", got, nLinks)
+	}
+	if got := len(extended.Analysis.AnalyzedLinks); got != nLinks {
+		t.Errorf("extended analysis links = %d, want all %d", got, nLinks)
+	}
+
+	// The extension must actually recover IS-IS failures on the
+	// parallel links, not just include silent links.
+	multi := make(map[topo.LinkID]bool)
+	for _, l := range campIDs.Network.Links {
+		if campIDs.Network.IsMultiLink(l.ID) {
+			multi[l.ID] = true
+		}
+	}
+	// Ground truth failures on multi-link links in this campaign.
+	truthMulti := 0
+	for _, f := range campIDs.GroundTruth {
+		if multi[f.Link] {
+			truthMulti++
+		}
+	}
+	recovered := 0
+	for _, f := range extended.Analysis.ISISFailures {
+		if multi[f.Link] {
+			recovered++
+		}
+	}
+	if truthMulti == 0 {
+		t.Skip("no ground-truth failures on multi-link links this seed")
+	}
+	if recovered == 0 {
+		t.Fatalf("no IS-IS failures recovered on multi-link links (truth has %d)", truthMulti)
+	}
+	if recovered < truthMulti/2 {
+		t.Errorf("recovered %d of %d multi-link failures", recovered, truthMulti)
+	}
+	// And the legacy listener must NOT see them.
+	legacyMulti := 0
+	for _, f := range legacy.Analysis.ISISFailures {
+		if multi[f.Link] {
+			legacyMulti++
+		}
+	}
+	if legacyMulti != 0 {
+		t.Errorf("legacy analysis reported %d multi-link failures, want 0", legacyMulti)
+	}
+}
+
+// TestBlackoutModelDrivesTransitionMisses: turning the correlated
+// blackout model off collapses the None column of Table 3, showing
+// the mechanism carries the paper's 15-18%% missed transitions.
+func TestBlackoutModelDrivesTransitionMisses(t *testing.T) {
+	base := smallConfig(32)
+	noBlackout := base
+	im := netsim.DefaultImpairments()
+	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0
+	noBlackout.Impair = &im
+
+	with, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(noBlackout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noneWith := noneFraction(with)
+	noneWithout := noneFraction(without)
+	t.Logf("none fraction: with blackouts %.3f, without %.3f", noneWith, noneWithout)
+	if noneWithout >= noneWith {
+		t.Errorf("disabling blackouts should reduce missed transitions: %.3f -> %.3f", noneWith, noneWithout)
+	}
+}
+
+func noneFraction(s *Study) float64 {
+	t3 := s.Analysis.Table3()
+	total := t3.Down.Total() + t3.Up.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t3.Down.None+t3.Up.None) / float64(total)
+}
+
+// TestPseudoFailuresDriveFalsePositives: without reset pseudo-
+// failures, syslog's false-positive count collapses (§4.3 attributes
+// the short false positives to aborted handshakes and resets).
+func TestPseudoFailuresDriveFalsePositives(t *testing.T) {
+	base := smallConfig(33)
+	noPseudo := base
+	im := netsim.DefaultImpairments()
+	im.PseudoBackgroundPerYear, im.PseudoAfterFlap, im.PseudoAfterNonFlap = 0, 0, 0
+	noPseudo.Impair = &im
+
+	with, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(noPseudo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpWith := with.Analysis.Table4().FalsePositives
+	fpWithout := without.Analysis.Table4().FalsePositives
+	t.Logf("false positives: with pseudo %d, without %d", fpWith, fpWithout)
+	if fpWithout >= fpWith {
+		t.Errorf("disabling pseudo-failures should reduce false positives: %d -> %d", fpWith, fpWithout)
+	}
+}
+
+// TestLSPSuppressionBlindsListener: without LSP suppression the
+// listener sees nearly every ground-truth failure; with it, the
+// short-reset blind spot appears. Suppression only touches
+// sub-1.5-second blips, so this needs a CENIC-scale campaign for a
+// meaningful sample.
+func TestLSPSuppressionBlindsListener(t *testing.T) {
+	base := SimulationConfig{Seed: 34}
+	base.Start = netsim.StudyStart
+	base.End = netsim.StudyStart.Add(90 * 24 * time.Hour)
+	base.ListenerOffline = []trace.Interval{}
+	noSuppress := base
+	im := netsim.DefaultImpairments()
+	im.LSPSuppressProb = 0
+	noSuppress.Impair = &im
+
+	with, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(noSuppress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isisWith := with.Analysis.Table4().ISISFailures
+	isisWithout := without.Analysis.Table4().ISISFailures
+	t.Logf("IS-IS failures: with suppression %d, without %d", isisWith, isisWithout)
+	if isisWithout <= isisWith {
+		t.Errorf("disabling suppression should surface more IS-IS failures: %d -> %d", isisWith, isisWithout)
+	}
+}
+
+// BenchmarkAblationLinkIDs regenerates the footnote-1 experiment.
+func BenchmarkAblationLinkIDs(b *testing.B) {
+	cfg := benchMonthConfig(1)
+	cfg.EnableLinkIDs = true
+	for i := 0; i < b.N; i++ {
+		camp, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{IncludeMultiLink: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(study.Analysis.AnalyzedLinks)), "links")
+	}
+}
+
+// BenchmarkAblationNoBlackout measures the comparison with the
+// correlated-loss model disabled.
+func BenchmarkAblationNoBlackout(b *testing.B) {
+	cfg := benchMonthConfig(1)
+	im := netsim.DefaultImpairments()
+	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0
+	cfg.Impair = &im
+	for i := 0; i < b.N; i++ {
+		study, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(noneFraction(study), "none-frac")
+	}
+}

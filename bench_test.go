@@ -1,0 +1,325 @@
+package netfail
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkTable1 … BenchmarkTable7   Tables 1-7
+//	BenchmarkFigure1                    Figure 1a-c (CPE CDFs)
+//	BenchmarkWindowSweep                §3.4 "knee at ten seconds"
+//	BenchmarkPolicyAblation             §4.3 strategy comparison
+//
+// plus the pipeline-stage benchmarks (simulate, mine, listen,
+// extract, analyze) that dominate regeneration cost. Each table
+// benchmark runs over the full 13-month CENIC-scale study, prepared
+// once outside the timer.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"netfail/internal/core"
+	"netfail/internal/listener"
+	"netfail/internal/netsim"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+)
+
+// fullStudy prepares the 13-month CENIC-scale study shared by the
+// table benchmarks.
+func benchFullStudy(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = Run(SimulationConfig{Seed: 1})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := s.Analysis.Table1(s.Campaign.Archive.FileCount(), s.Campaign.Counts.LSPUpdates)
+		if t1.CoreRouters == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2 := s.Analysis.Table2()
+		if t2.ISISDownVsIS == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t3 := s.Analysis.Table3()
+		if t3.Down.Total() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t4 := s.Analysis.Table4()
+		if t4.ISISFailures == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t5 := s.Analysis.Table5()
+		if t5.KSDuration.N1 == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t6 := s.Analysis.Table6()
+		if t6.TotalDown() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t7 := s.Analysis.Table7()
+		if t7.ISISEvents == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := s.Analysis.Figure1()
+		if len(fig.FailureDuration[0].X) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := s.Analysis.WindowKnee(nil)
+		if len(pts) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkPolicyAblation(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Analysis.PolicyAblation()
+		if len(rows) != 3 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+func BenchmarkFullReport(b *testing.B) {
+	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Report(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Pipeline-stage benchmarks over a one-month CENIC-scale campaign.
+
+func benchMonthConfig(seed int64) SimulationConfig {
+	return SimulationConfig{
+		Seed:            seed,
+		Start:           time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2011, 2, 1, 0, 0, 0, 0, time.UTC),
+		ListenerOffline: []trace.Interval{},
+	}
+}
+
+func BenchmarkSimulateMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		camp, err := Simulate(benchMonthConfig(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(camp.Syslog) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+func BenchmarkMineConfigs(b *testing.B) {
+	camp, err := Simulate(benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mined, err := MineConfigs(camp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mined.Network.Links) == 0 {
+			b.Fatal("no links mined")
+		}
+	}
+}
+
+func BenchmarkListenerReplay(b *testing.B) {
+	camp, err := Simulate(benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mined, err := MineConfigs(camp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytesTotal int64
+	for _, c := range camp.LSPLog {
+		bytesTotal += int64(len(c.Data))
+	}
+	b.SetBytes(bytesTotal)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := listener.New(mined.Network)
+		for _, c := range camp.LSPLog {
+			if err := l.Process(c.Time, c.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(l.Results().ISTransitions) == 0 {
+			b.Fatal("no transitions")
+		}
+	}
+}
+
+func BenchmarkSyslogExtract(b *testing.B) {
+	camp, err := Simulate(benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mined, err := MineConfigs(camp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.ExtractSyslog(mined.Network, camp.Syslog, 60*time.Second)
+		if len(st.MergedAdj) == 0 {
+			b.Fatal("no transitions")
+		}
+	}
+}
+
+func BenchmarkAnalyzeMonth(b *testing.B) {
+	camp, err := Simulate(benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study, err := AnalyzeCampaign(camp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if study.Analysis == nil {
+			b.Fatal("no analysis")
+		}
+	}
+}
+
+func BenchmarkIsolationSweep(b *testing.B) {
+	s := benchFullStudy(b)
+	netWithCustomers := *s.Mined.Network
+	netWithCustomers.Customers = s.Campaign.Network.Customers
+	g := topo.NewGraph(&netWithCustomers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := core.IsolationEvents(g, netWithCustomers.Customers,
+			s.Analysis.ISISFailures, s.Campaign.Config.End)
+		if len(events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+func BenchmarkCampaignGeneration(b *testing.B) {
+	// Topology + workload generation only (no observation replay).
+	spec := topo.DefaultSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := topo.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(n.Links) == 0 {
+			b.Fatal("no links")
+		}
+	}
+}
+
+func BenchmarkRefreshFullDay(b *testing.B) {
+	// One day with every periodic LSP refresh materialized: the
+	// listener-side cost of Table 1's 11M updates, scaled down.
+	cfg := benchMonthConfig(1)
+	cfg.End = cfg.Start.Add(24 * time.Hour)
+	cfg.RefreshMode = netsim.RefreshFull
+	for i := 0; i < b.N; i++ {
+		camp, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mined, err := MineConfigs(camp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := listener.New(mined.Network)
+		for _, c := range camp.LSPLog {
+			if err := l.Process(c.Time, c.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Command netfail-analyze runs the paper's comparison pipeline over a
+// captured campaign directory (as written by netfail-sim): it mines
+// the configuration archive into the common link namespace, replays
+// the LSP capture through the passive IS-IS listener, reconstructs
+// failures from both data sources, and prints the requested tables
+// and figures with the paper's published values alongside.
+//
+// Usage:
+//
+//	netfail-analyze -data ./campaign                 # everything
+//	netfail-analyze -data ./campaign -table 4        # one table
+//	netfail-analyze -data ./campaign -figure knee    # window sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netfail/internal/config"
+	"netfail/internal/core"
+	"netfail/internal/listener"
+	"netfail/internal/netsim"
+	"netfail/internal/report"
+	"netfail/internal/syslog"
+	"netfail/internal/tickets"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "campaign", "campaign directory written by netfail-sim")
+		seed   = flag.Int64("seed", 0, "skip the directory: simulate+analyze in memory with this seed")
+		table  = flag.Int("table", 0, "render only this table (1-7)")
+		figure = flag.String("figure", "", "render only this figure: 1a, 1b, 1c, knee, policies")
+		svgDir = flag.String("svg", "", "also write figure1[abc].svg and knee.svg into this directory")
+		export = flag.String("export", "", "also write the reconstructed transition streams into this directory")
+		multi  = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
+		md     = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
+	)
+	flag.Parse()
+
+	var err error
+	if *seed != 0 {
+		err = runSeed(*seed, *table, *figure, *svgDir, *export, *multi, *md)
+	} else {
+		err = run(*data, *table, *figure, *svgDir, *export, *multi, *md)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+// runSeed simulates and analyzes entirely in memory.
+func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md bool) error {
+	camp, err := netsim.Run(netsim.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	mined, err := config.Mine(camp.Archive)
+	if err != nil {
+		return err
+	}
+	l := listener.New(mined.Network)
+	for _, c := range camp.LSPLog {
+		if err := l.Process(c.Time, c.Data); err != nil {
+			return err
+		}
+	}
+	res := l.Results()
+	corpus := tickets.Generate(seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
+	a, err := core.Analyze(core.Input{
+		Network:          mined.Network,
+		Customers:        camp.Network.Customers,
+		Syslog:           camp.Syslog,
+		ISTransitions:    res.ISTransitions,
+		IPTransitions:    res.IPTransitions,
+		Start:            camp.Config.Start,
+		End:              camp.Config.End,
+		ListenerOffline:  camp.ListenerOffline,
+		Tickets:          tickets.NewIndex(corpus),
+		IncludeMultiLink: multi,
+	})
+	if err != nil {
+		return err
+	}
+	return render(a, camp.Archive, camp.Counts, table, figure, svgDir, exportDir, md)
+}
+
+func run(dir string, table int, figure, svgDir, exportDir string, multi, md bool) error {
+	a, campaignCounts, archive, err := loadAndAnalyze(dir, multi)
+	if err != nil {
+		return err
+	}
+	return render(a, archive, campaignCounts, table, figure, svgDir, exportDir, md)
+}
+
+// render prints the requested tables/figures.
+func render(a *core.Analysis, archive *config.Archive, campaignCounts netsim.Counts, table int, figure, svgDir, exportDir string, md bool) error {
+	w := os.Stdout
+	if exportDir != "" {
+		if err := exportTransitions(a, exportDir); err != nil {
+			return err
+		}
+	}
+	if svgDir != "" {
+		paths, err := report.SaveFigures(svgDir, a.Figure1(), a.WindowKnee(nil))
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
+		}
+	}
+	if md {
+		return report.Markdown(w, a, archive.FileCount(), campaignCounts.LSPUpdates)
+	}
+
+	if table == 0 && figure == "" {
+		// Everything.
+		for i := 1; i <= 7; i++ {
+			if err := renderTable(w, a, archive, campaignCounts, i); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if i == 4 {
+				if err := report.RenderFalsePositives(w, a.FalsePositives()); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		if err := report.RenderPolicies(w, a.PolicyAblation()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := report.RenderKnee(w, a.WindowKnee(nil)); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return report.RenderFigure1(w, a.Figure1())
+	}
+	if table != 0 {
+		return renderTable(w, a, archive, campaignCounts, table)
+	}
+	switch figure {
+	case "1a", "1b", "1c", "1":
+		return report.RenderFigure1(w, a.Figure1())
+	case "knee":
+		return report.RenderKnee(w, a.WindowKnee(nil))
+	case "policies":
+		return report.RenderPolicies(w, a.PolicyAblation())
+	default:
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+}
+
+func renderTable(w *os.File, a *core.Analysis, archive *config.Archive, counts netsim.Counts, n int) error {
+	switch n {
+	case 1:
+		return report.RenderTable1(w, a.Table1(archive.FileCount(), counts.LSPUpdates))
+	case 2:
+		return report.RenderTable2(w, a.Table2())
+	case 3:
+		return report.RenderTable3(w, a.Table3())
+	case 4:
+		return report.RenderTable4(w, a.Table4())
+	case 5:
+		return report.RenderTable5(w, a.Table5())
+	case 6:
+		return report.RenderTable6(w, a.Table6())
+	case 7:
+		return report.RenderTable7(w, a.Table7())
+	default:
+		return fmt.Errorf("no table %d", n)
+	}
+}
+
+// exportTransitions writes the reconstructed streams for downstream
+// tooling: syslog (merged per-link), IS reachability, IP
+// reachability.
+func exportTransitions(a *core.Analysis, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, ts []trace.Transition) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTransitions(f, ts); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("syslog-transitions.log", a.SyslogAdj); err != nil {
+		return err
+	}
+	if err := write("is-reach-transitions.log", a.ISReach); err != nil {
+		return err
+	}
+	return write("ip-reach-transitions.log", a.IPReach)
+}
+
+// loadAndAnalyze reads every capture artifact and runs the pipeline.
+func loadAndAnalyze(dir string, multi bool) (*core.Analysis, netsim.Counts, *config.Archive, error) {
+	fail := func(err error) (*core.Analysis, netsim.Counts, *config.Archive, error) {
+		return nil, netsim.Counts{}, nil, err
+	}
+
+	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fail(err)
+	}
+	manifest, err := netsim.ReadManifest(mf)
+	mf.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	archive, err := config.LoadDir(filepath.Join(dir, "configs"))
+	if err != nil {
+		return fail(err)
+	}
+	mined, err := config.Mine(archive)
+	if err != nil {
+		return fail(err)
+	}
+
+	sf, err := os.Open(filepath.Join(dir, "syslog.log"))
+	if err != nil {
+		return fail(err)
+	}
+	msgs, badLines, err := syslog.ReadLog(sf, manifest.Start)
+	sf.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if badLines > 0 {
+		fmt.Fprintf(os.Stderr, "netfail-analyze: %d unparseable syslog lines skipped\n", badLines)
+	}
+
+	lf, err := os.Open(filepath.Join(dir, "lsps.log"))
+	if err != nil {
+		return fail(err)
+	}
+	lsps, err := netsim.ReadLSPLog(lf)
+	lf.Close()
+	if err != nil {
+		return fail(err)
+	}
+	l := listener.New(mined.Network)
+	for _, c := range lsps {
+		if err := l.Process(c.Time, c.Data); err != nil {
+			return fail(fmt.Errorf("LSP capture: %w", err))
+		}
+	}
+	res := l.Results()
+
+	tf, err := os.Open(filepath.Join(dir, "tickets.json"))
+	if err != nil {
+		return fail(err)
+	}
+	corpus, err := tickets.ReadJSON(tf)
+	tf.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	cf, err := os.Open(filepath.Join(dir, "customers.json"))
+	if err != nil {
+		return fail(err)
+	}
+	customers, err := topo.ReadCustomersJSON(cf)
+	cf.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	a, err := core.Analyze(core.Input{
+		Network:          mined.Network,
+		Customers:        customers,
+		Syslog:           msgs,
+		ISTransitions:    res.ISTransitions,
+		IPTransitions:    res.IPTransitions,
+		Start:            manifest.Start,
+		End:              manifest.End,
+		ListenerOffline:  manifest.Offline(),
+		Tickets:          tickets.NewIndex(corpus),
+		IncludeMultiLink: multi,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return a, manifest.Counts, archive, nil
+}

@@ -1,0 +1,163 @@
+// Command netfail-sim runs a simulated measurement campaign over a
+// CENIC-scale network and writes the raw captures an analyst would
+// have collected: the syslog message log, the IS-IS listener's LSP
+// capture, the router configuration archive, the trouble-ticket
+// corpus, and a campaign manifest.
+//
+// Usage:
+//
+//	netfail-sim -seed 1 -out ./campaign [-days 387] [-core 60 -cpe 175]
+//
+// The defaults reproduce the scale of the paper's 13-month study.
+// netfail-analyze consumes the output directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netfail/internal/netsim"
+	"netfail/internal/syslog"
+	"netfail/internal/tickets"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "simulation seed (campaigns are deterministic in it)")
+		out     = flag.String("out", "campaign", "output directory")
+		days    = flag.Int("days", 0, "campaign length in days (0 = the paper's Oct 2010 - Nov 2011 window)")
+		core    = flag.Int("core", 0, "core router count (0 = CENIC default 60)")
+		cpe     = flag.Int("cpe", 0, "CPE router count (0 = CENIC default 175)")
+		refresh = flag.Bool("full-refresh", false, "materialize every periodic LSP refresh (large output)")
+		linkIDs = flag.Bool("linkids", false, "advertise RFC 5307 link identifiers (footnote-1 extension)")
+		inband  = flag.Bool("inband", false, "lose syslog from routers partitioned away from the collector")
+		truth   = flag.Bool("truth", false, "also export ground-truth failures (truth.log)")
+		dot     = flag.Bool("dot", false, "also export the topology as Graphviz (topology.dot)")
+	)
+	flag.Parse()
+
+	cfg := netsim.Config{Seed: *seed}
+	if *days > 0 {
+		cfg.Start = netsim.StudyStart
+		cfg.End = netsim.StudyStart.Add(time.Duration(*days) * 24 * time.Hour)
+	}
+	if *core > 0 || *cpe > 0 {
+		spec := topo.DefaultSpec()
+		spec.Seed = *seed
+		if *core > 0 {
+			spec.CoreRouters = *core
+			spec.CoreChords = max(1, spec.CoreChords**core/60)
+			spec.MultiLinkCorePairs = max(0, spec.MultiLinkCorePairs**core/60)
+		}
+		if *cpe > 0 {
+			spec.CPERouters = *cpe
+			spec.Customers = max(1, spec.Customers**cpe/175)
+			spec.DualHomedCPE = max(1, spec.DualHomedCPE**cpe/175)
+			spec.MultiLinkCPEPairs = max(0, spec.MultiLinkCPEPairs**cpe/175)
+		}
+		cfg.Spec = spec
+	}
+	if *refresh {
+		cfg.RefreshMode = netsim.RefreshFull
+	}
+	cfg.EnableLinkIDs = *linkIDs
+	cfg.InBandSyslog = *inband
+
+	if err := run(cfg, *out, *truth, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg netsim.Config, out string, exportTruth, exportDOT bool) error {
+	camp, err := netsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	writeFile := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	if err := writeFile("syslog.log", func(f *os.File) error {
+		return syslog.WriteLog(f, camp.Syslog)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("lsps.log", func(f *os.File) error {
+		return netsim.WriteLSPLog(f, camp.LSPLog)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("manifest.json", func(f *os.File) error {
+		return camp.WriteManifest(f)
+	}); err != nil {
+		return err
+	}
+	corpus := tickets.Generate(cfg.Seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
+	if err := writeFile("tickets.json", func(f *os.File) error {
+		return tickets.WriteJSON(f, corpus)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("customers.json", func(f *os.File) error {
+		return topo.WriteCustomersJSON(f, camp.Network.Customers)
+	}); err != nil {
+		return err
+	}
+	if err := camp.Archive.SaveDir(filepath.Join(out, "configs")); err != nil {
+		return err
+	}
+	if exportTruth {
+		if err := writeFile("truth.log", func(f *os.File) error {
+			var ts []trace.Transition
+			for _, g := range camp.GroundTruth {
+				ts = append(ts,
+					trace.Transition{Time: g.Start, Link: g.Link, Dir: trace.Down, Kind: trace.KindISReach, Reporter: "truth"},
+					trace.Transition{Time: g.End, Link: g.Link, Dir: trace.Up, Kind: trace.KindISReach, Reporter: "truth"})
+			}
+			trace.SortTransitions(ts)
+			return trace.WriteTransitions(f, ts)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if exportDOT {
+		if err := writeFile("topology.dot", func(f *os.File) error {
+			return topo.WriteDOT(f, camp.Network)
+		}); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("campaign written to %s\n", out)
+	fmt.Printf("  period:            %s - %s\n",
+		camp.Config.Start.Format("2006-01-02"), camp.Config.End.Format("2006-01-02"))
+	coreN, cpeN := camp.Network.CountRouters()
+	coreL, cpeL := camp.Network.CountLinks()
+	fmt.Printf("  routers:           %d core, %d cpe\n", coreN, cpeN)
+	fmt.Printf("  links:             %d core, %d cpe\n", coreL, cpeL)
+	fmt.Printf("  config files:      %d\n", camp.Archive.FileCount())
+	fmt.Printf("  ground truth:      %d failures\n", camp.Counts.GroundTruthFailures)
+	fmt.Printf("  syslog received:   %d of %d sent\n", camp.Counts.SyslogReceived, camp.Counts.SyslogSent)
+	fmt.Printf("  IS-IS updates:     %d (%d content-bearing)\n", camp.Counts.LSPUpdates, camp.Counts.ContentLSPs)
+	fmt.Printf("  tickets:           %d\n", len(corpus))
+	return nil
+}

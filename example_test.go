@@ -1,0 +1,58 @@
+package netfail_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netfail"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// ExampleRun simulates a small six-week campaign and prints the
+// headline comparison. Identical seeds reproduce identical numbers.
+func ExampleRun() {
+	study, err := netfail.Run(netfail.SimulationConfig{
+		Seed: 42,
+		Spec: topo.Spec{
+			Seed: 42, CoreRouters: 10, CPERouters: 20, CoreChords: 2,
+			DualHomedCPE: 4, MultiLinkCorePairs: 1, MultiLinkCPEPairs: 2,
+			Customers: 15, LinkBase: 137<<24 | 164<<16, CoreMetric: 10, CPEMetric: 100,
+		},
+		Start:           time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2011, 2, 15, 0, 0, 0, 0, time.UTC),
+		ListenerOffline: []trace.Interval{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t4 := study.Analysis.Table4()
+	fmt.Printf("IS-IS failures: %d\n", t4.ISISFailures)
+	fmt.Printf("syslog failures: %d\n", t4.SyslogFailures)
+	fmt.Printf("matched: %d\n", t4.OverlapFailures)
+	// Output:
+	// IS-IS failures: 189
+	// syslog failures: 201
+	// matched: 139
+}
+
+// ExampleFlapEpisodes groups a failure trace into flapping episodes
+// with the paper's ten-minute rule.
+func ExampleFlapEpisodes() {
+	link := topo.LinkID("cpe-001:Gi0|core-a:Te0")
+	at := func(min int) time.Time {
+		return time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+	}
+	failures := []netfail.Failure{
+		{Link: link, Start: at(0), End: at(1)},
+		{Link: link, Start: at(3), End: at(4)},   // 2 min gap: same episode
+		{Link: link, Start: at(60), End: at(61)}, // far away: own episode
+	}
+	for _, e := range netfail.FlapEpisodes(failures, netfail.DefaultFlapGap) {
+		fmt.Printf("episode with %d failures, flapping: %v\n", len(e.Failures), e.IsFlap())
+	}
+	// Output:
+	// episode with 2 failures, flapping: true
+	// episode with 1 failures, flapping: false
+}

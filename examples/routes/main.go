@@ -1,0 +1,126 @@
+// Routes: run SPF over the IS-IS listener's link-state database —
+// the concrete meaning of "routing state is ground truth" (§3.2). A
+// small ring network loses a link; the routing table recomputes
+// around it; then a second failure partitions a site and SPF shows
+// the isolation directly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netfail/internal/device"
+	"netfail/internal/isis"
+	"netfail/internal/listener"
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+)
+
+func main() {
+	// Ring of three cores plus a single-homed CPE on core-c.
+	network := topo.NewNetwork()
+	names := []string{"core-a", "core-b", "core-c", "cpe-1"}
+	for i, name := range names {
+		class := topo.Core
+		if name == "cpe-1" {
+			class = topo.CPE
+		}
+		if err := network.AddRouter(&topo.Router{
+			Name: name, Class: class,
+			SystemID: topo.SystemIDFromIndex(i + 1),
+			Loopback: 10<<24 | uint32(i+1),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	link := func(a, b string, subnet, metric uint32) topo.LinkID {
+		l, err := network.AddLink(
+			topo.Endpoint{Host: a, Port: "to-" + b},
+			topo.Endpoint{Host: b, Port: "to-" + a}, subnet, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return l.ID
+	}
+	ab := link("core-a", "core-b", 0, 10)
+	bc := link("core-b", "core-c", 2, 10)
+	ca := link("core-c", "core-a", 4, 10)
+	uplink := link("core-c", "cpe-1", 6, 100)
+	_ = ab
+
+	devices := make(map[string]*device.Router)
+	for name, r := range network.Routers {
+		devices[name] = device.New(network, r, syslog.DialectIOSXR)
+	}
+	l := listener.New(network)
+	now := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	flood := func(names ...string) {
+		for _, n := range names {
+			wire, err := devices[n].OriginateLSP().Encode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			now = now.Add(time.Second)
+			if err := l.Process(now, wire); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	flood(names...)
+
+	src := network.Routers["core-a"].SystemID
+	show := func(header string) {
+		fmt.Println(header)
+		res := isis.RunSPF(l.Database(), src)
+		for _, r := range res.Sorted() {
+			name := r.Dest.String()
+			if h, ok := l.Hostname(r.Dest); ok {
+				name = h
+			}
+			via := r.NextHop.String()
+			if h, ok := l.Hostname(r.NextHop); ok {
+				via = h
+			}
+			fmt.Printf("  %-8s metric %3d  via %-8s (%d hops)\n", name, r.Metric, via, r.Hops)
+		}
+		if !res.Reachable(network.Routers["cpe-1"].SystemID) {
+			fmt.Println("  cpe-1    UNREACHABLE — customer isolated")
+		}
+		fmt.Println()
+	}
+
+	show("routing table at core-a, all links up:")
+
+	// The a-c ring segment fails: traffic to core-c reroutes via b.
+	for _, n := range []string{"core-a", "core-c"} {
+		devices[n].SetAdjacency(ca, false)
+	}
+	flood("core-a", "core-c")
+	show("after core-a <-> core-c fails (ring reroutes):")
+
+	// Then b-c fails too: core-c and its customer are cut off.
+	for _, n := range []string{"core-b", "core-c"} {
+		devices[n].SetAdjacency(bc, false)
+	}
+	flood("core-b", "core-c")
+	show("after core-b <-> core-c also fails (partition):")
+
+	// Recovery.
+	for _, n := range []string{"core-a", "core-c"} {
+		devices[n].SetAdjacency(ca, true)
+	}
+	for _, n := range []string{"core-b", "core-c"} {
+		devices[n].SetAdjacency(bc, true)
+	}
+	flood("core-a", "core-b", "core-c")
+	show("after recovery:")
+
+	// The listener's transition trace recorded all of it.
+	res := l.Results()
+	fmt.Println("transitions the listener recorded along the way:")
+	for _, tr := range res.ISTransitions {
+		fmt.Printf("  %s %-4s %s\n", tr.Time.Format("15:04:05"), tr.Dir, tr.Link)
+	}
+	_ = uplink
+}

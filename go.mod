@@ -1,0 +1,3 @@
+module netfail
+
+go 1.22

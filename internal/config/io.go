@@ -1,0 +1,64 @@
+package config
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// revisionTimeLayout names archived files "<host>_20101020-150405.cfg".
+const revisionTimeLayout = "20060102-150405"
+
+// SaveDir writes the archive to a directory, one file per revision.
+func (a *Archive) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	for host, revs := range a.Revisions {
+		for _, rev := range revs {
+			name := fmt.Sprintf("%s_%s.cfg", host, rev.Captured.UTC().Format(revisionTimeLayout))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(rev.Text), 0o644); err != nil {
+				return fmt.Errorf("config: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDir reads an archive previously written by SaveDir. Filenames
+// encode the hostname and capture time.
+func LoadDir(dir string) (*Archive, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	a := NewArchive()
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".cfg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := strings.TrimSuffix(name, ".cfg")
+		us := strings.LastIndexByte(base, '_')
+		if us < 0 {
+			return nil, fmt.Errorf("config: malformed archive filename %q", name)
+		}
+		host := base[:us]
+		captured, err := time.Parse(revisionTimeLayout, base[us+1:])
+		if err != nil {
+			return nil, fmt.Errorf("config: malformed archive filename %q: %v", name, err)
+		}
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+		a.Add(host, Revision{Captured: captured.UTC(), Text: string(text)})
+	}
+	return a, nil
+}

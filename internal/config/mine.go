@@ -1,0 +1,227 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netfail/internal/topo"
+)
+
+// MinedInterface is one interface record recovered from a config.
+type MinedInterface struct {
+	Router      string
+	Name        string
+	Addr        uint32
+	Mask        uint32
+	Metric      uint32
+	Description string
+}
+
+// MinedRouter is one device recovered from its latest config revision.
+type MinedRouter struct {
+	Name       string
+	SystemID   topo.SystemID
+	Loopback   uint32
+	Interfaces []MinedInterface
+}
+
+// Mined is the result of mining an archive: the common link namespace
+// of §3.4, reconstructed purely from configuration text.
+type Mined struct {
+	// Routers holds the parsed devices, keyed by hostname.
+	Routers map[string]*MinedRouter
+	// Network is the reconstructed topology: links are formed by
+	// pairing interfaces that share a /31 subnet.
+	Network *topo.Network
+	// Unpaired lists interfaces whose /31 partner never appeared in
+	// the archive (e.g. links to unmanaged equipment).
+	Unpaired []MinedInterface
+}
+
+// Mine parses the latest revision of every archived config and
+// reconstructs the network. Router class is inferred from the CENIC
+// naming convention ("-core-" in the hostname).
+func Mine(a *Archive) (*Mined, error) {
+	m := &Mined{Routers: make(map[string]*MinedRouter)}
+	for _, host := range a.Hosts() {
+		rev, _ := a.Latest(host)
+		r, err := parseConfig(rev.Text)
+		if err != nil {
+			return nil, fmt.Errorf("config: mining %s: %w", host, err)
+		}
+		if r.Name != host {
+			return nil, fmt.Errorf("config: archive key %q but hostname line says %q", host, r.Name)
+		}
+		m.Routers[host] = r
+	}
+
+	net := topo.NewNetwork()
+	for _, host := range sortedKeys(m.Routers) {
+		r := m.Routers[host]
+		class := topo.CPE
+		if strings.Contains(r.Name, "-core-") {
+			class = topo.Core
+		}
+		if err := net.AddRouter(&topo.Router{
+			Name:     r.Name,
+			Class:    class,
+			SystemID: r.SystemID,
+			Loopback: r.Loopback,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pair interfaces by /31 subnet: the authoritative signal, with
+	// descriptions only advisory (operators let them go stale).
+	bySubnet := make(map[uint32][]MinedInterface)
+	for _, host := range sortedKeys(m.Routers) {
+		for _, ifc := range m.Routers[host].Interfaces {
+			subnet := ifc.Addr &^ 1
+			bySubnet[subnet] = append(bySubnet[subnet], ifc)
+		}
+	}
+	subnets := make([]uint32, 0, len(bySubnet))
+	for s := range bySubnet {
+		subnets = append(subnets, s)
+	}
+	sort.Slice(subnets, func(i, j int) bool { return subnets[i] < subnets[j] })
+	for _, subnet := range subnets {
+		ifaces := bySubnet[subnet]
+		if len(ifaces) != 2 {
+			m.Unpaired = append(m.Unpaired, ifaces...)
+			continue
+		}
+		a, b := ifaces[0], ifaces[1]
+		metric := a.Metric
+		if b.Metric > metric {
+			metric = b.Metric
+		}
+		if _, err := net.AddLink(
+			topo.Endpoint{Host: a.Router, Port: a.Name},
+			topo.Endpoint{Host: b.Router, Port: b.Name},
+			subnet, metric,
+		); err != nil {
+			return nil, fmt.Errorf("config: pairing subnet %s: %w", topo.FormatIPv4(subnet), err)
+		}
+	}
+	m.Network = net
+	return m, nil
+}
+
+func sortedKeys(m map[string]*MinedRouter) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// parseConfig walks one config file line by line, tracking interface
+// blocks the way IOS "show running-config" output nests them.
+func parseConfig(text string) (*MinedRouter, error) {
+	r := &MinedRouter{}
+	var cur *MinedInterface
+	var inLoopback, inISIS bool
+
+	flush := func() {
+		if cur != nil && cur.Addr != 0 {
+			r.Interfaces = append(r.Interfaces, *cur)
+		}
+		cur = nil
+		inLoopback = false
+	}
+
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, " \t")
+		indented := strings.HasPrefix(line, " ")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || trimmed == "!" {
+			continue
+		}
+		if !indented {
+			flush()
+			inISIS = false
+			switch {
+			case strings.HasPrefix(trimmed, "hostname "):
+				r.Name = strings.TrimPrefix(trimmed, "hostname ")
+			case strings.HasPrefix(trimmed, "interface Loopback"):
+				inLoopback = true
+			case strings.HasPrefix(trimmed, "interface "):
+				cur = &MinedInterface{Name: strings.TrimPrefix(trimmed, "interface ")}
+			case strings.HasPrefix(trimmed, "router isis"):
+				inISIS = true
+			}
+			continue
+		}
+		switch {
+		case cur != nil:
+			if err := parseInterfaceLine(cur, trimmed); err != nil {
+				return nil, err
+			}
+		case inLoopback:
+			if strings.HasPrefix(trimmed, "ip address ") {
+				fields := strings.Fields(trimmed)
+				if len(fields) >= 3 {
+					addr, err := topo.ParseIPv4(fields[2])
+					if err != nil {
+						return nil, err
+					}
+					r.Loopback = addr
+				}
+			}
+		case inISIS:
+			if strings.HasPrefix(trimmed, "net ") {
+				id, err := parseNET(strings.TrimPrefix(trimmed, "net "))
+				if err != nil {
+					return nil, err
+				}
+				r.SystemID = id
+			}
+		}
+	}
+	flush()
+	if r.Name == "" {
+		return nil, fmt.Errorf("config: no hostname line")
+	}
+	if r.SystemID.IsZero() {
+		return nil, fmt.Errorf("config: %s: no IS-IS NET", r.Name)
+	}
+	for i := range r.Interfaces {
+		r.Interfaces[i].Router = r.Name
+	}
+	return r, nil
+}
+
+func parseInterfaceLine(ifc *MinedInterface, line string) error {
+	switch {
+	case strings.HasPrefix(line, "description "):
+		ifc.Description = strings.TrimPrefix(line, "description ")
+	case strings.HasPrefix(line, "ip address "):
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return fmt.Errorf("config: bad ip address line %q", line)
+		}
+		addr, err := topo.ParseIPv4(fields[2])
+		if err != nil {
+			return err
+		}
+		mask, err := topo.ParseIPv4(fields[3])
+		if err != nil {
+			return err
+		}
+		ifc.Addr, ifc.Mask = addr, mask
+	case strings.HasPrefix(line, "isis metric "):
+		fields := strings.Fields(line)
+		if len(fields) >= 3 {
+			var m uint32
+			if _, err := fmt.Sscanf(fields[2], "%d", &m); err != nil {
+				return fmt.Errorf("config: bad metric line %q", line)
+			}
+			ifc.Metric = m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// AmbiguityCause classifies a repeated syslog transition (§4.3,
+// Table 6).
+type AmbiguityCause int
+
+const (
+	// CauseLostMessage: both repeated messages correspond to real
+	// IS-IS transitions — the intervening opposite message was lost.
+	CauseLostMessage AmbiguityCause = iota
+	// CauseSpuriousRetransmission: the link was already in the
+	// reported state according to IS-IS — the message is a spurious
+	// reminder.
+	CauseSpuriousRetransmission
+	// CauseUnknown covers the remainder.
+	CauseUnknown
+)
+
+// String names the cause.
+func (c AmbiguityCause) String() string {
+	switch c {
+	case CauseLostMessage:
+		return "lost-message"
+	case CauseSpuriousRetransmission:
+		return "spurious-retransmission"
+	default:
+		return "unknown"
+	}
+}
+
+// Table6 counts ambiguous state changes by cause and direction.
+type Table6 struct {
+	// Counts[cause] per direction of the repeated message.
+	LostDown, LostUp         int
+	SpuriousDown, SpuriousUp int
+	UnknownDown, UnknownUp   int
+	// AmbiguousFractionOfPeriod is the share of the (link-weighted)
+	// measurement period covered by ambiguous spans (paper: 7.8%).
+	AmbiguousFractionOfPeriod float64
+	// SpuriousSameFailureDown is the share of spurious Down messages
+	// reporting the same IS-IS failure as the preceding message
+	// (paper: 99%).
+	SpuriousSameFailureDown float64
+}
+
+// TotalDown and TotalUp return the per-direction totals.
+func (t Table6) TotalDown() int { return t.LostDown + t.SpuriousDown + t.UnknownDown }
+
+// TotalUp returns the Up-direction total.
+func (t Table6) TotalUp() int { return t.LostUp + t.SpuriousUp + t.UnknownUp }
+
+// isisState answers "was the link up at time t according to IS-IS"
+// and locates the failure containing t.
+type isisState struct {
+	byLink map[topo.LinkID][]trace.Failure
+}
+
+func newISISState(failures []trace.Failure) *isisState {
+	return &isisState{byLink: match.GroupByLink(failures)}
+}
+
+// failureAt returns the index of the failure containing t, or -1.
+func (s *isisState) failureAt(link topo.LinkID, t time.Time) int {
+	fs := s.byLink[link]
+	i := sort.Search(len(fs), func(i int) bool { return fs[i].End.After(t) })
+	if i < len(fs) && !t.Before(fs[i].Start) {
+		return i
+	}
+	return -1
+}
+
+// down reports whether the link was down at t per IS-IS.
+func (s *isisState) down(link topo.LinkID, t time.Time) bool {
+	return s.failureAt(link, t) >= 0
+}
+
+// Table6 classifies the ambiguous state changes in the syslog stream
+// against IS-IS ground truth.
+func (a *Analysis) Table6() Table6 {
+	var t6 Table6
+	w := a.In.Window
+	isIdx := match.NewTransitionIndex(a.ISReach)
+	state := newISISState(a.ISISRec.Failures)
+
+	var spuriousDownSame, spuriousDownTotal int
+	var ambiguousSpan time.Duration
+	for _, amb := range a.SyslogRec.Ambiguities {
+		ambiguousSpan += amb.Span().Duration()
+		// Lost message: both repeated messages correspond to real
+		// IS-IS transitions of their direction.
+		firstReal := len(isIdx.Within(amb.Link, amb.Dir, amb.First, w)) > 0
+		secondReal := len(isIdx.Within(amb.Link, amb.Dir, amb.Second, w)) > 0
+		if firstReal && secondReal {
+			if amb.Dir == trace.Down {
+				t6.LostDown++
+			} else {
+				t6.LostUp++
+			}
+			continue
+		}
+		// Spurious retransmission: IS-IS already has the link in the
+		// repeated state at the second message.
+		isDown := state.down(amb.Link, amb.Second)
+		if (amb.Dir == trace.Down) == isDown {
+			if amb.Dir == trace.Down {
+				t6.SpuriousDown++
+				spuriousDownTotal++
+				f1 := state.failureAt(amb.Link, amb.First)
+				f2 := state.failureAt(amb.Link, amb.Second)
+				if f1 >= 0 && f1 == f2 {
+					spuriousDownSame++
+				}
+			} else {
+				t6.SpuriousUp++
+			}
+			continue
+		}
+		if amb.Dir == trace.Down {
+			t6.UnknownDown++
+		} else {
+			t6.UnknownUp++
+		}
+	}
+	if spuriousDownTotal > 0 {
+		t6.SpuriousSameFailureDown = float64(spuriousDownSame) / float64(spuriousDownTotal)
+	}
+	// Normalize against the link-weighted measurement period: the
+	// ambiguous spans live on individual links.
+	span := a.In.End.Sub(a.In.Start)
+	if span > 0 && len(a.AnalyzedLinks) > 0 {
+		t6.AmbiguousFractionOfPeriod = float64(ambiguousSpan) / (float64(span) * float64(len(a.AnalyzedLinks)))
+	}
+	return t6
+}
+
+// DowntimePolicy is one row of the ambiguity-policy ablation: total
+// syslog downtime under a policy, against the IS-IS reference.
+type DowntimePolicy struct {
+	Policy         trace.AmbiguityPolicy
+	SyslogDowntime time.Duration
+	// AbsError is |syslog − IS-IS| total downtime.
+	AbsError time.Duration
+}
+
+// PolicyAblation evaluates the three §4.3 strategies for ambiguous
+// periods. HoldPrevious is the sanitized baseline (the main
+// pipeline's downtime, with its one-time manual verification of long
+// failures). The alternative strategies differ only in how the spans
+// between repeated messages are accounted: AssumeDown additionally
+// counts every double-Up span as downtime, AssumeUp removes every
+// double-Down span (where it lies inside a surviving failure) from
+// downtime. Manual verification cannot be re-run per strategy, so the
+// deltas are taken on the raw ambiguity records — which is exactly
+// why AssumeDown overshoots catastrophically: multi-day double-Up
+// spans all become downtime. The paper finds HoldPrevious minimizes
+// the error.
+func (a *Analysis) PolicyAblation() []DowntimePolicy {
+	ref := trace.TotalDowntime(a.ISISFailures)
+	base := trace.TotalDowntime(a.SyslogFailures)
+	kept := match.GroupByLink(a.SyslogFailures)
+
+	var addDown, subUp time.Duration
+	for _, amb := range a.SyslogRec.Ambiguities {
+		switch amb.Dir {
+		case trace.Up:
+			// HoldPrevious treated the span as uptime.
+			addDown += amb.Span().Duration()
+		case trace.Down:
+			// HoldPrevious treated the span as downtime if its
+			// containing failure survived sanitization.
+			probe := trace.Failure{Link: amb.Link, Start: amb.First, End: amb.Second}
+			if match.Intersects(probe, kept) {
+				subUp += amb.Span().Duration()
+			}
+		}
+	}
+	mk := func(p trace.AmbiguityPolicy, total time.Duration) DowntimePolicy {
+		err := total - ref
+		if err < 0 {
+			err = -err
+		}
+		return DowntimePolicy{Policy: p, SyslogDowntime: total, AbsError: err}
+	}
+	return []DowntimePolicy{
+		mk(trace.HoldPrevious, base),
+		mk(trace.AssumeDown, base+addDown),
+		mk(trace.AssumeUp, base-subUp),
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/syslog"
+	"netfail/internal/tickets"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Input assembles everything the comparison consumes. The network is
+// typically the config-mined topology; customers come from
+// operational knowledge (the simulator's topology carries them).
+type Input struct {
+	Network *topo.Network
+	// Customers lists the customer sites for isolation analysis;
+	// may be nil to skip Table 7.
+	Customers []*topo.Customer
+	// Syslog is the collector's message log.
+	Syslog []*syslog.Message
+	// ISTransitions and IPTransitions are the listener's output.
+	ISTransitions []trace.Transition
+	IPTransitions []trace.Transition
+	// Start and End bound the observation window.
+	Start, End time.Time
+	// ListenerOffline windows drive sanitization.
+	ListenerOffline []trace.Interval
+	// Tickets verifies long syslog failures; nil keeps them all.
+	Tickets *tickets.Index
+	// Window is the matching window (default ten seconds); FlapGap
+	// the flapping rule (default ten minutes). MergeWindow is the
+	// span within which the two routers' same-direction messages are
+	// collapsed into one transition (default sixty seconds — wider
+	// than the matching window, since the second router's report can
+	// lag well past ten seconds without being a new transition).
+	Window      time.Duration
+	FlapGap     time.Duration
+	MergeWindow time.Duration
+	// IncludeMultiLink keeps multi-link-adjacency links in the
+	// analysis. Only meaningful when the devices advertised RFC 5307
+	// link identifiers (netsim.Config.EnableLinkIDs), which let the
+	// listener attribute changes to individual parallel links —
+	// otherwise those links simply contribute empty IS-IS traces.
+	IncludeMultiLink bool
+}
+
+// Analysis is the complete comparison state: the reconstructed and
+// sanitized traces from both sources plus the indexes the table
+// computations share.
+type Analysis struct {
+	In     Input
+	Years  float64
+	Traces *SyslogTraces
+
+	// AnalyzedLinks are the links included in the comparison:
+	// multi-link adjacencies excluded (§3.4).
+	AnalyzedLinks []*topo.Link
+
+	// Filtered transition streams (analyzed links only).
+	SyslogAdj      []trace.Transition
+	SyslogPerRtr   []trace.Transition
+	SyslogPhysical []trace.Transition
+	ISReach        []trace.Transition
+	IPReach        []trace.Transition
+
+	// Reconstructions.
+	SyslogRec trace.Reconstruction
+	ISISRec   trace.Reconstruction
+
+	// Sanitized failure lists and their sanitize reports.
+	SyslogFailures []trace.Failure
+	ISISFailures   []trace.Failure
+	SyslogSanitize trace.SanitizeReport
+	ISISSanitize   trace.SanitizeReport
+
+	// Flap indexes over each source's failures.
+	SyslogFlaps *trace.FlapIndex
+	ISISFlaps   *trace.FlapIndex
+}
+
+// Analyze runs the full §3.4 pipeline.
+func Analyze(in Input) (*Analysis, error) {
+	if in.Network == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if !in.Start.Before(in.End) {
+		return nil, fmt.Errorf("core: empty observation window")
+	}
+	if in.Window == 0 {
+		in.Window = match.DefaultWindow
+	}
+	if in.FlapGap == 0 {
+		in.FlapGap = trace.DefaultFlapGap
+	}
+	if in.MergeWindow == 0 {
+		in.MergeWindow = 60 * time.Second
+	}
+	a := &Analysis{
+		In:    in,
+		Years: in.End.Sub(in.Start).Hours() / (365.25 * 24),
+	}
+
+	// Link namespace: exclude multi-link adjacencies (§3.4), unless
+	// the deployment advertises link identifiers.
+	analyzed := make(map[topo.LinkID]bool)
+	for _, l := range in.Network.Links {
+		if in.IncludeMultiLink || !in.Network.IsMultiLink(l.ID) {
+			a.AnalyzedLinks = append(a.AnalyzedLinks, l)
+			analyzed[l.ID] = true
+		}
+	}
+
+	// Syslog extraction and filtering.
+	a.Traces = ExtractSyslog(in.Network, in.Syslog, in.MergeWindow)
+	a.SyslogAdj = filterLinks(a.Traces.MergedAdj, analyzed)
+	a.SyslogPerRtr = filterLinks(a.Traces.PerRouterAdj, analyzed)
+	a.SyslogPhysical = filterLinks(a.Traces.MergedPhysical, analyzed)
+	a.ISReach = filterLinks(in.ISTransitions, analyzed)
+	a.IPReach = filterLinks(in.IPTransitions, analyzed)
+
+	// Reconstruction.
+	a.SyslogRec = trace.Reconstruct(a.SyslogAdj)
+	a.ISISRec = trace.Reconstruct(a.ISReach)
+
+	// Sanitization: both sources drop failures spanning listener
+	// outages (those periods cannot be compared); syslog failures
+	// beyond 24 h are verified against trouble tickets (§4.2).
+	verify := func(f trace.Failure) bool { return true }
+	if in.Tickets != nil {
+		verify = in.Tickets.Verify
+	}
+	a.SyslogSanitize = trace.Sanitize(a.SyslogRec.Failures, in.ListenerOffline, trace.LongFailureThreshold, verify)
+	a.SyslogFailures = a.SyslogSanitize.Kept
+	a.ISISSanitize = trace.Sanitize(a.ISISRec.Failures, in.ListenerOffline, 0, nil)
+	a.ISISFailures = a.ISISSanitize.Kept
+
+	a.SyslogFlaps = trace.NewFlapIndex(a.SyslogFailures, in.FlapGap)
+	a.ISISFlaps = trace.NewFlapIndex(a.ISISFailures, in.FlapGap)
+	return a, nil
+}
+
+func filterLinks(ts []trace.Transition, keep map[topo.LinkID]bool) []trace.Transition {
+	var out []trace.Transition
+	for _, t := range ts {
+		if keep[t.Link] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// linkClass returns the class of a link in the analysis namespace.
+func (a *Analysis) linkClass(id topo.LinkID) (topo.LinkClass, bool) {
+	l, ok := a.In.Network.LinkByID(id)
+	if !ok {
+		return 0, false
+	}
+	return l.Class, true
+}
+
+// failuresByClass splits a failure list by link class.
+func (a *Analysis) failuresByClass(fs []trace.Failure) map[topo.LinkClass][]trace.Failure {
+	out := make(map[topo.LinkClass][]trace.Failure)
+	for _, f := range fs {
+		if class, ok := a.linkClass(f.Link); ok {
+			out[class] = append(out[class], f)
+		}
+	}
+	return out
+}

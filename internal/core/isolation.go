@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// IsolationEvent is one maximal interval during which a customer site
+// had no path to the backbone (§4.4).
+type IsolationEvent struct {
+	Customer string
+	Interval trace.Interval
+	// Links lists the links that were down when the isolation began.
+	Links []topo.LinkID
+}
+
+// Duration returns the event length.
+func (e IsolationEvent) Duration() time.Duration { return e.Interval.Duration() }
+
+// IsolationEvents sweeps a failure trace over the topology and
+// returns every customer-isolation interval. The graph must be built
+// over a network that carries the customer list.
+func IsolationEvents(g *topo.Graph, customers []*topo.Customer, failures []trace.Failure, end time.Time) []IsolationEvent {
+	if len(customers) == 0 || len(failures) == 0 {
+		return nil
+	}
+	// Boundary events: failure starts and ends.
+	type boundary struct {
+		t    time.Time
+		link topo.LinkID
+		down bool
+	}
+	bounds := make([]boundary, 0, 2*len(failures))
+	for _, f := range failures {
+		bounds = append(bounds, boundary{t: f.Start, link: f.Link, down: true})
+		bounds = append(bounds, boundary{t: f.End, link: f.Link, down: false})
+	}
+	sort.Slice(bounds, func(i, j int) bool {
+		if !bounds[i].t.Equal(bounds[j].t) {
+			return bounds[i].t.Before(bounds[j].t)
+		}
+		// Ups before downs at the same instant keeps the down-set
+		// minimal.
+		return !bounds[i].down && bounds[j].down
+	})
+
+	downCount := make(map[topo.LinkID]int)
+	downSet := make(map[topo.LinkID]bool)
+	isolatedSince := make(map[string]time.Time)
+	linksAt := make(map[string][]topo.LinkID)
+	var events []IsolationEvent
+
+	openLinks := func() []topo.LinkID {
+		links := make([]topo.LinkID, 0, len(downSet))
+		for l := range downSet {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+		return links
+	}
+
+	for i := 0; i < len(bounds); {
+		t := bounds[i].t
+		for i < len(bounds) && bounds[i].t.Equal(t) {
+			b := bounds[i]
+			if b.down {
+				downCount[b.link]++
+			} else {
+				downCount[b.link]--
+			}
+			if downCount[b.link] > 0 {
+				downSet[b.link] = true
+			} else {
+				delete(downSet, b.link)
+			}
+			i++
+		}
+		isolated := g.IsolatedCustomers(downSet)
+		cur := make(map[string]bool, len(isolated))
+		var snapshot []topo.LinkID
+		for _, c := range isolated {
+			cur[c] = true
+			if _, already := isolatedSince[c]; !already {
+				isolatedSince[c] = t
+				if snapshot == nil {
+					snapshot = openLinks()
+				}
+				linksAt[c] = snapshot
+			}
+		}
+		for c, since := range isolatedSince {
+			if !cur[c] {
+				events = append(events, IsolationEvent{
+					Customer: c,
+					Interval: trace.Interval{Start: since, End: t},
+					Links:    linksAt[c],
+				})
+				delete(isolatedSince, c)
+				delete(linksAt, c)
+			}
+		}
+	}
+	// Close events still open at the end of the window.
+	for c, since := range isolatedSince {
+		events = append(events, IsolationEvent{
+			Customer: c,
+			Interval: trace.Interval{Start: since, End: end},
+			Links:    linksAt[c],
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].Interval.Start.Equal(events[j].Interval.Start) {
+			return events[i].Interval.Start.Before(events[j].Interval.Start)
+		}
+		return events[i].Customer < events[j].Customer
+	})
+	return events
+}
+
+// Table7 is the customer-isolation comparison (paper Table 7 and the
+// unmatched-event breakdown of §4.4).
+type Table7 struct {
+	ISISEvents, SyslogEvents     int
+	ISISSites, SyslogSites       int
+	ISISDowntime, SyslogDowntime time.Duration
+	IntersectionEvents           int
+	IntersectionSites            int
+	IntersectionDowntime         time.Duration
+	// Syslog-only events: split by whether IS-IS saw any failure on
+	// the affected links during the event.
+	SyslogOnlyEvents        int
+	SyslogOnlyNoISISFailure int
+	SyslogOnlyIntersecting  int
+	// IS-IS-only events: the §4.4 breakdown.
+	ISISOnlyEvents            int
+	ISISOnlyPartialMatch      int
+	ISISOnlySyslogSawFailures int
+	ISISOnlyUnrelated         int
+	ISISOnlyDowntime          time.Duration
+}
+
+// Table7 runs the isolation analysis over both sources.
+func (a *Analysis) Table7() Table7 {
+	var t7 Table7
+	if len(a.In.Customers) == 0 {
+		return t7
+	}
+	// The isolation graph needs the customer list attached.
+	netWithCustomers := *a.In.Network
+	netWithCustomers.Customers = a.In.Customers
+	g := topo.NewGraph(&netWithCustomers)
+
+	isisEvents := IsolationEvents(g, a.In.Customers, a.ISISFailures, a.In.End)
+	syslogEvents := IsolationEvents(g, a.In.Customers, a.SyslogFailures, a.In.End)
+
+	t7.ISISEvents = len(isisEvents)
+	t7.SyslogEvents = len(syslogEvents)
+	t7.ISISSites = distinctCustomers(isisEvents)
+	t7.SyslogSites = distinctCustomers(syslogEvents)
+	t7.ISISDowntime = totalIsolation(isisEvents)
+	t7.SyslogDowntime = totalIsolation(syslogEvents)
+
+	// Match events: same customer, overlapping intervals, one-to-one.
+	matchedI := make([]bool, len(isisEvents))
+	matchedS := make([]bool, len(syslogEvents))
+	interCustomers := make(map[string]bool)
+	byCustomer := make(map[string][]int)
+	for j, e := range syslogEvents {
+		byCustomer[e.Customer] = append(byCustomer[e.Customer], j)
+	}
+	for i, ie := range isisEvents {
+		for _, j := range byCustomer[ie.Customer] {
+			if matchedS[j] {
+				continue
+			}
+			se := syslogEvents[j]
+			lo := maxTime(ie.Interval.Start, se.Interval.Start)
+			hi := minTime(ie.Interval.End, se.Interval.End)
+			if hi.After(lo) {
+				matchedI[i] = true
+				matchedS[j] = true
+				t7.IntersectionEvents++
+				t7.IntersectionDowntime += hi.Sub(lo)
+				interCustomers[ie.Customer] = true
+				break
+			}
+		}
+	}
+	t7.IntersectionSites = len(interCustomers)
+
+	// Classify unmatched events.
+	isisByLink := match.GroupByLink(a.ISISFailures)
+	syslogByLink := match.GroupByLink(a.SyslogFailures)
+	for j, se := range syslogEvents {
+		if matchedS[j] {
+			continue
+		}
+		t7.SyslogOnlyEvents++
+		if anyFailureDuring(isisByLink, se) {
+			t7.SyslogOnlyIntersecting++
+		} else {
+			t7.SyslogOnlyNoISISFailure++
+		}
+	}
+	for i, ie := range isisEvents {
+		if matchedI[i] {
+			continue
+		}
+		t7.ISISOnlyEvents++
+		t7.ISISOnlyDowntime += ie.Duration()
+		switch {
+		case anyEventOverlap(syslogEvents, ie):
+			t7.ISISOnlyPartialMatch++
+		case anyFailureDuring(syslogByLink, ie):
+			t7.ISISOnlySyslogSawFailures++
+		default:
+			t7.ISISOnlyUnrelated++
+		}
+	}
+	return t7
+}
+
+func distinctCustomers(events []IsolationEvent) int {
+	set := make(map[string]bool)
+	for _, e := range events {
+		set[e.Customer] = true
+	}
+	return len(set)
+}
+
+func totalIsolation(events []IsolationEvent) time.Duration {
+	var total time.Duration
+	for _, e := range events {
+		total += e.Duration()
+	}
+	return total
+}
+
+// anyFailureDuring reports whether the other source saw any failure
+// on the event's affected links during the event's interval.
+func anyFailureDuring(byLink map[topo.LinkID][]trace.Failure, e IsolationEvent) bool {
+	probe := trace.Failure{Start: e.Interval.Start, End: e.Interval.End}
+	for _, link := range e.Links {
+		probe.Link = link
+		if match.Intersects(probe, byLink) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyEventOverlap reports whether any event for the same customer
+// overlaps the probe interval.
+func anyEventOverlap(events []IsolationEvent, probe IsolationEvent) bool {
+	for _, e := range events {
+		if e.Customer != probe.Customer {
+			continue
+		}
+		lo := maxTime(e.Interval.Start, probe.Interval.Start)
+		hi := minTime(e.Interval.End, probe.Interval.End)
+		if hi.After(lo) {
+			return true
+		}
+	}
+	return false
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}

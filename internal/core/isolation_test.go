@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// isoNet builds a triangle core with one single-homed and one
+// dual-homed customer.
+func isoNet(t *testing.T) (*topo.Network, map[string]topo.LinkID) {
+	t.Helper()
+	n := topo.NewNetwork()
+	names := []string{"core-a", "core-b", "core-c", "cpe-1", "cpe-2"}
+	for i, name := range names {
+		class := topo.Core
+		if i >= 3 {
+			class = topo.CPE
+		}
+		if err := n.AddRouter(&topo.Router{Name: name, Class: class, SystemID: topo.SystemIDFromIndex(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := map[string]topo.LinkID{}
+	add := func(tag, a, b string, subnet uint32) {
+		l, err := n.AddLink(topo.Endpoint{Host: a, Port: "p" + tag}, topo.Endpoint{Host: b, Port: "q" + tag}, subnet, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[tag] = l.ID
+	}
+	add("ab", "core-a", "core-b", 0)
+	add("bc", "core-b", "core-c", 2)
+	add("ca", "core-c", "core-a", 4)
+	add("u1", "cpe-1", "core-a", 6)
+	add("u2a", "cpe-2", "core-b", 8)
+	add("u2b", "cpe-2", "core-c", 10)
+	n.Customers = []*topo.Customer{
+		{Name: "site-1", Routers: []string{"cpe-1"}},
+		{Name: "site-2", Routers: []string{"cpe-2"}},
+	}
+	return n, links
+}
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+
+func TestIsolationEventsSingleHomed(t *testing.T) {
+	n, links := isoNet(t)
+	g := topo.NewGraph(n)
+	failures := []trace.Failure{
+		{Link: links["u1"], Start: at(100), End: at(200)},
+		{Link: links["ab"], Start: at(500), End: at(600)}, // ring: no isolation
+	}
+	events := IsolationEvents(g, n.Customers, failures, at(10000))
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	e := events[0]
+	if e.Customer != "site-1" {
+		t.Errorf("customer = %s", e.Customer)
+	}
+	if !e.Interval.Start.Equal(at(100)) || !e.Interval.End.Equal(at(200)) {
+		t.Errorf("interval = %+v", e.Interval)
+	}
+	if len(e.Links) != 1 || e.Links[0] != links["u1"] {
+		t.Errorf("links = %v", e.Links)
+	}
+}
+
+func TestIsolationEventsDualHomedNeedsBoth(t *testing.T) {
+	n, links := isoNet(t)
+	g := topo.NewGraph(n)
+	failures := []trace.Failure{
+		{Link: links["u2a"], Start: at(100), End: at(400)},
+		{Link: links["u2b"], Start: at(200), End: at(300)},
+	}
+	events := IsolationEvents(g, n.Customers, failures, at(10000))
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	e := events[0]
+	if e.Customer != "site-2" {
+		t.Errorf("customer = %s", e.Customer)
+	}
+	// Isolated only while BOTH uplinks are down: [200, 300].
+	if !e.Interval.Start.Equal(at(200)) || !e.Interval.End.Equal(at(300)) {
+		t.Errorf("interval = %v..%v, want 200..300", e.Interval.Start, e.Interval.End)
+	}
+	if len(e.Links) != 2 {
+		t.Errorf("links = %v, want the two uplinks", e.Links)
+	}
+}
+
+func TestIsolationEventsRepeatedFailures(t *testing.T) {
+	n, links := isoNet(t)
+	g := topo.NewGraph(n)
+	var failures []trace.Failure
+	for i := 0; i < 5; i++ {
+		s := 1000 * (i + 1)
+		failures = append(failures, trace.Failure{Link: links["u1"], Start: at(s), End: at(s + 100)})
+	}
+	events := IsolationEvents(g, n.Customers, failures, at(100000))
+	if len(events) != 5 {
+		t.Errorf("events = %d, want 5 distinct isolations", len(events))
+	}
+}
+
+func TestIsolationEventsOpenAtEnd(t *testing.T) {
+	n, links := isoNet(t)
+	g := topo.NewGraph(n)
+	failures := []trace.Failure{{Link: links["u1"], Start: at(100), End: at(10000)}}
+	end := at(5000)
+	events := IsolationEvents(g, n.Customers, failures, end)
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if !events[0].Interval.End.Equal(at(10000)) && !events[0].Interval.End.Equal(end) {
+		t.Errorf("open event end = %v", events[0].Interval.End)
+	}
+}
+
+func TestIsolationEventsEmptyInputs(t *testing.T) {
+	n, _ := isoNet(t)
+	g := topo.NewGraph(n)
+	if got := IsolationEvents(g, nil, []trace.Failure{{}}, at(0)); got != nil {
+		t.Errorf("no customers: %v", got)
+	}
+	if got := IsolationEvents(g, n.Customers, nil, at(0)); got != nil {
+		t.Errorf("no failures: %v", got)
+	}
+}
+
+func TestIsolationOverlappingFailuresSameLink(t *testing.T) {
+	// Two overlapping failure records on the same uplink (as happens
+	// when comparing noisy sources) must keep the link down until the
+	// LAST of them clears.
+	n, links := isoNet(t)
+	g := topo.NewGraph(n)
+	failures := []trace.Failure{
+		{Link: links["u1"], Start: at(100), End: at(300)},
+		{Link: links["u1"], Start: at(200), End: at(500)},
+	}
+	events := IsolationEvents(g, n.Customers, failures, at(10000))
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if !events[0].Interval.End.Equal(at(500)) {
+		t.Errorf("end = %v, want 500 (reference counting)", events[0].Interval.End)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// SyslogTraces is the structured form of a syslog capture: the
+// message stream resolved onto links and split into the channels the
+// comparison needs.
+type SyslogTraces struct {
+	// PerRouterAdj has one transition per IS-IS adjacency message,
+	// with Reporter naming the sending router — the unit Table 3
+	// counts (None/One/Both routers reporting).
+	PerRouterAdj []trace.Transition
+	// MergedAdj is the per-link state stream: the two routers'
+	// reports of one event are collapsed into a single transition,
+	// while genuinely repeated transitions (double Down/Up) survive
+	// for ambiguity analysis.
+	MergedAdj []trace.Transition
+	// MergedPhysical is the same merge over %LINK/%LINEPROTO
+	// messages.
+	MergedPhysical []trace.Transition
+	// Unresolved counts messages whose (router, interface) pair did
+	// not map to a known link.
+	Unresolved int
+	// NonLink counts messages of kinds the analysis ignores.
+	NonLink int
+	// AdjMessages and PhysMessages count resolved messages by class.
+	AdjMessages  int
+	PhysMessages int
+}
+
+// ExtractSyslog resolves and merges a syslog capture against the
+// (mined) topology. mergeWindow is the span within which two
+// same-direction messages are treated as the two routers' reports of
+// one transition; the paper's ten-second matching window is the
+// natural choice.
+func ExtractSyslog(net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration) *SyslogTraces {
+	st := &SyslogTraces{}
+	var adj, phys []trace.Transition
+
+	for _, m := range msgs {
+		ev, err := syslog.ParseLinkEvent(m)
+		if err != nil {
+			st.NonLink++
+			continue
+		}
+		r, ok := net.Routers[ev.Router]
+		if !ok {
+			st.Unresolved++
+			continue
+		}
+		ifc := r.Interface(ev.Interface)
+		if ifc == nil || ifc.Link == "" {
+			st.Unresolved++
+			continue
+		}
+		dir := trace.Down
+		if ev.Up {
+			dir = trace.Up
+		}
+		switch ev.Type {
+		case syslog.EventISISAdj:
+			st.AdjMessages++
+			t := trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindISISAdj, Reporter: ev.Router}
+			adj = append(adj, t)
+			st.PerRouterAdj = append(st.PerRouterAdj, t)
+		case syslog.EventLink, syslog.EventLineProto:
+			st.PhysMessages++
+			phys = append(phys, trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindPhysical, Reporter: ev.Router})
+		default:
+			st.NonLink++
+		}
+	}
+
+	st.MergedAdj = mergeLinkStream(adj, mergeWindow)
+	st.MergedPhysical = mergeLinkStream(phys, mergeWindow)
+	return st
+}
+
+// mergeLinkStream collapses per-router message streams into per-link
+// transition streams. Within a link, a message in the same direction
+// as the previous one and within the merge window is the counterpart
+// router's report of the same event and is absorbed; beyond the
+// window it is a genuine repeated transition and is emitted (the
+// reconstruction records it as an ambiguity).
+func mergeLinkStream(msgs []trace.Transition, mergeWindow time.Duration) []trace.Transition {
+	grouped := trace.ByLink(msgs)
+	links := make([]topo.LinkID, 0, len(grouped))
+	for l := range grouped {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+
+	var out []trace.Transition
+	for _, link := range links {
+		var lastDir trace.Direction
+		var lastEmit time.Time
+		seen := false
+		for _, m := range grouped[link] {
+			if seen && m.Dir == lastDir && m.Time.Sub(lastEmit) <= mergeWindow {
+				continue // counterpart router's duplicate
+			}
+			out = append(out, m)
+			lastDir, lastEmit, seen = m.Dir, m.Time, true
+		}
+	}
+	trace.SortTransitions(out)
+	return out
+}

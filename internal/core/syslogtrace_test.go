@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// tinyNet builds a two-router, one-link network for unit tests.
+func tinyNet(t *testing.T) (*topo.Network, topo.LinkID) {
+	t.Helper()
+	n := topo.NewNetwork()
+	for i, name := range []string{"core-a", "cpe-1"} {
+		class := topo.Core
+		if i == 1 {
+			class = topo.CPE
+		}
+		if err := n.AddRouter(&topo.Router{
+			Name: name, Class: class, SystemID: topo.SystemIDFromIndex(i + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := n.AddLink(
+		topo.Endpoint{Host: "core-a", Port: "Te0"},
+		topo.Endpoint{Host: "cpe-1", Port: "Gi0"}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, l.ID
+}
+
+func adjMsg(host, iface, peer string, sec int, up bool) *syslog.Message {
+	return syslog.AdjChange(syslog.DialectIOS, host, uint64(sec),
+		time.Unix(int64(sec), 0).UTC(), peer, iface, up, "test")
+}
+
+func TestExtractSyslogResolvesAndSplits(t *testing.T) {
+	n, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("cpe-1", "Gi0", "core-a", 103, false), // counterpart: merged
+		adjMsg("core-a", "Te0", "cpe-1", 200, true),
+		syslog.LinkUpDown("core-a", 5, time.Unix(150, 0).UTC(), "Te0", false),
+		// Unresolvable: unknown interface.
+		adjMsg("core-a", "Te99", "cpe-1", 300, false),
+		// Unknown router.
+		adjMsg("ghost", "Te0", "cpe-1", 300, false),
+	}
+	st := ExtractSyslog(n, msgs, 60*time.Second)
+
+	if st.AdjMessages != 3 {
+		t.Errorf("adj messages = %d, want 3", st.AdjMessages)
+	}
+	if st.PhysMessages != 1 {
+		t.Errorf("phys messages = %d, want 1", st.PhysMessages)
+	}
+	if st.Unresolved != 2 {
+		t.Errorf("unresolved = %d, want 2", st.Unresolved)
+	}
+	if len(st.PerRouterAdj) != 3 {
+		t.Errorf("per-router = %d, want 3", len(st.PerRouterAdj))
+	}
+	// Merged: Down(100) [Down(103) absorbed] Up(200).
+	if len(st.MergedAdj) != 2 {
+		t.Fatalf("merged = %+v", st.MergedAdj)
+	}
+	if st.MergedAdj[0].Dir != trace.Down || !st.MergedAdj[0].Time.Equal(time.Unix(100, 0).UTC()) {
+		t.Errorf("merged[0] = %+v", st.MergedAdj[0])
+	}
+	if st.MergedAdj[0].Link != link {
+		t.Errorf("link = %v", st.MergedAdj[0].Link)
+	}
+	if len(st.MergedPhysical) != 1 {
+		t.Errorf("physical = %+v", st.MergedPhysical)
+	}
+}
+
+func TestExtractSyslogKeepsTrueDoubles(t *testing.T) {
+	n, _ := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 300, false), // 200 s later: genuine double
+		adjMsg("core-a", "Te0", "cpe-1", 400, true),
+	}
+	st := ExtractSyslog(n, msgs, 60*time.Second)
+	if len(st.MergedAdj) != 3 {
+		t.Fatalf("merged = %+v (true double must survive)", st.MergedAdj)
+	}
+	rec := trace.Reconstruct(st.MergedAdj)
+	if len(rec.Ambiguities) != 1 || rec.Ambiguities[0].Dir != trace.Down {
+		t.Errorf("ambiguities = %+v", rec.Ambiguities)
+	}
+}
+
+func TestExtractSyslogAlternationNotMerged(t *testing.T) {
+	// Down/Up pairs inside the merge window alternate direction and
+	// must all survive (a 3-second flap blip is two transitions).
+	n, _ := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 103, true),
+		adjMsg("core-a", "Te0", "cpe-1", 106, false),
+		adjMsg("core-a", "Te0", "cpe-1", 109, true),
+	}
+	st := ExtractSyslog(n, msgs, 60*time.Second)
+	if len(st.MergedAdj) != 4 {
+		t.Fatalf("merged = %d, want 4", len(st.MergedAdj))
+	}
+	rec := trace.Reconstruct(st.MergedAdj)
+	if len(rec.Failures) != 2 {
+		t.Errorf("failures = %+v", rec.Failures)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	n, _ := tinyNet(t)
+	if _, err := Analyze(Input{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := Analyze(Input{Network: n}); err == nil {
+		t.Error("empty window accepted")
+	}
+	in := Input{
+		Network: n,
+		Start:   time.Unix(0, 0),
+		End:     time.Unix(1000, 0),
+	}
+	a, err := Analyze(in)
+	if err != nil {
+		t.Fatalf("minimal analyze: %v", err)
+	}
+	if len(a.AnalyzedLinks) != 1 {
+		t.Errorf("analyzed links = %d", len(a.AnalyzedLinks))
+	}
+	// Defaults applied.
+	if a.In.Window != 10*time.Second || a.In.MergeWindow != 60*time.Second {
+		t.Errorf("defaults: %+v", a.In)
+	}
+}
+
+func TestAnalyzeExcludesMultiLink(t *testing.T) {
+	n, _ := tinyNet(t)
+	// Add a parallel link to create a multi-link adjacency.
+	if _, err := n.AddLink(
+		topo.Endpoint{Host: "core-a", Port: "Te1"},
+		topo.Endpoint{Host: "cpe-1", Port: "Gi1"}, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(Input{Network: n, Start: time.Unix(0, 0), End: time.Unix(1000, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.AnalyzedLinks) != 0 {
+		t.Errorf("multi-link adjacency links must be excluded: %v", a.AnalyzedLinks)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/stats"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Table1 is the dataset summary (paper Table 1).
+type Table1 struct {
+	Period                  trace.Interval
+	CoreRouters, CPERouters int
+	ConfigFiles             int
+	CoreLinks, CPELinks     int
+	SyslogMessages          int
+	ISISUpdates             int
+	MultiLinkAdjacencyPairs int
+	AnalyzedLinks           int
+}
+
+// Table1 fills the dataset summary. ConfigFiles and ISISUpdates are
+// campaign-level counts the analysis cannot see; callers supply them.
+func (a *Analysis) Table1(configFiles, isisUpdates int) Table1 {
+	core, cpe := a.In.Network.CountRouters()
+	coreLinks, cpeLinks := a.In.Network.CountLinks()
+	return Table1{
+		Period:                  trace.Interval{Start: a.In.Start, End: a.In.End},
+		CoreRouters:             core,
+		CPERouters:              cpe,
+		ConfigFiles:             configFiles,
+		CoreLinks:               coreLinks,
+		CPELinks:                cpeLinks,
+		SyslogMessages:          len(a.In.Syslog),
+		ISISUpdates:             isisUpdates,
+		MultiLinkAdjacencyPairs: len(a.In.Network.MultiLinkAdjacencies()),
+		AnalyzedLinks:           len(a.AnalyzedLinks),
+	}
+}
+
+// Table2 reports, for each reachability field, the fraction of its
+// state transitions that match syslog transitions of each class
+// (paper Table 2).
+type Table2 struct {
+	// Rows: [direction] → matched fraction, per syslog class and
+	// reachability field.
+	ISISDownVsIS, ISISDownVsIP float64
+	ISISUpVsIS, ISISUpVsIP     float64
+	PhysDownVsIS, PhysDownVsIP float64
+	PhysUpVsIS, PhysUpVsIP     float64
+}
+
+// Table2 computes the reachability-field comparison.
+func (a *Analysis) Table2() Table2 {
+	w := a.In.Window
+	isDown, isUp := splitDir(a.ISReach)
+	ipDown, ipUp := splitDir(a.IPReach)
+	adjDown, adjUp := splitDir(a.SyslogAdj)
+	phDown, phUp := splitDir(a.SyslogPhysical)
+	return Table2{
+		ISISDownVsIS: match.MatchedFraction(isDown, adjDown, w),
+		ISISDownVsIP: match.MatchedFraction(ipDown, adjDown, w),
+		ISISUpVsIS:   match.MatchedFraction(isUp, adjUp, w),
+		ISISUpVsIP:   match.MatchedFraction(ipUp, adjUp, w),
+		PhysDownVsIS: match.MatchedFraction(isDown, phDown, w),
+		PhysDownVsIP: match.MatchedFraction(ipDown, phDown, w),
+		PhysUpVsIS:   match.MatchedFraction(isUp, phUp, w),
+		PhysUpVsIP:   match.MatchedFraction(ipUp, phUp, w),
+	}
+}
+
+func splitDir(ts []trace.Transition) (down, up []trace.Transition) {
+	for _, t := range ts {
+		if t.Dir == trace.Down {
+			down = append(down, t)
+		} else {
+			up = append(up, t)
+		}
+	}
+	return down, up
+}
+
+// Table3Row counts IS-IS transitions by how many of the link's two
+// routers sent a matching syslog message.
+type Table3Row struct {
+	None, One, Both int
+}
+
+// Total returns the row total.
+func (r Table3Row) Total() int { return r.None + r.One + r.Both }
+
+// Table3 is the per-direction transition accounting plus the flap
+// attribution of §4.1.
+type Table3 struct {
+	Down, Up Table3Row
+	// UnmatchedInFlapDown/Up is the fraction of None-transitions
+	// that occurred during flapping (paper: 67% and 61%).
+	UnmatchedInFlapDown float64
+	UnmatchedInFlapUp   float64
+	// SyslogFlapMatchedFraction is the share of syslog transitions
+	// during flap periods that match an IS-IS transition (paper:
+	// under one half).
+	SyslogFlapMatchedFraction float64
+}
+
+// Table3 computes the message-level matching table.
+func (a *Analysis) Table3() Table3 {
+	w := a.In.Window
+	idx := match.NewTransitionIndex(a.SyslogPerRtr)
+	var t3 Table3
+	var noneFlapDown, noneFlapUp int
+	for _, tr0 := range a.ISReach {
+		reporters := idx.Reporters(tr0.Link, tr0.Dir, tr0.Time, w)
+		row := &t3.Down
+		if tr0.Dir == trace.Up {
+			row = &t3.Up
+		}
+		switch len(reporters) {
+		case 0:
+			row.None++
+			if a.ISISFlaps.InFlap(tr0.Link, tr0.Time) {
+				if tr0.Dir == trace.Down {
+					noneFlapDown++
+				} else {
+					noneFlapUp++
+				}
+			}
+		case 1:
+			row.One++
+		default:
+			row.Both++
+		}
+	}
+	if t3.Down.None > 0 {
+		t3.UnmatchedInFlapDown = float64(noneFlapDown) / float64(t3.Down.None)
+	}
+	if t3.Up.None > 0 {
+		t3.UnmatchedInFlapUp = float64(noneFlapUp) / float64(t3.Up.None)
+	}
+
+	// Reverse view: syslog transitions during flap vs IS-IS.
+	isIdx := match.NewTransitionIndex(a.ISReach)
+	var flapTotal, flapMatched int
+	for _, tr0 := range a.SyslogAdj {
+		if !a.ISISFlaps.InFlap(tr0.Link, tr0.Time) {
+			continue
+		}
+		flapTotal++
+		if len(isIdx.Within(tr0.Link, tr0.Dir, tr0.Time, w)) > 0 {
+			flapMatched++
+		}
+	}
+	if flapTotal > 0 {
+		t3.SyslogFlapMatchedFraction = float64(flapMatched) / float64(flapTotal)
+	}
+	return t3
+}
+
+// Table4 is the failure/downtime accounting after sanitization.
+type Table4 struct {
+	ISISFailures   int
+	SyslogFailures int
+	// OverlapFailures counts strictly matched failure pairs.
+	OverlapFailures int
+	ISISDowntime    time.Duration
+	SyslogDowntime  time.Duration
+	// OverlapDowntime is the interval-intersection downtime.
+	OverlapDowntime time.Duration
+	// FalsePositives counts syslog failures with no matching IS-IS
+	// failure; FalsePositiveFraction normalizes by syslog failures.
+	FalsePositives        int
+	FalsePositiveFraction float64
+	// Sanitization accounting.
+	SyslogSanitize trace.SanitizeReport
+	ISISSanitize   trace.SanitizeReport
+}
+
+// Table4 computes failure counts and downtime for both sources.
+func (a *Analysis) Table4() Table4 {
+	m := match.Failures(a.SyslogFailures, a.ISISFailures, a.In.Window)
+	t4 := Table4{
+		ISISFailures:    len(a.ISISFailures),
+		SyslogFailures:  len(a.SyslogFailures),
+		OverlapFailures: len(m.Pairs),
+		ISISDowntime:    trace.TotalDowntime(a.ISISFailures),
+		SyslogDowntime:  trace.TotalDowntime(a.SyslogFailures),
+		OverlapDowntime: match.IntersectionDowntime(a.SyslogFailures, a.ISISFailures),
+		FalsePositives:  len(m.OnlyA),
+		SyslogSanitize:  a.SyslogSanitize,
+		ISISSanitize:    a.ISISSanitize,
+	}
+	if t4.SyslogFailures > 0 {
+		t4.FalsePositiveFraction = float64(t4.FalsePositives) / float64(t4.SyslogFailures)
+	}
+	return t4
+}
+
+// MetricSummaries holds the paper's four Table 5 metrics for one
+// (class, source) cell, plus a bootstrap confidence interval on the
+// duration median (the metric whose small paper differences — 10 s
+// vs 12 s — most need an error bar).
+type MetricSummaries struct {
+	// FailuresPerLink is annualized failures per link.
+	FailuresPerLink stats.Summary
+	// Duration is failure duration in seconds.
+	Duration stats.Summary
+	// DurationMedianCI is the 95% bootstrap CI of the duration
+	// median.
+	DurationMedianCI [2]float64
+	// TimeBetween is hours between consecutive failures on a link.
+	TimeBetween stats.Summary
+	// Downtime is annualized link downtime in hours.
+	Downtime stats.Summary
+}
+
+// Table5 is the per-class statistical comparison plus the KS
+// consistency verdicts of §4.2.
+type Table5 struct {
+	// Cells[class][source] with source "syslog" or "isis".
+	Core, CPE map[string]MetricSummaries
+	// KS tests between the two sources per metric, CPE and Core
+	// pooled as in the paper's consistency discussion.
+	KSFailuresPerLink stats.KSResult
+	KSDuration        stats.KSResult
+	KSDowntime        stats.KSResult
+	// Cramér–von Mises corroboration: CvM integrates over the whole
+	// CDF gap rather than keying on its maximum, so agreement with
+	// KS makes the consistency verdicts robust.
+	CvMFailuresPerLink stats.CvMResult
+	CvMDuration        stats.CvMResult
+	CvMDowntime        stats.CvMResult
+}
+
+// Table5 computes the statistics table.
+func (a *Analysis) Table5() Table5 {
+	t5 := Table5{
+		Core: make(map[string]MetricSummaries),
+		CPE:  make(map[string]MetricSummaries),
+	}
+	syslogByClass := a.failuresByClass(a.SyslogFailures)
+	isisByClass := a.failuresByClass(a.ISISFailures)
+
+	fill := func(dst map[string]MetricSummaries, source string, fs []trace.Failure, class topo.LinkClass) {
+		dst[source] = a.metricSummaries(fs, class)
+	}
+	fill(t5.Core, "syslog", syslogByClass[topo.CoreLink], topo.CoreLink)
+	fill(t5.Core, "isis", isisByClass[topo.CoreLink], topo.CoreLink)
+	fill(t5.CPE, "syslog", syslogByClass[topo.CPELink], topo.CPELink)
+	fill(t5.CPE, "isis", isisByClass[topo.CPELink], topo.CPELink)
+
+	// Pooled KS tests (both classes together).
+	sFPL, sDur, _, sDown := a.metricSamples(a.SyslogFailures, nil)
+	iFPL, iDur, _, iDown := a.metricSamples(a.ISISFailures, nil)
+	t5.KSFailuresPerLink, _ = stats.KSTest(sFPL, iFPL)
+	t5.KSDuration, _ = stats.KSTest(sDur, iDur)
+	t5.KSDowntime, _ = stats.KSTest(sDown, iDown)
+	t5.CvMFailuresPerLink, _ = stats.CvMTest(sFPL, iFPL)
+	t5.CvMDuration, _ = stats.CvMTest(sDur, iDur)
+	t5.CvMDowntime, _ = stats.CvMTest(sDown, iDown)
+	return t5
+}
+
+// metricSamples derives the four metric sample sets from a failure
+// list. classFilter restricts to one class when non-nil.
+func (a *Analysis) metricSamples(fs []trace.Failure, classFilter *topo.LinkClass) (perLink, durations, between, downtime []float64) {
+	perLinkCount := make(map[topo.LinkID]int)
+	perLinkDown := make(map[topo.LinkID]time.Duration)
+	lastEnd := make(map[topo.LinkID]time.Time)
+	for _, f := range fs {
+		class, ok := a.linkClass(f.Link)
+		if !ok || (classFilter != nil && class != *classFilter) {
+			continue
+		}
+		perLinkCount[f.Link]++
+		perLinkDown[f.Link] += f.Duration()
+		durations = append(durations, f.Duration().Seconds())
+		if prev, ok := lastEnd[f.Link]; ok && f.Start.After(prev) {
+			between = append(between, f.Start.Sub(prev).Hours())
+		}
+		lastEnd[f.Link] = f.End
+	}
+	// Only links that failed at least once enter the per-link
+	// distributions, as in the paper's annualized-per-link metrics.
+	for link, n := range perLinkCount {
+		perLink = append(perLink, float64(n)/a.Years)
+		downtime = append(downtime, perLinkDown[link].Hours()/a.Years)
+	}
+	return perLink, durations, between, downtime
+}
+
+func (a *Analysis) metricSummaries(fs []trace.Failure, class topo.LinkClass) MetricSummaries {
+	perLink, durations, between, downtime := a.metricSamples(fs, &class)
+	var ms MetricSummaries
+	ms.FailuresPerLink, _ = stats.Summarize(perLink)
+	ms.Duration, _ = stats.Summarize(durations)
+	ms.TimeBetween, _ = stats.Summarize(between)
+	ms.Downtime, _ = stats.Summarize(downtime)
+	if lo, hi, err := stats.BootstrapMedianCI(durations, 400, 0.05, 1); err == nil {
+		ms.DurationMedianCI = [2]float64{lo, hi}
+	}
+	return ms
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// synthAnalysis builds an Analysis over the tiny network with
+// hand-crafted transitions injected from both sources.
+func synthAnalysis(t *testing.T, msgs []*syslog.Message, isTr, ipTr []trace.Transition) *Analysis {
+	t.Helper()
+	n, _ := tinyNet(t)
+	a, err := Analyze(Input{
+		Network:       n,
+		Syslog:        msgs,
+		ISTransitions: isTr,
+		IPTransitions: ipTr,
+		Start:         time.Unix(0, 0).UTC(),
+		End:           time.Unix(100000, 0).UTC(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func isT(link topo.LinkID, sec int, dir trace.Direction) trace.Transition {
+	return trace.Transition{Time: at(sec), Link: link, Dir: dir, Kind: trace.KindISReach, Reporter: "core-a"}
+}
+
+func TestTable2Synthetic(t *testing.T) {
+	n, link := tinyNet(t)
+	_ = n
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false), // matches IS down at 103
+		adjMsg("core-a", "Te0", "cpe-1", 200, true),  // matches IS up at 205
+	}
+	isTr := []trace.Transition{
+		isT(link, 103, trace.Down),
+		isT(link, 205, trace.Up),
+		isT(link, 500, trace.Down), // no syslog match
+		isT(link, 600, trace.Up),   // no syslog match
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	t2 := a.Table2()
+	if t2.ISISDownVsIS != 0.5 {
+		t.Errorf("ISISDownVsIS = %v, want 0.5", t2.ISISDownVsIS)
+	}
+	if t2.ISISUpVsIS != 0.5 {
+		t.Errorf("ISISUpVsIS = %v, want 0.5", t2.ISISUpVsIS)
+	}
+	// No IP transitions at all: fractions are zero.
+	if t2.ISISDownVsIP != 0 {
+		t.Errorf("ISISDownVsIP = %v", t2.ISISDownVsIP)
+	}
+}
+
+func TestTable3Synthetic(t *testing.T) {
+	_, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		// Failure 1: both routers report the Down, one reports the Up.
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("cpe-1", "Gi0", "core-a", 102, false),
+		adjMsg("core-a", "Te0", "cpe-1", 200, true),
+		// Failure 2: nobody reports anything.
+	}
+	isTr := []trace.Transition{
+		isT(link, 101, trace.Down),
+		isT(link, 201, trace.Up),
+		isT(link, 5000, trace.Down),
+		isT(link, 5100, trace.Up),
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	t3 := a.Table3()
+	if t3.Down.Both != 1 || t3.Down.None != 1 || t3.Down.One != 0 {
+		t.Errorf("Down = %+v", t3.Down)
+	}
+	if t3.Up.One != 1 || t3.Up.None != 1 || t3.Up.Both != 0 {
+		t.Errorf("Up = %+v", t3.Up)
+	}
+}
+
+func TestTable4Synthetic(t *testing.T) {
+	_, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		// Matches IS-IS failure [100, 200] exactly.
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 200, true),
+		// A syslog-only pseudo-failure.
+		adjMsg("core-a", "Te0", "cpe-1", 900, false),
+		adjMsg("core-a", "Te0", "cpe-1", 901, true),
+	}
+	isTr := []trace.Transition{
+		isT(link, 100, trace.Down),
+		isT(link, 200, trace.Up),
+		// An IS-IS-only failure.
+		isT(link, 3000, trace.Down),
+		isT(link, 3300, trace.Up),
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	t4 := a.Table4()
+	if t4.ISISFailures != 2 || t4.SyslogFailures != 2 {
+		t.Fatalf("counts: %+v", t4)
+	}
+	if t4.OverlapFailures != 1 {
+		t.Errorf("overlap = %d, want 1", t4.OverlapFailures)
+	}
+	if t4.FalsePositives != 1 {
+		t.Errorf("false positives = %d, want 1", t4.FalsePositives)
+	}
+	if t4.ISISDowntime != 400*time.Second {
+		t.Errorf("isis downtime = %v", t4.ISISDowntime)
+	}
+	if t4.SyslogDowntime != 101*time.Second {
+		t.Errorf("syslog downtime = %v", t4.SyslogDowntime)
+	}
+	if t4.OverlapDowntime != 100*time.Second {
+		t.Errorf("overlap downtime = %v", t4.OverlapDowntime)
+	}
+}
+
+func TestTable6Synthetic(t *testing.T) {
+	_, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		// Lost-message double Down: two real failures, the Up between
+		// them lost. Both Downs match IS-IS Downs.
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 500, false),
+		adjMsg("core-a", "Te0", "cpe-1", 600, true),
+		// Spurious double Down: second Down mid-failure, no IS-IS
+		// transition near it, link down per IS-IS.
+		adjMsg("core-a", "Te0", "cpe-1", 2000, false),
+		adjMsg("core-a", "Te0", "cpe-1", 2500, false),
+		adjMsg("core-a", "Te0", "cpe-1", 3000, true),
+		// Unknown double Up: repeated Up while IS-IS link is down.
+		adjMsg("core-a", "Te0", "cpe-1", 8000, false),
+		adjMsg("core-a", "Te0", "cpe-1", 8100, true),
+		adjMsg("core-a", "Te0", "cpe-1", 8200, true),
+	}
+	isTr := []trace.Transition{
+		isT(link, 100, trace.Down),
+		isT(link, 300, trace.Up), // lost by syslog
+		isT(link, 500, trace.Down),
+		isT(link, 600, trace.Up),
+		isT(link, 2000, trace.Down),
+		isT(link, 3000, trace.Up),
+		isT(link, 8000, trace.Down),
+		isT(link, 8500, trace.Up), // syslog's 8100/8200 Ups are early
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	t6 := a.Table6()
+	if t6.LostDown != 1 {
+		t.Errorf("lost down = %d, want 1", t6.LostDown)
+	}
+	if t6.SpuriousDown != 1 {
+		t.Errorf("spurious down = %d, want 1", t6.SpuriousDown)
+	}
+	if t6.SpuriousSameFailureDown != 1 {
+		t.Errorf("same-failure fraction = %v, want 1", t6.SpuriousSameFailureDown)
+	}
+	if t6.UnknownUp != 1 {
+		t.Errorf("unknown up = %d, want 1 (got %+v)", t6.UnknownUp, t6)
+	}
+}
+
+func TestTable5SyntheticClasses(t *testing.T) {
+	// One link is CPE (core-a..cpe-1); verify the class split.
+	_, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 160, true),
+	}
+	isTr := []trace.Transition{
+		isT(link, 100, trace.Down),
+		isT(link, 150, trace.Up),
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	t5 := a.Table5()
+	if t5.CPE["syslog"].Duration.N != 1 || t5.CPE["syslog"].Duration.Median != 60 {
+		t.Errorf("CPE syslog duration = %+v", t5.CPE["syslog"].Duration)
+	}
+	if t5.CPE["isis"].Duration.Median != 50 {
+		t.Errorf("CPE isis duration = %+v", t5.CPE["isis"].Duration)
+	}
+	if t5.Core["syslog"].Duration.N != 0 {
+		t.Errorf("core cell should be empty: %+v", t5.Core["syslog"])
+	}
+}
+
+func TestFigure1Synthetic(t *testing.T) {
+	_, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 130, true),
+	}
+	isTr := []trace.Transition{
+		isT(link, 100, trace.Down),
+		isT(link, 120, trace.Up),
+	}
+	a := synthAnalysis(t, msgs, isTr, nil)
+	fig := a.Figure1()
+	if len(fig.FailureDuration[0].X) != 1 || fig.FailureDuration[0].X[0] != 30 {
+		t.Errorf("syslog duration CDF = %+v", fig.FailureDuration[0])
+	}
+	if len(fig.FailureDuration[1].X) != 1 || fig.FailureDuration[1].X[0] != 20 {
+		t.Errorf("isis duration CDF = %+v", fig.FailureDuration[1])
+	}
+	if fig.FailureDuration[0].Y[0] != 1 {
+		t.Errorf("CDF should reach 1: %+v", fig.FailureDuration[0].Y)
+	}
+}
+
+func TestSanitizationRemovesOfflineSpanning(t *testing.T) {
+	n, link := tinyNet(t)
+	msgs := []*syslog.Message{
+		adjMsg("core-a", "Te0", "cpe-1", 100, false),
+		adjMsg("core-a", "Te0", "cpe-1", 2000, true),
+	}
+	isTr := []trace.Transition{
+		isT(link, 100, trace.Down),
+		isT(link, 2000, trace.Up),
+	}
+	a, err := Analyze(Input{
+		Network:         n,
+		Syslog:          msgs,
+		ISTransitions:   isTr,
+		Start:           time.Unix(0, 0).UTC(),
+		End:             time.Unix(100000, 0).UTC(),
+		ListenerOffline: []trace.Interval{{Start: at(500), End: at(700)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SyslogFailures) != 0 || len(a.ISISFailures) != 0 {
+		t.Errorf("failures spanning offline windows must be removed: %d/%d",
+			len(a.SyslogFailures), len(a.ISISFailures))
+	}
+	if a.SyslogSanitize.RemovedOffline != 1 || a.ISISSanitize.RemovedOffline != 1 {
+		t.Errorf("sanitize reports: %+v %+v", a.SyslogSanitize, a.ISISSanitize)
+	}
+}

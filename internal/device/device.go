@@ -1,0 +1,169 @@
+// Package device models an IS-IS speaking router as the two
+// observation channels see it: it tracks per-link adjacency and
+// physical state, originates link-state PDUs reflecting that state
+// (Extended IS Reachability for adjacencies, Extended IP Reachability
+// for the /31 link subnets and the loopback), and formats the Cisco
+// syslog messages a real device would emit on each transition.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/isis"
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+)
+
+// Router is one simulated device.
+type Router struct {
+	// Info is the underlying topology record.
+	Info *topo.Router
+	// Dialect selects the syslog message flavor (IOS vs IOS XR).
+	Dialect syslog.Dialect
+
+	// LinkIDCapable enables the RFC 5307 link-identifier sub-TLVs in
+	// Extended IS Reachability entries, making parallel adjacencies
+	// differentiable (the paper's footnote-1 extension, off by
+	// default to match CENIC's deployment).
+	LinkIDCapable bool
+
+	net      *topo.Network
+	lspSeq   uint32
+	logSeq   uint64
+	adjDown  map[topo.LinkID]bool
+	physDown map[topo.LinkID]bool
+}
+
+// New creates a router with all links up.
+func New(net *topo.Network, info *topo.Router, dialect syslog.Dialect) *Router {
+	return &Router{
+		Info:     info,
+		Dialect:  dialect,
+		net:      net,
+		adjDown:  make(map[topo.LinkID]bool),
+		physDown: make(map[topo.LinkID]bool),
+	}
+}
+
+// SetAdjacency records the adjacency state for a link and reports
+// whether it changed.
+func (d *Router) SetAdjacency(link topo.LinkID, up bool) bool {
+	if d.adjDown[link] == !up {
+		return false
+	}
+	if up {
+		delete(d.adjDown, link)
+	} else {
+		d.adjDown[link] = true
+	}
+	return true
+}
+
+// SetPhysical records the physical interface state for a link.
+func (d *Router) SetPhysical(link topo.LinkID, up bool) bool {
+	if d.physDown[link] == !up {
+		return false
+	}
+	if up {
+		delete(d.physDown, link)
+	} else {
+		d.physDown[link] = true
+	}
+	return true
+}
+
+// AdjacencyUp reports the current adjacency state for a link.
+func (d *Router) AdjacencyUp(link topo.LinkID) bool { return !d.adjDown[link] }
+
+// OriginateLSP builds this router's LSP from current state with the
+// next sequence number. Parallel links to the same neighbor produce
+// one IS-reachability entry per link — indistinguishable without the
+// RFC 5305 link-ID sub-TLVs CENIC's devices do not run (paper §3.4,
+// footnote 1).
+func (d *Router) OriginateLSP() *isis.LSP {
+	d.lspSeq++
+	var neighbors []isis.ISNeighbor
+	var prefixes []isis.IPPrefix
+	prefixes = append(prefixes, isis.IPPrefix{Metric: 0, Addr: d.Info.Loopback, Length: 32})
+	for _, ifc := range d.Info.Interfaces {
+		link, ok := d.net.LinkByID(ifc.Link)
+		if !ok {
+			continue
+		}
+		peer, ok := link.Other(d.Info.Name)
+		if !ok {
+			continue
+		}
+		peerRouter := d.net.Routers[peer.Host]
+		if peerRouter == nil {
+			continue
+		}
+		if !d.adjDown[link.ID] {
+			nbr := isis.ISNeighbor{
+				System: peerRouter.SystemID,
+				Metric: link.Metric,
+			}
+			if d.LinkIDCapable {
+				// The link's unique /31 doubles as the circuit ID,
+				// identical from both ends.
+				nbr.SetLinkIDs(link.Subnet, link.Subnet)
+			}
+			neighbors = append(neighbors, nbr)
+		}
+		if !d.physDown[link.ID] {
+			prefixes = append(prefixes, isis.IPPrefix{
+				Metric: link.Metric,
+				Addr:   link.Subnet,
+				Length: 31,
+			})
+		}
+	}
+	return isis.NewLSP(d.Info.SystemID, d.lspSeq, d.Info.Name, neighbors, prefixes)
+}
+
+// LSPSequence returns the last originated sequence number.
+func (d *Router) LSPSequence() uint32 { return d.lspSeq }
+
+// AdjMessage formats the IS-IS adjacency-change syslog message for a
+// transition on the given link.
+func (d *Router) AdjMessage(ts time.Time, link topo.LinkID, up bool, reason string) (*syslog.Message, error) {
+	l, ok := d.net.LinkByID(link)
+	if !ok {
+		return nil, fmt.Errorf("device: %s has no link %s", d.Info.Name, link)
+	}
+	peer, ok := l.Other(d.Info.Name)
+	if !ok {
+		return nil, fmt.Errorf("device: %s is not an endpoint of %s", d.Info.Name, link)
+	}
+	iface := d.localPort(l)
+	d.logSeq++
+	// Collectors record millisecond resolution; quantize here so
+	// captures serialize losslessly.
+	ts = ts.Truncate(time.Millisecond)
+	return syslog.AdjChange(d.Dialect, d.Info.Name, d.logSeq, ts, peer.Host, iface, up, reason), nil
+}
+
+// LinkMessages formats the physical-media syslog messages (%LINK and
+// %LINEPROTO) for a physical transition on the given link.
+func (d *Router) LinkMessages(ts time.Time, link topo.LinkID, up bool) ([]*syslog.Message, error) {
+	l, ok := d.net.LinkByID(link)
+	if !ok {
+		return nil, fmt.Errorf("device: %s has no link %s", d.Info.Name, link)
+	}
+	iface := d.localPort(l)
+	d.logSeq++
+	ts = ts.Truncate(time.Millisecond)
+	m1 := syslog.LinkUpDown(d.Info.Name, d.logSeq, ts, iface, up)
+	d.logSeq++
+	m2 := syslog.LineProtoUpDown(d.Info.Name, d.logSeq, ts.Add(50*time.Millisecond), iface, up)
+	return []*syslog.Message{m1, m2}, nil
+}
+
+// localPort returns this router's interface name on the link.
+func (d *Router) localPort(l *topo.Link) string {
+	if l.A.Host == d.Info.Name {
+		return l.A.Port
+	}
+	return l.B.Port
+}

@@ -1,0 +1,100 @@
+package isis
+
+import (
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// Adjacency runs the RFC 5303 three-way handshake state machine for
+// one point-to-point circuit. The simulated routers drive it with
+// received hellos, hold-timer expiry, and interface up/down events;
+// its Up/Down edges are what ultimately appear in both data sources.
+type Adjacency struct {
+	// Local and Neighbor identify the two ends.
+	Local    topo.SystemID
+	Neighbor topo.SystemID
+	// HoldTime is the negotiated hold time.
+	HoldTime time.Duration
+
+	state    AdjacencyState
+	lastSeen time.Time
+}
+
+// NewAdjacency creates an adjacency in the Down state.
+func NewAdjacency(local, neighbor topo.SystemID, hold time.Duration) *Adjacency {
+	return &Adjacency{Local: local, Neighbor: neighbor, HoldTime: hold, state: AdjDown}
+}
+
+// State returns the current three-way state.
+func (a *Adjacency) State() AdjacencyState { return a.state }
+
+// HandleHello processes a received point-to-point IIH and returns
+// true if the adjacency state changed. now is the receive time.
+func (a *Adjacency) HandleHello(h *Hello, now time.Time) bool {
+	if h.Source != a.Neighbor {
+		return false
+	}
+	a.lastSeen = now
+	old := a.state
+	seesUs := h.HasThreeWay && h.NeighborSet && h.NeighborID == a.Local
+	switch a.state {
+	case AdjDown:
+		if seesUs {
+			a.state = AdjUp
+		} else {
+			a.state = AdjInitializing
+		}
+	case AdjInitializing:
+		if seesUs {
+			a.state = AdjUp
+		}
+	case AdjUp:
+		if h.HasThreeWay && h.NeighborSet && h.NeighborID != a.Local {
+			// Neighbor is talking three-way to someone else: reset.
+			a.state = AdjDown
+		}
+	}
+	return a.state != old
+}
+
+// CheckHold expires the adjacency if no hello has arrived within the
+// hold time; it returns true if the adjacency went down.
+func (a *Adjacency) CheckHold(now time.Time) bool {
+	if a.state == AdjDown {
+		return false
+	}
+	if now.Sub(a.lastSeen) >= a.HoldTime {
+		a.state = AdjDown
+		return true
+	}
+	return false
+}
+
+// LinkDown forces the adjacency down (interface failure); it returns
+// true if the state changed.
+func (a *Adjacency) LinkDown() bool {
+	if a.state == AdjDown {
+		return false
+	}
+	a.state = AdjDown
+	return true
+}
+
+// BuildHello constructs the IIH this end should send given its
+// current state.
+func (a *Adjacency) BuildHello(circuitID uint8) *Hello {
+	h := &Hello{
+		CircuitType:    2, // level 2 only
+		Source:         a.Local,
+		HoldingTime:    uint16(a.HoldTime / time.Second),
+		LocalCircuitID: circuitID,
+		HasThreeWay:    true,
+		ThreeWay:       a.state,
+	}
+	if a.state != AdjDown {
+		h.NeighborSet = true
+		h.NeighborID = a.Neighbor
+	}
+	return h
+}

@@ -1,0 +1,106 @@
+package isis
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+func TestAdjacencyThreeWayHandshake(t *testing.T) {
+	a := topo.SystemIDFromIndex(1)
+	b := topo.SystemIDFromIndex(2)
+	adjA := NewAdjacency(a, b, 30*time.Second)
+	adjB := NewAdjacency(b, a, 30*time.Second)
+	now := time.Unix(100, 0)
+
+	// A sends a hello first: it is Down, so no neighbor field.
+	hA := adjA.BuildHello(1)
+	if hA.NeighborSet {
+		t.Error("down adjacency should not claim a neighbor")
+	}
+	// B receives it: Down -> Initializing.
+	if !adjB.HandleHello(hA, now) {
+		t.Error("B should change state")
+	}
+	if adjB.State() != AdjInitializing {
+		t.Errorf("B state = %v, want Initializing", adjB.State())
+	}
+	// B replies, now naming A. A goes straight to Up.
+	hB := adjB.BuildHello(1)
+	if !hB.NeighborSet || hB.NeighborID != a {
+		t.Error("B's hello should name A")
+	}
+	if !adjA.HandleHello(hB, now) || adjA.State() != AdjUp {
+		t.Errorf("A state = %v, want Up", adjA.State())
+	}
+	// A's next hello confirms B: B goes Up.
+	if !adjB.HandleHello(adjA.BuildHello(1), now) || adjB.State() != AdjUp {
+		t.Errorf("B state = %v, want Up", adjB.State())
+	}
+	// Steady state: further hellos change nothing.
+	if adjA.HandleHello(adjB.BuildHello(1), now) {
+		t.Error("steady-state hello changed A")
+	}
+}
+
+func TestAdjacencyIgnoresWrongSource(t *testing.T) {
+	a := topo.SystemIDFromIndex(1)
+	adj := NewAdjacency(a, topo.SystemIDFromIndex(2), 30*time.Second)
+	h := &Hello{Source: topo.SystemIDFromIndex(3)}
+	if adj.HandleHello(h, time.Unix(0, 0)) {
+		t.Error("hello from wrong source changed state")
+	}
+}
+
+func TestAdjacencyHoldTimeExpiry(t *testing.T) {
+	a := topo.SystemIDFromIndex(1)
+	b := topo.SystemIDFromIndex(2)
+	adj := NewAdjacency(a, b, 30*time.Second)
+	now := time.Unix(100, 0)
+	adj.HandleHello(&Hello{Source: b, HasThreeWay: true, NeighborSet: true, NeighborID: a}, now)
+	if adj.State() != AdjUp {
+		t.Fatalf("state = %v", adj.State())
+	}
+	if adj.CheckHold(now.Add(29 * time.Second)) {
+		t.Error("expired before hold time")
+	}
+	if !adj.CheckHold(now.Add(30 * time.Second)) {
+		t.Error("did not expire at hold time")
+	}
+	if adj.State() != AdjDown {
+		t.Errorf("state = %v, want Down", adj.State())
+	}
+	if adj.CheckHold(now.Add(31 * time.Second)) {
+		t.Error("double expiry reported")
+	}
+}
+
+func TestAdjacencyLinkDown(t *testing.T) {
+	a := topo.SystemIDFromIndex(1)
+	b := topo.SystemIDFromIndex(2)
+	adj := NewAdjacency(a, b, 30*time.Second)
+	if adj.LinkDown() {
+		t.Error("LinkDown on down adjacency reported a change")
+	}
+	adj.HandleHello(&Hello{Source: b, HasThreeWay: true, NeighborSet: true, NeighborID: a}, time.Unix(0, 0))
+	if !adj.LinkDown() || adj.State() != AdjDown {
+		t.Error("LinkDown did not take adjacency down")
+	}
+}
+
+func TestAdjacencyResetOnForeignNeighbor(t *testing.T) {
+	a := topo.SystemIDFromIndex(1)
+	b := topo.SystemIDFromIndex(2)
+	adj := NewAdjacency(a, b, 30*time.Second)
+	now := time.Unix(0, 0)
+	adj.HandleHello(&Hello{Source: b, HasThreeWay: true, NeighborSet: true, NeighborID: a}, now)
+	if adj.State() != AdjUp {
+		t.Fatal("setup failed")
+	}
+	// B now reports a different neighbor: our adjacency must reset.
+	foreign := &Hello{Source: b, HasThreeWay: true, NeighborSet: true, NeighborID: topo.SystemIDFromIndex(9)}
+	if !adj.HandleHello(foreign, now) || adj.State() != AdjDown {
+		t.Errorf("state = %v, want Down", adj.State())
+	}
+}

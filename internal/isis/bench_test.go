@@ -1,0 +1,77 @@
+package isis
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// benchLSP builds a realistic backbone-router LSP: ~8 neighbors and
+// ~10 prefixes.
+func benchLSP() *LSP {
+	var neighbors []ISNeighbor
+	var prefixes []IPPrefix
+	for i := 0; i < 8; i++ {
+		neighbors = append(neighbors, ISNeighbor{System: topo.SystemIDFromIndex(i + 2), Metric: 10})
+		prefixes = append(prefixes, IPPrefix{Metric: 10, Addr: uint32(i) << 8, Length: 31})
+	}
+	prefixes = append(prefixes, IPPrefix{Metric: 0, Addr: 10 << 24, Length: 32})
+	return NewLSP(topo.SystemIDFromIndex(1), 7, "riv-core-01", neighbors, prefixes)
+}
+
+func BenchmarkLSPEncode(b *testing.B) {
+	l := benchLSP()
+	wire, err := l.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSPDecode(b *testing.B) {
+	wire, err := benchLSP().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var l LSP
+		if err := l.DecodeFromBytes(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFletcherChecksum(b *testing.B) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		fletcherChecksum(data, 12)
+	}
+}
+
+func BenchmarkDatabaseInstall(b *testing.B) {
+	db := NewDatabase()
+	now := time.Unix(0, 0)
+	lsps := make([]*LSP, 256)
+	for i := range lsps {
+		lsps[i] = NewLSP(topo.SystemIDFromIndex(i+1), 1, "r", nil, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := lsps[i%len(lsps)]
+		l.Sequence = uint32(i + 2)
+		db.Install(l, now)
+	}
+}

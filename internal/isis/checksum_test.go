@@ -1,0 +1,80 @@
+package isis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFletcherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 16 + rng.Intn(500)
+		data := make([]byte, n)
+		rng.Read(data)
+		ckOff := rng.Intn(n - 1)
+		ck := fletcherChecksum(data, ckOff)
+		data[ckOff] = byte(ck >> 8)
+		data[ckOff+1] = byte(ck)
+		if !fletcherVerify(data, ckOff) {
+			t.Fatalf("trial %d: checksum %#04x fails verification (len=%d ckOff=%d)", trial, ck, n, ckOff)
+		}
+	}
+}
+
+func TestFletcherDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	misses := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		n := 16 + rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		ckOff := rng.Intn(n - 1)
+		ck := fletcherChecksum(data, ckOff)
+		data[ckOff] = byte(ck >> 8)
+		data[ckOff+1] = byte(ck)
+		// Flip one random byte outside the checksum field.
+		pos := rng.Intn(n)
+		for pos == ckOff || pos == ckOff+1 {
+			pos = rng.Intn(n)
+		}
+		orig := data[pos]
+		data[pos] ^= byte(1 + rng.Intn(255))
+		if data[pos] == orig {
+			continue
+		}
+		if fletcherVerify(data, ckOff) {
+			// Fletcher is not perfect (e.g. 0x00 vs 0xFF aliases)
+			// but should catch nearly everything.
+			misses++
+		}
+	}
+	if misses > trials/20 {
+		t.Errorf("checksum missed %d/%d corruptions", misses, trials)
+	}
+}
+
+func TestFletcherZeroFieldVerifies(t *testing.T) {
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	data[4], data[5] = 0, 0
+	if !fletcherVerify(data, 4) {
+		t.Error("zero checksum field should verify trivially (means unchecked)")
+	}
+}
+
+func TestFletcherNonZeroOctets(t *testing.T) {
+	// The check octets must never be zero; zero means "unchecked".
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		n := 14 + rng.Intn(100)
+		data := make([]byte, n)
+		rng.Read(data)
+		ck := fletcherChecksum(data, 2)
+		if byte(ck>>8) == 0 || byte(ck) == 0 {
+			t.Fatalf("trial %d: zero check octet in %#04x", trial, ck)
+		}
+	}
+}

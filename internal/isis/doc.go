@@ -1,0 +1,15 @@
+// Package isis implements the subset of the IS-IS link-state routing
+// protocol (ISO 10589 with the RFC 1195 / RFC 5305 IP extensions)
+// needed to reproduce the paper's measurement apparatus: binary
+// encoding and decoding of LSP, point-to-point IIH, CSNP and PSNP
+// PDUs; the TLVs listed in Table 1 of the paper (Area Addresses,
+// Extended IS Reachability, IP Interface Address, Extended IP
+// Reachability, and Dynamic Hostname); the ISO 8473 Fletcher
+// checksum; a link-state database with sequence-number ordering and
+// lifetime aging; and the three-way point-to-point adjacency state
+// machine.
+//
+// Encoding follows the gopacket convention: every PDU type offers
+// Encode (serialize to wire bytes) and DecodeFromBytes; Decode
+// dispatches on the PDU type in the common header.
+package isis

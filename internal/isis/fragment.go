@@ -1,0 +1,70 @@
+package isis
+
+// LSP fragmentation (ISO 10589 §7.3.7): a router whose link-state
+// information exceeds the maximum PDU size splits it across fragments
+// 0..N, each its own LSP with the same system ID. Receivers must
+// treat the originator's advertisement set as the union over all
+// fragments. CENIC-scale routers fit in one fragment, but the
+// machinery matters for generality and is exercised by the listener's
+// fragment-aware union state.
+
+// MaxLSPSize is the conventional maximum LSP size (originating
+// bufferSize, ISO 10589 §7.3.4.2).
+const MaxLSPSize = 1492
+
+// SplitLSP distributes an LSP's variable content over as many
+// fragments as needed so no encoded fragment exceeds maxBytes.
+// Fragment 0 carries the hostname, areas and interface addresses;
+// neighbors and prefixes fill fragments in order. The input LSP is
+// not modified. maxBytes below a usable floor is clamped.
+func SplitLSP(l *LSP, maxBytes int) []*LSP {
+	const floor = lspHeaderLen + 64
+	if maxBytes < floor {
+		maxBytes = floor
+	}
+
+	mk := func(frag uint8) *LSP {
+		return &LSP{
+			ID:       LSPID{System: l.ID.System, Pseudonode: l.ID.Pseudonode, Fragment: frag},
+			Sequence: l.Sequence,
+			Lifetime: l.Lifetime,
+			Attached: l.Attached,
+			Overload: l.Overload,
+		}
+	}
+	cur := mk(0)
+	cur.Hostname = l.Hostname
+	cur.Areas = l.Areas
+	cur.IfaceAddrs = l.IfaceAddrs
+	out := []*LSP{cur}
+
+	size := func(lsp *LSP) int {
+		wire, err := lsp.Encode()
+		if err != nil {
+			return maxBytes + 1
+		}
+		return len(wire)
+	}
+
+	next := func() {
+		cur = mk(uint8(len(out)))
+		out = append(out, cur)
+	}
+	for _, n := range l.Neighbors {
+		cur.Neighbors = append(cur.Neighbors, n)
+		if size(cur) > maxBytes {
+			cur.Neighbors = cur.Neighbors[:len(cur.Neighbors)-1]
+			next()
+			cur.Neighbors = append(cur.Neighbors, n)
+		}
+	}
+	for _, p := range l.Prefixes {
+		cur.Prefixes = append(cur.Prefixes, p)
+		if size(cur) > maxBytes {
+			cur.Prefixes = cur.Prefixes[:len(cur.Prefixes)-1]
+			next()
+			cur.Prefixes = append(cur.Prefixes, p)
+		}
+	}
+	return out
+}

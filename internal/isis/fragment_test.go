@@ -1,0 +1,104 @@
+package isis
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// bigLSP builds an LSP with enough content to need several fragments
+// at a small max size.
+func bigLSP(neighbors, prefixes int) *LSP {
+	l := NewLSP(topo.SystemIDFromIndex(1), 7, "big-router", nil, nil)
+	for i := 0; i < neighbors; i++ {
+		l.Neighbors = append(l.Neighbors, ISNeighbor{System: topo.SystemIDFromIndex(i + 10), Metric: 10})
+	}
+	for i := 0; i < prefixes; i++ {
+		l.Prefixes = append(l.Prefixes, IPPrefix{Metric: 10, Addr: uint32(i) << 8, Length: 31})
+	}
+	return l
+}
+
+func TestSplitLSPSingleFragmentWhenSmall(t *testing.T) {
+	l := bigLSP(4, 5)
+	frags := SplitLSP(l, MaxLSPSize)
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	if frags[0].ID.Fragment != 0 || frags[0].Hostname != "big-router" {
+		t.Errorf("fragment 0 = %+v", frags[0])
+	}
+	if len(frags[0].Neighbors) != 4 || len(frags[0].Prefixes) != 5 {
+		t.Errorf("content lost: %d nbrs, %d prefixes", len(frags[0].Neighbors), len(frags[0].Prefixes))
+	}
+}
+
+func TestSplitLSPPreservesContent(t *testing.T) {
+	l := bigLSP(40, 60)
+	frags := SplitLSP(l, 400)
+	if len(frags) < 2 {
+		t.Fatalf("fragments = %d, want several at 400 bytes", len(frags))
+	}
+	var nbrs, pfxs int
+	seen := make(map[uint8]bool)
+	for _, f := range frags {
+		if f.ID.System != l.ID.System {
+			t.Errorf("fragment system mismatch")
+		}
+		if seen[f.ID.Fragment] {
+			t.Errorf("duplicate fragment number %d", f.ID.Fragment)
+		}
+		seen[f.ID.Fragment] = true
+		nbrs += len(f.Neighbors)
+		pfxs += len(f.Prefixes)
+		wire, err := f.Encode()
+		if err != nil {
+			t.Fatalf("fragment %d encode: %v", f.ID.Fragment, err)
+		}
+		if len(wire) > 400 {
+			t.Errorf("fragment %d size %d exceeds 400", f.ID.Fragment, len(wire))
+		}
+	}
+	if nbrs != len(l.Neighbors) || pfxs != len(l.Prefixes) {
+		t.Errorf("content: %d/%d neighbors, %d/%d prefixes", nbrs, len(l.Neighbors), pfxs, len(l.Prefixes))
+	}
+	// Fragments must be numbered densely from zero.
+	for i := 0; i < len(frags); i++ {
+		if !seen[uint8(i)] {
+			t.Errorf("fragment %d missing", i)
+		}
+	}
+}
+
+func TestSplitLSPFloorClamped(t *testing.T) {
+	l := bigLSP(10, 10)
+	frags := SplitLSP(l, 1) // absurd: clamped to a usable floor
+	total := 0
+	for _, f := range frags {
+		total += len(f.Neighbors)
+	}
+	if total != 10 {
+		t.Errorf("neighbors lost under clamped floor: %d", total)
+	}
+}
+
+func TestSPFUnionsFragments(t *testing.T) {
+	db := NewDatabase()
+	now := time.Unix(0, 0)
+	sys := func(i int) topo.SystemID { return topo.SystemIDFromIndex(i) }
+	// System 1's adjacency to 2 lives in fragment 0, to 3 in
+	// fragment 1.
+	f0 := NewLSP(sys(1), 1, "r1", []ISNeighbor{{System: sys(2), Metric: 10}}, nil)
+	f1 := NewLSP(sys(1), 1, "r1", []ISNeighbor{{System: sys(3), Metric: 10}}, nil)
+	f1.ID.Fragment = 1
+	db.Install(f0, now)
+	db.Install(f1, now)
+	db.Install(NewLSP(sys(2), 1, "r2", []ISNeighbor{{System: sys(1), Metric: 10}}, nil), now)
+	db.Install(NewLSP(sys(3), 1, "r3", []ISNeighbor{{System: sys(1), Metric: 10}}, nil), now)
+
+	res := RunSPF(db, sys(1))
+	if !res.Reachable(sys(2)) || !res.Reachable(sys(3)) {
+		t.Errorf("fragmented adjacencies not unioned: %+v", res.Routes)
+	}
+}

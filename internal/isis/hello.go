@@ -1,0 +1,160 @@
+package isis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netfail/internal/topo"
+)
+
+// AdjacencyState is the RFC 5303 three-way handshake state carried in
+// the P2P Adjacency State TLV (240).
+type AdjacencyState uint8
+
+const (
+	// AdjUp means the sender sees the neighbor and the neighbor
+	// reports seeing the sender.
+	AdjUp AdjacencyState = 0
+	// AdjInitializing means the sender sees the neighbor but has not
+	// yet been confirmed by it.
+	AdjInitializing AdjacencyState = 1
+	// AdjDown means the sender has no neighbor state.
+	AdjDown AdjacencyState = 2
+)
+
+// String names the handshake state.
+func (s AdjacencyState) String() string {
+	switch s {
+	case AdjUp:
+		return "Up"
+	case AdjInitializing:
+		return "Initializing"
+	case AdjDown:
+		return "Down"
+	default:
+		return fmt.Sprintf("AdjacencyState(%d)", uint8(s))
+	}
+}
+
+// Hello is a point-to-point IS-IS Hello PDU (IIH).
+type Hello struct {
+	// CircuitType is 1 (L1), 2 (L2) or 3 (L1L2).
+	CircuitType uint8
+	// Source is the sending router's system ID.
+	Source topo.SystemID
+	// HoldingTime is the advertised hold time in seconds.
+	HoldingTime uint16
+	// LocalCircuitID identifies the sending interface.
+	LocalCircuitID uint8
+
+	// ThreeWay carries the RFC 5303 state; NeighborSet reports
+	// whether the neighbor fields are present.
+	ThreeWay          AdjacencyState
+	HasThreeWay       bool
+	NeighborSet       bool
+	NeighborID        topo.SystemID
+	NeighborCircuitID uint32
+	ExtLocalCircuitID uint32
+	// IfaceAddrs lists IP interface addresses (TLV 132).
+	IfaceAddrs []uint32
+	// Unknown preserves undecoded TLVs (e.g. padding).
+	Unknown []RawTLV
+}
+
+// Type implements PDU.
+func (h *Hello) Type() PDUType { return TypeP2PHello }
+
+// Encode serializes the hello.
+func (h *Hello) Encode() ([]byte, error) {
+	b := appendCommonHeader(nil, TypeP2PHello, iihHeaderLen)
+	b = append(b, h.CircuitType)
+	b = append(b, h.Source[:]...)
+	b = append(b, byte(h.HoldingTime>>8), byte(h.HoldingTime))
+	b = append(b, 0, 0) // PDU length, patched below
+	b = append(b, h.LocalCircuitID)
+
+	if h.HasThreeWay {
+		val := []byte{byte(h.ThreeWay)}
+		var ext [4]byte
+		binary.BigEndian.PutUint32(ext[:], h.ExtLocalCircuitID)
+		val = append(val, ext[:]...)
+		if h.NeighborSet {
+			val = append(val, h.NeighborID[:]...)
+			var nc [4]byte
+			binary.BigEndian.PutUint32(nc[:], h.NeighborCircuitID)
+			val = append(val, nc[:]...)
+		}
+		b = appendTLV(b, TLVP2PAdjState, val)
+	}
+	if len(h.IfaceAddrs) > 0 {
+		var val []byte
+		for _, a := range h.IfaceAddrs {
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], a)
+			val = append(val, buf[:]...)
+		}
+		b = appendTLV(b, TLVIPIfaceAddr, val)
+	}
+	for _, u := range h.Unknown {
+		b = appendTLV(b, u.Type, u.Value)
+	}
+	if len(b) > 0xffff {
+		return nil, fmt.Errorf("isis: hello exceeds maximum PDU size")
+	}
+	putUint16(b, commonHeaderLen+9, uint16(len(b)))
+	return b, nil
+}
+
+// DecodeFromBytes parses a point-to-point IIH.
+func (h *Hello) DecodeFromBytes(data []byte) error {
+	typ, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if typ != TypeP2PHello {
+		return fmt.Errorf("%w: got %v, want %v", ErrUnknownType, typ, TypeP2PHello)
+	}
+	if len(data) < iihHeaderLen {
+		return ErrTruncated
+	}
+	pduLen := int(binary.BigEndian.Uint16(data[commonHeaderLen+9:]))
+	if pduLen > len(data) || pduLen < iihHeaderLen {
+		return ErrTruncated
+	}
+	data = data[:pduLen]
+
+	*h = Hello{}
+	h.CircuitType = data[8]
+	copy(h.Source[:], data[9:15])
+	h.HoldingTime = binary.BigEndian.Uint16(data[15:])
+	h.LocalCircuitID = data[19]
+
+	return parseTLVs(data[iihHeaderLen:], func(typ TLVType, value []byte) error {
+		switch typ {
+		case TLVP2PAdjState:
+			if len(value) < 1 {
+				return ErrTruncated
+			}
+			h.HasThreeWay = true
+			h.ThreeWay = AdjacencyState(value[0])
+			if len(value) >= 5 {
+				h.ExtLocalCircuitID = binary.BigEndian.Uint32(value[1:])
+			}
+			if len(value) >= 15 {
+				h.NeighborSet = true
+				copy(h.NeighborID[:], value[5:11])
+				h.NeighborCircuitID = binary.BigEndian.Uint32(value[11:])
+			}
+		case TLVIPIfaceAddr:
+			if len(value)%4 != 0 {
+				return ErrTruncated
+			}
+			for off := 0; off < len(value); off += 4 {
+				h.IfaceAddrs = append(h.IfaceAddrs, binary.BigEndian.Uint32(value[off:]))
+			}
+		default:
+			h.Unknown = append(h.Unknown, RawTLV{Type: typ, Value: append([]byte(nil), value...)})
+		}
+		return nil
+	})
+}

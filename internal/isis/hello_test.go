@@ -1,0 +1,102 @@
+package isis
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"netfail/internal/topo"
+)
+
+func sampleHello() *Hello {
+	return &Hello{
+		CircuitType:       2,
+		Source:            topo.SystemIDFromIndex(7),
+		HoldingTime:       30,
+		LocalCircuitID:    3,
+		HasThreeWay:       true,
+		ThreeWay:          AdjUp,
+		NeighborSet:       true,
+		NeighborID:        topo.SystemIDFromIndex(8),
+		NeighborCircuitID: 12,
+		ExtLocalCircuitID: 9,
+		IfaceAddrs:        []uint32{137<<24 | 164<<16 | 4},
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	orig := sampleHello()
+	wire, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hello
+	if err := got.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, *orig)
+	}
+}
+
+func TestHelloWithoutNeighborRoundTrip(t *testing.T) {
+	orig := sampleHello()
+	orig.NeighborSet = false
+	orig.NeighborID = topo.SystemID{}
+	orig.NeighborCircuitID = 0
+	orig.ThreeWay = AdjDown
+	wire, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hello
+	if err := got.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got.NeighborSet {
+		t.Error("NeighborSet should be false")
+	}
+	if got.ThreeWay != AdjDown {
+		t.Errorf("state = %v, want Down", got.ThreeWay)
+	}
+}
+
+func TestHelloDecodeErrors(t *testing.T) {
+	wire, err := sampleHello().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hello
+	if err := got.DecodeFromBytes(wire[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: err = %v", err)
+	}
+	bad := append([]byte(nil), wire...)
+	bad[4] = byte(TypeLSPL2)
+	if err := got.DecodeFromBytes(bad); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("wrong type: err = %v", err)
+	}
+}
+
+func TestHelloViaGenericDecode(t *testing.T) {
+	wire, err := sampleHello().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdu, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := pdu.(*Hello)
+	if !ok {
+		t.Fatalf("Decode returned %T", pdu)
+	}
+	if h.Source != sampleHello().Source {
+		t.Error("source mismatch")
+	}
+}
+
+func TestAdjacencyStateString(t *testing.T) {
+	if AdjUp.String() != "Up" || AdjDown.String() != "Down" || AdjInitializing.String() != "Initializing" {
+		t.Error("bad state names")
+	}
+}

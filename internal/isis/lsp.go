@@ -1,0 +1,220 @@
+package isis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netfail/internal/topo"
+)
+
+// LSP is a level-2 link-state PDU: the unit of information flooded
+// through the network and recorded by the listener. The fields mirror
+// the TLVs in Table 1 of the paper.
+type LSP struct {
+	// ID is the LSP identifier (system ID, pseudonode, fragment).
+	ID LSPID
+	// Sequence orders successive issues of the same LSP.
+	Sequence uint32
+	// Lifetime is the remaining lifetime in seconds.
+	Lifetime uint16
+	// Checksum is the ISO 8473 checksum as carried on the wire;
+	// populated by Encode and verified by DecodeFromBytes.
+	Checksum uint16
+	// Attached and Overload are the ATT and LSPDBOL header bits.
+	Attached bool
+	Overload bool
+
+	// Hostname is the dynamic hostname (TLV 137); empty if absent.
+	Hostname string
+	// Areas holds the area addresses (TLV 1), raw.
+	Areas [][]byte
+	// IfaceAddrs lists IP interface addresses (TLV 132), host order.
+	IfaceAddrs []uint32
+	// Neighbors is the Extended IS Reachability list (TLV 22).
+	Neighbors []ISNeighbor
+	// Prefixes is the Extended IP Reachability list (TLV 135).
+	Prefixes []IPPrefix
+	// Unknown preserves TLVs this implementation does not decode.
+	Unknown []RawTLV
+}
+
+// Type implements PDU.
+func (l *LSP) Type() PDUType { return TypeLSPL2 }
+
+// Encode serializes the LSP, computing the PDU length and Fletcher
+// checksum. The Checksum field is updated with the computed value.
+func (l *LSP) Encode() ([]byte, error) {
+	b := appendCommonHeader(nil, TypeLSPL2, lspHeaderLen)
+	b = append(b, 0, 0) // PDU length, patched below
+	b = append(b, byte(l.Lifetime>>8), byte(l.Lifetime))
+	b = l.ID.appendTo(b)
+	var seq [4]byte
+	binary.BigEndian.PutUint32(seq[:], l.Sequence)
+	b = append(b, seq[:]...)
+	b = append(b, 0, 0) // checksum, patched below
+	flags := byte(0x03) // IS type: level 2
+	if l.Attached {
+		flags |= 0x40 // ATT default-metric bit
+	}
+	if l.Overload {
+		flags |= 0x04
+	}
+	b = append(b, flags)
+
+	if len(l.Areas) > 0 {
+		var val []byte
+		for _, a := range l.Areas {
+			val = append(val, byte(len(a)))
+			val = append(val, a...)
+		}
+		b = appendTLV(b, TLVAreaAddresses, val)
+	}
+	if l.Hostname != "" {
+		if len(l.Hostname) > maxTLVValueLength {
+			return nil, fmt.Errorf("isis: hostname %q too long", l.Hostname)
+		}
+		b = appendTLV(b, TLVHostname, []byte(l.Hostname))
+	}
+	if len(l.IfaceAddrs) > 0 {
+		var val []byte
+		for _, a := range l.IfaceAddrs {
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], a)
+			val = append(val, buf[:]...)
+			if len(val) == 252 {
+				b = appendTLV(b, TLVIPIfaceAddr, val)
+				val = nil
+			}
+		}
+		if len(val) > 0 {
+			b = appendTLV(b, TLVIPIfaceAddr, val)
+		}
+	}
+	b = appendExtISReach(b, l.Neighbors)
+	b = appendExtIPReach(b, l.Prefixes)
+	for _, u := range l.Unknown {
+		b = appendTLV(b, u.Type, u.Value)
+	}
+
+	if len(b) > 0xffff {
+		return nil, fmt.Errorf("isis: LSP %v exceeds maximum PDU size", l.ID)
+	}
+	putUint16(b, commonHeaderLen, uint16(len(b)))
+	// Checksum covers LSP ID through end (offset 12 from PDU start).
+	const ckOff = 24 // absolute offset of checksum field
+	const ckStart = 12
+	ck := fletcherChecksum(b[ckStart:], ckOff-ckStart)
+	putUint16(b, ckOff, ck)
+	l.Checksum = ck
+	return b, nil
+}
+
+// DecodeFromBytes parses an LSP from wire bytes, validating the
+// common header, PDU length, and Fletcher checksum.
+func (l *LSP) DecodeFromBytes(data []byte) error {
+	typ, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if typ != TypeLSPL2 {
+		return fmt.Errorf("%w: got %v, want %v", ErrUnknownType, typ, TypeLSPL2)
+	}
+	if len(data) < lspHeaderLen {
+		return ErrTruncated
+	}
+	pduLen := int(binary.BigEndian.Uint16(data[commonHeaderLen:]))
+	if pduLen > len(data) || pduLen < lspHeaderLen {
+		return ErrTruncated
+	}
+	data = data[:pduLen]
+
+	*l = LSP{}
+	l.Lifetime = binary.BigEndian.Uint16(data[10:])
+	l.ID = lspIDFromBytes(data[12:20])
+	l.Sequence = binary.BigEndian.Uint32(data[20:])
+	l.Checksum = binary.BigEndian.Uint16(data[24:])
+	if l.Lifetime > 0 && !fletcherVerify(data[12:], 24-12) {
+		return ErrBadChecksum
+	}
+	flags := data[26]
+	l.Attached = flags&0x40 != 0
+	l.Overload = flags&0x04 != 0
+
+	return parseTLVs(data[lspHeaderLen:], func(typ TLVType, value []byte) error {
+		switch typ {
+		case TLVAreaAddresses:
+			for off := 0; off < len(value); {
+				alen := int(value[off])
+				off++
+				if off+alen > len(value) {
+					return ErrTruncated
+				}
+				l.Areas = append(l.Areas, append([]byte(nil), value[off:off+alen]...))
+				off += alen
+			}
+		case TLVHostname:
+			l.Hostname = string(value)
+		case TLVIPIfaceAddr:
+			if len(value)%4 != 0 {
+				return ErrTruncated
+			}
+			for off := 0; off < len(value); off += 4 {
+				l.IfaceAddrs = append(l.IfaceAddrs, binary.BigEndian.Uint32(value[off:]))
+			}
+		case TLVExtISReach:
+			ns, err := parseExtISReach(value)
+			if err != nil {
+				return err
+			}
+			l.Neighbors = append(l.Neighbors, ns...)
+		case TLVExtIPReach:
+			ps, err := parseExtIPReach(value)
+			if err != nil {
+				return err
+			}
+			l.Prefixes = append(l.Prefixes, ps...)
+		default:
+			l.Unknown = append(l.Unknown, RawTLV{Type: typ, Value: append([]byte(nil), value...)})
+		}
+		return nil
+	})
+}
+
+// NeighborKeys returns the set of advertised IS-reachability neighbor
+// identities, the quantity whose change signals an adjacency
+// transition.
+func (l *LSP) NeighborKeys() map[string]bool {
+	set := make(map[string]bool, len(l.Neighbors))
+	for _, n := range l.Neighbors {
+		set[n.Key()] = true
+	}
+	return set
+}
+
+// PrefixKeys returns the set of advertised IP-reachability prefixes.
+func (l *LSP) PrefixKeys() map[string]bool {
+	set := make(map[string]bool, len(l.Prefixes))
+	for _, p := range l.Prefixes {
+		set[p.Key()] = true
+	}
+	return set
+}
+
+// NewLSP builds a minimal valid LSP for the given router state.
+func NewLSP(sys topo.SystemID, seq uint32, hostname string, neighbors []ISNeighbor, prefixes []IPPrefix) *LSP {
+	return &LSP{
+		ID:        LSPID{System: sys},
+		Sequence:  seq,
+		Lifetime:  MaxAge,
+		Hostname:  hostname,
+		Areas:     [][]byte{{0x49, 0x00, 0x01}},
+		Neighbors: neighbors,
+		Prefixes:  prefixes,
+	}
+}
+
+// String summarizes the LSP for logs.
+func (l *LSP) String() string {
+	return fmt.Sprintf("LSP %v seq=%#x life=%d host=%q nbrs=%d prefixes=%d",
+		l.ID, l.Sequence, l.Lifetime, l.Hostname, len(l.Neighbors), len(l.Prefixes))
+}

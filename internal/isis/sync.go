@@ -1,0 +1,102 @@
+package isis
+
+import "sort"
+
+// Database synchronization per ISO 10589 §7.3.15/§7.3.17: on a
+// point-to-point circuit the two speakers exchange CSNPs describing
+// their databases; each side requests what it lacks with a PSNP and
+// floods what the other lacks. This is how a passive listener (PyRT,
+// or cmd/netfail-listener) catches up after joining or after an
+// outage.
+
+// SyncPlan is the outcome of comparing a local database against a
+// received CSNP.
+type SyncPlan struct {
+	// Request lists entries the peer has that are newer than (or
+	// absent from) the local database: send a PSNP carrying these.
+	Request []LSPEntry
+	// Flood lists local LSPs that are newer than the peer's copy (or
+	// that the peer lacks entirely within the CSNP range): send them.
+	Flood []*LSP
+}
+
+// CompareCSNP diffs the database against a CSNP covering
+// [start, end]. Entries outside the range are ignored; local LSPs
+// outside the range are not flooded.
+func (db *Database) CompareCSNP(c *CSNP) SyncPlan {
+	var plan SyncPlan
+	remote := make(map[LSPID]LSPEntry, len(c.Entries))
+	for _, e := range c.Entries {
+		if lspIDInRange(e.ID, c.StartID, c.EndID) {
+			remote[e.ID] = e
+		}
+	}
+	for _, lsp := range db.Snapshot() {
+		if !lspIDInRange(lsp.ID, c.StartID, c.EndID) {
+			continue
+		}
+		re, ok := remote[lsp.ID]
+		switch {
+		case !ok:
+			plan.Flood = append(plan.Flood, lsp)
+		case re.Sequence > lsp.Sequence:
+			plan.Request = append(plan.Request, re)
+		case re.Sequence < lsp.Sequence:
+			plan.Flood = append(plan.Flood, lsp)
+		}
+		delete(remote, lsp.ID)
+	}
+	// Whatever remains is present remotely but absent locally.
+	for _, e := range remote {
+		plan.Request = append(plan.Request, e)
+	}
+	sort.Slice(plan.Request, func(i, j int) bool { return lessLSPID(plan.Request[i].ID, plan.Request[j].ID) })
+	sort.Slice(plan.Flood, func(i, j int) bool { return lessLSPID(plan.Flood[i].ID, plan.Flood[j].ID) })
+	return plan
+}
+
+// BuildPSNP wraps the plan's requests in a PSNP from the given
+// source. Requested entries carry zero sequence numbers, signalling
+// "send me your copy" (ISO 10589 §7.3.17 note: a PSNP entry with a
+// lower sequence number solicits the newer LSP).
+func (p SyncPlan) BuildPSNP(source [6]byte) *PSNP {
+	psnp := &PSNP{Source: source}
+	for _, e := range p.Request {
+		psnp.Entries = append(psnp.Entries, LSPEntry{ID: e.ID, Sequence: 0, Lifetime: 0, Checksum: 0})
+	}
+	return psnp
+}
+
+// ServePSNP answers a peer's PSNP against the database: every entry
+// whose local copy is newer than the acknowledged sequence is
+// returned for (re)flooding.
+func (db *Database) ServePSNP(p *PSNP) []*LSP {
+	var out []*LSP
+	for _, e := range p.Entries {
+		if lsp := db.Get(e.ID); lsp != nil && lsp.Sequence > e.Sequence {
+			out = append(out, lsp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessLSPID(out[i].ID, out[j].ID) })
+	return out
+}
+
+// BuildCSNP describes the database's full contents as a single CSNP
+// covering the entire LSP ID space.
+func (db *Database) BuildCSNP(source [6]byte) *CSNP {
+	return &CSNP{
+		Source:  source,
+		StartID: LSPID{},
+		EndID: LSPID{
+			System:     [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+			Pseudonode: 0xff,
+			Fragment:   0xff,
+		},
+		Entries: db.Entries(),
+	}
+}
+
+// lspIDInRange reports start <= id <= end.
+func lspIDInRange(id, start, end LSPID) bool {
+	return !lessLSPID(id, start) && !lessLSPID(end, id)
+}

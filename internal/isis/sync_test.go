@@ -1,0 +1,143 @@
+package isis
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// twoDatabases builds a "device" DB with systems 1..4 and a
+// "listener" DB that is behind: missing system 3, stale on system 2,
+// and ahead on system 4.
+func twoDatabases(t *testing.T) (device, listener *Database) {
+	t.Helper()
+	now := time.Unix(0, 0)
+	device, listener = NewDatabase(), NewDatabase()
+	put := func(db *Database, idx int, seq uint32) {
+		if !db.Install(NewLSP(topo.SystemIDFromIndex(idx), seq, "r", nil, nil), now) {
+			t.Fatal("install failed")
+		}
+	}
+	put(device, 1, 5)
+	put(listener, 1, 5) // in sync
+	put(device, 2, 9)
+	put(listener, 2, 4) // listener stale
+	put(device, 3, 2)   // listener missing
+	put(device, 4, 1)
+	put(listener, 4, 7) // listener ahead (e.g. device rebooted)
+	return device, listener
+}
+
+func TestCompareCSNPFullExchange(t *testing.T) {
+	device, lst := twoDatabases(t)
+	csnp := device.BuildCSNP(topo.SystemIDFromIndex(99))
+	plan := lst.CompareCSNP(csnp)
+
+	// Listener must request systems 2 (stale) and 3 (missing).
+	if len(plan.Request) != 2 {
+		t.Fatalf("request = %+v", plan.Request)
+	}
+	if plan.Request[0].ID.System != topo.SystemIDFromIndex(2) ||
+		plan.Request[1].ID.System != topo.SystemIDFromIndex(3) {
+		t.Errorf("request order/content: %+v", plan.Request)
+	}
+	// Listener must flood system 4 (its copy is newer).
+	if len(plan.Flood) != 1 || plan.Flood[0].ID.System != topo.SystemIDFromIndex(4) {
+		t.Errorf("flood = %+v", plan.Flood)
+	}
+
+	// The PSNP solicits the peer's copies.
+	psnp := plan.BuildPSNP(topo.SystemIDFromIndex(99))
+	if len(psnp.Entries) != 2 {
+		t.Fatalf("psnp entries = %d", len(psnp.Entries))
+	}
+	for _, e := range psnp.Entries {
+		if e.Sequence != 0 {
+			t.Errorf("psnp entry should solicit with seq 0: %+v", e)
+		}
+	}
+
+	// The device serves the PSNP with its newer LSPs.
+	served := device.ServePSNP(psnp)
+	if len(served) != 2 {
+		t.Fatalf("served = %d", len(served))
+	}
+	for _, lsp := range served {
+		if !lst.Install(lsp, time.Unix(1, 0)) {
+			t.Errorf("served LSP %v not newer", lsp.ID)
+		}
+	}
+
+	// After installing, a second exchange is quiescent apart from
+	// the listener's newer system-4 copy.
+	plan2 := lst.CompareCSNP(device.BuildCSNP(topo.SystemIDFromIndex(99)))
+	if len(plan2.Request) != 0 {
+		t.Errorf("second exchange still requests: %+v", plan2.Request)
+	}
+	if len(plan2.Flood) != 1 {
+		t.Errorf("second exchange flood = %+v", plan2.Flood)
+	}
+}
+
+func TestCompareCSNPRangeLimits(t *testing.T) {
+	device, lst := twoDatabases(t)
+	csnp := device.BuildCSNP(topo.SystemIDFromIndex(99))
+	// Narrow the range to only system 2's LSP ID.
+	csnp.StartID = LSPID{System: topo.SystemIDFromIndex(2)}
+	csnp.EndID = LSPID{System: topo.SystemIDFromIndex(2), Pseudonode: 0xff, Fragment: 0xff}
+	var limited []LSPEntry
+	for _, e := range csnp.Entries {
+		if e.ID.System == topo.SystemIDFromIndex(2) {
+			limited = append(limited, e)
+		}
+	}
+	csnp.Entries = limited
+	plan := lst.CompareCSNP(csnp)
+	if len(plan.Request) != 1 || plan.Request[0].ID.System != topo.SystemIDFromIndex(2) {
+		t.Errorf("request = %+v", plan.Request)
+	}
+	// System 4 is outside the range: no flooding.
+	if len(plan.Flood) != 0 {
+		t.Errorf("flood = %+v", plan.Flood)
+	}
+}
+
+func TestServePSNPAcknowledged(t *testing.T) {
+	device, _ := twoDatabases(t)
+	// A PSNP acknowledging the current sequence solicits nothing.
+	psnp := &PSNP{Entries: []LSPEntry{{ID: LSPID{System: topo.SystemIDFromIndex(2)}, Sequence: 9}}}
+	if got := device.ServePSNP(psnp); len(got) != 0 {
+		t.Errorf("served = %+v", got)
+	}
+	// Unknown LSP: nothing to serve.
+	psnp = &PSNP{Entries: []LSPEntry{{ID: LSPID{System: topo.SystemIDFromIndex(42)}}}}
+	if got := device.ServePSNP(psnp); len(got) != 0 {
+		t.Errorf("served = %+v", got)
+	}
+}
+
+func TestSyncPlanWireRoundTrip(t *testing.T) {
+	device, lst := twoDatabases(t)
+	// Whole exchange over wire encodings.
+	wire, err := device.BuildCSNP(topo.SystemIDFromIndex(99)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csnp CSNP
+	if err := csnp.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	plan := lst.CompareCSNP(&csnp)
+	pw, err := plan.BuildPSNP(topo.SystemIDFromIndex(99)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psnp PSNP
+	if err := psnp.DecodeFromBytes(pw); err != nil {
+		t.Fatal(err)
+	}
+	if len(device.ServePSNP(&psnp)) != 2 {
+		t.Error("wire round trip lost requests")
+	}
+}

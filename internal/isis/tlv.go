@@ -1,0 +1,288 @@
+package isis
+
+import (
+	"fmt"
+
+	"netfail/internal/topo"
+)
+
+// TLVType identifies a type/length/value field inside a PDU.
+type TLVType uint8
+
+// TLV types used in this implementation (paper Table 1 plus the
+// machinery TLVs needed by hellos and SNPs).
+const (
+	TLVAreaAddresses  TLVType = 1
+	TLVLSPEntries     TLVType = 9
+	TLVExtISReach     TLVType = 22
+	TLVProtocols      TLVType = 129
+	TLVIPIfaceAddr    TLVType = 132
+	TLVExtIPReach     TLVType = 135
+	TLVHostname       TLVType = 137
+	TLVP2PAdjState    TLVType = 240
+	TLVPadding        TLVType = 8
+	maxTLVValueLength         = 255
+)
+
+// RawTLV is an undecoded type/length/value field. Unknown TLVs are
+// preserved so a listener can skip them, as a real implementation
+// must.
+type RawTLV struct {
+	Type  TLVType
+	Value []byte
+}
+
+// appendTLV writes one TLV; it panics if value exceeds 255 bytes
+// because callers are responsible for splitting long lists.
+func appendTLV(b []byte, typ TLVType, value []byte) []byte {
+	if len(value) > maxTLVValueLength {
+		panic(fmt.Sprintf("isis: TLV %d value length %d exceeds 255", typ, len(value)))
+	}
+	b = append(b, byte(typ), byte(len(value)))
+	return append(b, value...)
+}
+
+// parseTLVs walks the TLV region, invoking fn for each field. It
+// returns ErrTruncated if a declared length overruns the buffer.
+func parseTLVs(data []byte, fn func(typ TLVType, value []byte) error) error {
+	for off := 0; off < len(data); {
+		if off+2 > len(data) {
+			return ErrTruncated
+		}
+		typ := TLVType(data[off])
+		length := int(data[off+1])
+		off += 2
+		if off+length > len(data) {
+			return ErrTruncated
+		}
+		if err := fn(typ, data[off:off+length]); err != nil {
+			return err
+		}
+		off += length
+	}
+	return nil
+}
+
+// SubTLVLinkIDs is the Link Local/Remote Identifiers sub-TLV
+// (RFC 5307 §1.1): eight bytes identifying the circuit, which is what
+// lets a receiver differentiate parallel adjacencies between the same
+// router pair — the capability CENIC's devices did not run (paper
+// §3.4, footnote 1).
+const SubTLVLinkIDs TLVType = 4
+
+// ISNeighbor is one entry of the Extended IS Reachability TLV
+// (RFC 5305 §3): a neighbor system ID (plus pseudonode octet), a
+// 3-byte wide metric, and optional sub-TLVs.
+type ISNeighbor struct {
+	System     topo.SystemID
+	Pseudonode uint8
+	Metric     uint32 // 24-bit wide metric
+	SubTLVs    []RawTLV
+}
+
+// Key returns the neighbor identity the listener diffs between
+// successive LSPs. When the entry carries link identifiers the key
+// includes them, so parallel adjacencies become distinguishable.
+func (n ISNeighbor) Key() string {
+	if local, _, ok := n.LinkIDs(); ok {
+		return fmt.Sprintf("%s.%02x#%08x", n.System, n.Pseudonode, local)
+	}
+	return fmt.Sprintf("%s.%02x", n.System, n.Pseudonode)
+}
+
+// PlainKey returns the identity without link identifiers.
+func (n ISNeighbor) PlainKey() string {
+	return fmt.Sprintf("%s.%02x", n.System, n.Pseudonode)
+}
+
+// SetLinkIDs attaches the RFC 5307 link local/remote identifiers.
+func (n *ISNeighbor) SetLinkIDs(local, remote uint32) {
+	val := make([]byte, 8)
+	val[0], val[1], val[2], val[3] = byte(local>>24), byte(local>>16), byte(local>>8), byte(local)
+	val[4], val[5], val[6], val[7] = byte(remote>>24), byte(remote>>16), byte(remote>>8), byte(remote)
+	for i, s := range n.SubTLVs {
+		if s.Type == SubTLVLinkIDs {
+			n.SubTLVs[i].Value = val
+			return
+		}
+	}
+	n.SubTLVs = append(n.SubTLVs, RawTLV{Type: SubTLVLinkIDs, Value: val})
+}
+
+// LinkIDs extracts the link identifiers, if present.
+func (n ISNeighbor) LinkIDs() (local, remote uint32, ok bool) {
+	for _, s := range n.SubTLVs {
+		if s.Type == SubTLVLinkIDs && len(s.Value) >= 8 {
+			v := s.Value
+			local = uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3])
+			remote = uint32(v[4])<<24 | uint32(v[5])<<16 | uint32(v[6])<<8 | uint32(v[7])
+			return local, remote, true
+		}
+	}
+	return 0, 0, false
+}
+
+const isNeighborFixedLen = 6 + 1 + 3 + 1 // sysID + pseudonode + metric + subTLV len
+
+func appendExtISReach(b []byte, neighbors []ISNeighbor) []byte {
+	// Split entries across TLVs so no value exceeds 255 bytes.
+	for start := 0; start < len(neighbors); {
+		var val []byte
+		end := start
+		for end < len(neighbors) {
+			n := neighbors[end]
+			subLen := 0
+			for _, s := range n.SubTLVs {
+				subLen += 2 + len(s.Value)
+			}
+			entry := isNeighborFixedLen + subLen
+			if len(val)+entry > maxTLVValueLength {
+				break
+			}
+			val = append(val, n.System[:]...)
+			val = append(val, n.Pseudonode)
+			val = append(val, byte(n.Metric>>16), byte(n.Metric>>8), byte(n.Metric))
+			val = append(val, byte(subLen))
+			for _, s := range n.SubTLVs {
+				val = append(val, byte(s.Type), byte(len(s.Value)))
+				val = append(val, s.Value...)
+			}
+			end++
+		}
+		if end == start {
+			panic("isis: single IS reachability entry exceeds TLV capacity")
+		}
+		b = appendTLV(b, TLVExtISReach, val)
+		start = end
+	}
+	return b
+}
+
+func parseExtISReach(value []byte) ([]ISNeighbor, error) {
+	var out []ISNeighbor
+	for off := 0; off < len(value); {
+		if off+isNeighborFixedLen > len(value) {
+			return nil, ErrTruncated
+		}
+		var n ISNeighbor
+		copy(n.System[:], value[off:off+6])
+		n.Pseudonode = value[off+6]
+		n.Metric = uint32(value[off+7])<<16 | uint32(value[off+8])<<8 | uint32(value[off+9])
+		subLen := int(value[off+10])
+		off += isNeighborFixedLen
+		if off+subLen > len(value) {
+			return nil, ErrTruncated
+		}
+		sub := value[off : off+subLen]
+		for soff := 0; soff < len(sub); {
+			if soff+2 > len(sub) {
+				return nil, ErrTruncated
+			}
+			st := TLVType(sub[soff])
+			sl := int(sub[soff+1])
+			soff += 2
+			if soff+sl > len(sub) {
+				return nil, ErrTruncated
+			}
+			n.SubTLVs = append(n.SubTLVs, RawTLV{Type: st, Value: append([]byte(nil), sub[soff:soff+sl]...)})
+			soff += sl
+		}
+		off += subLen
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// IPPrefix is one entry of the Extended IP Reachability TLV
+// (RFC 5305 §4): a 32-bit metric and a variable-length prefix.
+type IPPrefix struct {
+	Metric uint32
+	// Addr is the network address in host order; bits beyond Length
+	// must be zero.
+	Addr uint32
+	// Length is the prefix length, 0–32.
+	Length uint8
+	// Down is the up/down bit used for interlevel leaking.
+	Down bool
+}
+
+// String renders "a.b.c.d/len".
+func (p IPPrefix) String() string {
+	return fmt.Sprintf("%s/%d", topo.FormatIPv4(p.Addr), p.Length)
+}
+
+// Key returns the prefix identity without the metric.
+func (p IPPrefix) Key() string { return p.String() }
+
+func appendExtIPReach(b []byte, prefixes []IPPrefix) []byte {
+	for start := 0; start < len(prefixes); {
+		var val []byte
+		end := start
+		for end < len(prefixes) {
+			p := prefixes[end]
+			octets := int(p.Length+7) / 8
+			entry := 4 + 1 + octets
+			if len(val)+entry > maxTLVValueLength {
+				break
+			}
+			var metric [4]byte
+			putUint32(metric[:], 0, p.Metric)
+			val = append(val, metric[:]...)
+			ctrl := p.Length & 0x3f
+			if p.Down {
+				ctrl |= 0x80
+			}
+			val = append(val, ctrl)
+			var addr [4]byte
+			putUint32(addr[:], 0, p.Addr)
+			val = append(val, addr[:octets]...)
+			end++
+		}
+		if end == start {
+			panic("isis: single IP reachability entry exceeds TLV capacity")
+		}
+		b = appendTLV(b, TLVExtIPReach, val)
+		start = end
+	}
+	return b
+}
+
+func parseExtIPReach(value []byte) ([]IPPrefix, error) {
+	var out []IPPrefix
+	for off := 0; off < len(value); {
+		if off+5 > len(value) {
+			return nil, ErrTruncated
+		}
+		var p IPPrefix
+		p.Metric = uint32(value[off])<<24 | uint32(value[off+1])<<16 | uint32(value[off+2])<<8 | uint32(value[off+3])
+		ctrl := value[off+4]
+		p.Down = ctrl&0x80 != 0
+		subPresent := ctrl&0x40 != 0
+		p.Length = ctrl & 0x3f
+		if p.Length > 32 {
+			return nil, fmt.Errorf("isis: bad prefix length %d", p.Length)
+		}
+		octets := int(p.Length+7) / 8
+		off += 5
+		if off+octets > len(value) {
+			return nil, ErrTruncated
+		}
+		var addr [4]byte
+		copy(addr[:], value[off:off+octets])
+		p.Addr = uint32(addr[0])<<24 | uint32(addr[1])<<16 | uint32(addr[2])<<8 | uint32(addr[3])
+		off += octets
+		if subPresent {
+			if off >= len(value) {
+				return nil, ErrTruncated
+			}
+			subLen := int(value[off])
+			off++
+			if off+subLen > len(value) {
+				return nil, ErrTruncated
+			}
+			off += subLen // sub-TLVs ignored
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package listener
+
+import (
+	"testing"
+
+	"netfail/internal/isis"
+	"netfail/internal/trace"
+)
+
+// TestFragmentedLSPsUnioned verifies ISO 10589 §7.3.7 semantics: a
+// router's advertisement set is the union over its fragments, so
+// moving content between fragments or updating one fragment must not
+// fabricate transitions, while a genuine withdrawal in any fragment
+// must surface.
+func TestFragmentedLSPsUnioned(t *testing.T) {
+	tb := newTestbed(t, false)
+
+	// Build core-a's full LSP, split into tiny fragments, and
+	// deliver everything as the baseline.
+	full := tb.devices["core-a"].OriginateLSP()
+	frags := isis.SplitLSP(full, 91)
+	if len(frags) < 2 {
+		t.Fatalf("need multiple fragments, got %d", len(frags))
+	}
+	for _, f := range frags {
+		wire, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.now = tb.now.Add(100 * 1e6) // 100 ms
+		if err := tb.l.Process(tb.now, wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.flood(t, "core-b")
+	tb.flood(t, "cpe-1")
+	if got := len(tb.l.Results().ISTransitions); got != 0 {
+		t.Fatalf("baseline produced %d transitions", got)
+	}
+
+	// Refresh one fragment with identical content: nothing happens.
+	refresh := *frags[0]
+	refresh.Sequence++
+	wire, err := refresh.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.l.Process(tb.now.Add(1e9), wire); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.l.Results().ISTransitions); got != 0 {
+		t.Fatalf("no-op fragment refresh produced %d transitions", got)
+	}
+
+	// Withdraw the core-b adjacency from whichever fragment carries
+	// it: a Down must surface on exactly that link.
+	linkAB := tb.net.Links[0].ID
+	tb.devices["core-a"].SetAdjacency(linkAB, false)
+	full2 := tb.devices["core-a"].OriginateLSP()
+	full2.Sequence = refresh.Sequence + 1
+	for _, f := range isis.SplitLSP(full2, 91) {
+		f.Sequence = full2.Sequence
+		w, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.now = tb.now.Add(2e9)
+		if err := tb.l.Process(tb.now, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := tb.l.Results()
+	downs := 0
+	for _, tr0 := range res.ISTransitions {
+		if tr0.Dir == trace.Down {
+			downs++
+			if tr0.Link != linkAB {
+				t.Errorf("down on wrong link: %+v", tr0)
+			}
+		} else {
+			t.Errorf("unexpected up: %+v", tr0)
+		}
+	}
+	if downs != 1 {
+		t.Errorf("downs = %d, want 1 (got %+v)", downs, res.ISTransitions)
+	}
+}

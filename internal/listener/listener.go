@@ -1,0 +1,315 @@
+// Package listener implements the passive IS-IS listener (the role
+// PyRT played in the paper, §3.2): it consumes the LSP capture,
+// maintains each router's advertised adjacency and IP-reachability
+// sets, and emits link state transitions when successive LSPs from a
+// router differ. System IDs are resolved onto the common link
+// namespace via the mined configuration topology, and the dynamic
+// hostname TLV builds the OSI-ID-to-hostname map.
+//
+// Two transition streams are produced, one per TLV: Extended IS
+// Reachability (the field the paper ultimately uses) and Extended IP
+// Reachability (kept for the Table 2 comparison). A link's
+// IS-reachability state is the conjunction of the two directions'
+// advertisements; multi-link adjacencies cannot be differentiated
+// without RFC 5305 link IDs and are skipped, as §3.4 requires.
+package listener
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/isis"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Listener reconstructs link state from a stream of LSPs.
+type Listener struct {
+	net *topo.Network
+	db  *isis.Database
+
+	// Per-fragment advertised content (ISO 10589 §7.3.7: a
+	// router's advertisement set is the union over its fragments)
+	// and the per-originator aggregate the diffing reads.
+	fragAdv map[isis.LSPID]map[string]int
+	adv     map[topo.SystemID]map[string]int
+	heard   map[topo.SystemID]bool
+
+	// Derived per-link state.
+	adjUp map[topo.LinkID]bool
+	ipUp  map[topo.LinkID]bool
+	// multiCount tracks advertised-entry counts for multi-link
+	// adjacencies, only to account for skipped changes.
+	multiCount map[topo.AdjacencyKey]int
+
+	hostnames map[topo.SystemID]string
+
+	isTransitions []trace.Transition
+	ipTransitions []trace.Transition
+
+	// Diagnostics.
+	lspCount       int
+	decodeErrors   int
+	staleLSPs      int
+	unknownOrig    int
+	otherPDUs      int
+	multiLinkSkips int
+}
+
+// New creates a listener resolving against the given (typically
+// mined) topology.
+func New(net *topo.Network) *Listener {
+	return &Listener{
+		net:        net,
+		db:         isis.NewDatabase(),
+		fragAdv:    make(map[isis.LSPID]map[string]int),
+		adv:        make(map[topo.SystemID]map[string]int),
+		heard:      make(map[topo.SystemID]bool),
+		adjUp:      make(map[topo.LinkID]bool),
+		ipUp:       make(map[topo.LinkID]bool),
+		multiCount: make(map[topo.AdjacencyKey]int),
+		hostnames:  make(map[topo.SystemID]string),
+	}
+}
+
+// Process ingests one captured PDU (wire bytes) received at the
+// given time. Non-LSP PDUs (hellos, CSNPs, PSNPs — all present on a
+// live circuit) are counted and skipped; decode failures are counted
+// and returned; stale LSPs (not newer than the database copy) are
+// counted and ignored.
+func (l *Listener) Process(at time.Time, data []byte) error {
+	if typ, err := isis.PeekType(data); err == nil && typ != isis.TypeLSPL2 {
+		l.otherPDUs++
+		return nil
+	}
+	var lsp isis.LSP
+	if err := lsp.DecodeFromBytes(data); err != nil {
+		l.decodeErrors++
+		return fmt.Errorf("listener: %w", err)
+	}
+	l.lspCount++
+	if !l.db.Install(&lsp, at) {
+		l.staleLSPs++
+		return nil
+	}
+	orig := lsp.ID.System
+	if lsp.Hostname != "" {
+		l.hostnames[orig] = lsp.Hostname
+	}
+	router, known := l.net.RouterByID(orig)
+	if !known {
+		l.unknownOrig++
+		return nil
+	}
+
+	// This fragment's advertised content: neighbor keys and prefix
+	// keys share one namespace (dotted system IDs cannot collide
+	// with dotted-quad prefixes).
+	newFrag := make(map[string]int, len(lsp.Neighbors)+len(lsp.Prefixes))
+	for _, n := range lsp.Neighbors {
+		newFrag[n.Key()]++
+	}
+	for pfx := range lsp.PrefixKeys() {
+		newFrag[pfx]++
+	}
+
+	// Snapshot the originator's aggregate, then apply the fragment
+	// delta: union semantics across fragments.
+	agg := l.adv[orig]
+	if agg == nil {
+		agg = make(map[string]int)
+		l.adv[orig] = agg
+	}
+	prev := make(map[string]int, len(agg))
+	for k, v := range agg {
+		prev[k] = v
+	}
+	for k, v := range l.fragAdv[lsp.ID] {
+		agg[k] -= v
+		if agg[k] <= 0 {
+			delete(agg, k)
+		}
+	}
+	for k, v := range newFrag {
+		agg[k] += v
+	}
+	l.fragAdv[lsp.ID] = newFrag
+	first := !l.heard[orig]
+	l.heard[orig] = true
+
+	for _, ifc := range router.Interfaces {
+		link, ok := l.net.LinkByID(ifc.Link)
+		if !ok {
+			continue
+		}
+		if first {
+			l.baselineLink(link)
+		} else {
+			l.diffLink(at, router.Name, link, prev, agg)
+		}
+	}
+	return nil
+}
+
+// baselineLink establishes initial state for a link once both ends
+// have been heard: up if either end currently advertises it.
+func (l *Listener) baselineLink(link *topo.Link) {
+	ra := l.net.Routers[link.A.Host]
+	rb := l.net.Routers[link.B.Host]
+	if ra == nil || rb == nil || !l.heard[ra.SystemID] || !l.heard[rb.SystemID] {
+		return
+	}
+	plainAdv := l.adv[ra.SystemID][neighborKey(rb.SystemID)] > 0 ||
+		l.adv[rb.SystemID][neighborKey(ra.SystemID)] > 0
+	idAdv := l.adv[ra.SystemID][linkIDKey(rb.SystemID, link.Subnet)] > 0 ||
+		l.adv[rb.SystemID][linkIDKey(ra.SystemID, link.Subnet)] > 0
+	switch {
+	case !l.net.IsMultiLink(link.ID):
+		l.adjUp[link.ID] = plainAdv || idAdv
+	case idAdv:
+		// RFC 5307 link identifiers give even parallel links
+		// per-link baseline state.
+		l.adjUp[link.ID] = true
+	default:
+		l.multiCount[link.Adjacency] = l.adv[ra.SystemID][neighborKey(rb.SystemID)] +
+			l.adv[rb.SystemID][neighborKey(ra.SystemID)]
+	}
+	pfx := prefixKey(link.Subnet)
+	l.ipUp[link.ID] = l.adv[ra.SystemID][pfx] > 0 || l.adv[rb.SystemID][pfx] > 0
+}
+
+// diffLink applies one originator's advertisement changes to a link,
+// following the paper's rule (§3.4): a "down" transition occurs when
+// a previously listed adjacency or IP space is no longer advertised,
+// an "up" transition when it is re-advertised. The second endpoint's
+// matching withdrawal or re-advertisement changes nothing because the
+// link is already in that state.
+func (l *Listener) diffLink(at time.Time, reporter string, link *topo.Link, prev, cur map[string]int) {
+	ra := l.net.Routers[link.A.Host]
+	rb := l.net.Routers[link.B.Host]
+	if ra == nil || rb == nil || !l.heard[ra.SystemID] || !l.heard[rb.SystemID] {
+		return
+	}
+	peer := ra
+	if reporter == ra.Name {
+		peer = rb
+	}
+	key := neighborKey(peer.SystemID)
+	// RFC 5307 link identifiers, when advertised, name the circuit
+	// and make parallel adjacencies attributable to physical links.
+	extKey := linkIDKey(peer.SystemID, link.Subnet)
+
+	switch {
+	case prev[extKey] > 0 || cur[extKey] > 0:
+		prevHas, newHas := prev[extKey] > 0, cur[extKey] > 0
+		switch {
+		case prevHas && !newHas:
+			l.setState(at, reporter, link, l.adjUp, false, trace.KindISReach, &l.isTransitions)
+		case !prevHas && newHas:
+			l.setState(at, reporter, link, l.adjUp, true, trace.KindISReach, &l.isTransitions)
+		}
+	case l.net.IsMultiLink(link.ID):
+		// Parallel links share one adjacency: without link-ID
+		// sub-TLVs the change cannot be attributed to a physical
+		// link (§3.4). Count and skip.
+		if prev[key] != cur[key] {
+			l.multiLinkSkips++
+			l.multiCount[link.Adjacency] += cur[key] - prev[key]
+		}
+	default:
+		prevHas, newHas := prev[key] > 0, cur[key] > 0
+		switch {
+		case prevHas && !newHas:
+			l.setState(at, reporter, link, l.adjUp, false, trace.KindISReach, &l.isTransitions)
+		case !prevHas && newHas:
+			l.setState(at, reporter, link, l.adjUp, true, trace.KindISReach, &l.isTransitions)
+		}
+	}
+
+	pfx := prefixKey(link.Subnet)
+	prevHas, newHas := prev[pfx] > 0, cur[pfx] > 0
+	switch {
+	case prevHas && !newHas:
+		l.setState(at, reporter, link, l.ipUp, false, trace.KindIPReach, &l.ipTransitions)
+	case !prevHas && newHas:
+		l.setState(at, reporter, link, l.ipUp, true, trace.KindIPReach, &l.ipTransitions)
+	}
+}
+
+// setState moves a link's derived state, emitting a transition if it
+// actually changed.
+func (l *Listener) setState(at time.Time, reporter string, link *topo.Link, states map[topo.LinkID]bool, up bool, kind trace.Kind, out *[]trace.Transition) {
+	if prev, seen := states[link.ID]; seen && prev == up {
+		return
+	}
+	states[link.ID] = up
+	dir := trace.Down
+	if up {
+		dir = trace.Up
+	}
+	*out = append(*out, trace.Transition{
+		Time:     at,
+		Link:     link.ID,
+		Dir:      dir,
+		Kind:     kind,
+		Reporter: reporter,
+	})
+}
+
+func neighborKey(id topo.SystemID) string {
+	return fmt.Sprintf("%s.%02x", id, 0)
+}
+
+// linkIDKey matches isis.ISNeighbor.Key for entries carrying RFC 5307
+// link identifiers (the simulator uses the link's /31 as circuit ID).
+func linkIDKey(id topo.SystemID, circuit uint32) string {
+	return fmt.Sprintf("%s.%02x#%08x", id, 0, circuit)
+}
+
+func prefixKey(subnet uint32) string {
+	return fmt.Sprintf("%s/31", topo.FormatIPv4(subnet))
+}
+
+// Result is the listener's complete output.
+type Result struct {
+	// ISTransitions and IPTransitions are the two transition
+	// streams, in arrival order.
+	ISTransitions []trace.Transition
+	IPTransitions []trace.Transition
+	// Hostnames maps OSI system IDs to dynamic hostnames.
+	Hostnames map[topo.SystemID]string
+	// LSPCount is the number of LSPs successfully processed;
+	// DecodeErrors, StaleLSPs, UnknownOriginators, OtherPDUs, and
+	// MultiLinkSkips account for the rest.
+	LSPCount           int
+	DecodeErrors       int
+	StaleLSPs          int
+	UnknownOriginators int
+	OtherPDUs          int
+	MultiLinkSkips     int
+}
+
+// Results returns a snapshot of the listener's output.
+func (l *Listener) Results() *Result {
+	return &Result{
+		ISTransitions:      append([]trace.Transition(nil), l.isTransitions...),
+		IPTransitions:      append([]trace.Transition(nil), l.ipTransitions...),
+		Hostnames:          l.hostnames,
+		LSPCount:           l.lspCount,
+		DecodeErrors:       l.decodeErrors,
+		StaleLSPs:          l.staleLSPs,
+		UnknownOriginators: l.unknownOrig,
+		OtherPDUs:          l.otherPDUs,
+		MultiLinkSkips:     l.multiLinkSkips,
+	}
+}
+
+// Hostname resolves a system ID to the hostname learned from TLV 137.
+func (l *Listener) Hostname(id topo.SystemID) (string, bool) {
+	h, ok := l.hostnames[id]
+	return h, ok
+}
+
+// Database exposes the listener's link-state database, e.g. to run
+// SPF over the captured routing state.
+func (l *Listener) Database() *isis.Database { return l.db }

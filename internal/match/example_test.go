@@ -1,0 +1,33 @@
+package match_test
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// ExampleFailures matches two failure traces with the paper's
+// ten-second window on both start and end times.
+func ExampleFailures() {
+	link := topo.LinkID("cpe-001:Gi0|core-a:Te0")
+	at := func(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+	syslog := []trace.Failure{
+		{Link: link, Start: at(100), End: at(200)},
+		{Link: link, Start: at(900), End: at(901)}, // false positive
+	}
+	isis := []trace.Failure{
+		{Link: link, Start: at(103), End: at(195)}, // matches the first
+		{Link: link, Start: at(500), End: at(600)}, // missed by syslog
+	}
+	m := match.Failures(syslog, isis, match.DefaultWindow)
+	fmt.Printf("matched pairs: %d\n", len(m.Pairs))
+	fmt.Printf("syslog-only (false positives): %d\n", len(m.OnlyA))
+	fmt.Printf("IS-IS-only (missed by syslog): %d\n", len(m.OnlyB))
+	// Output:
+	// matched pairs: 1
+	// syslog-only (false positives): 1
+	// IS-IS-only (missed by syslog): 1
+}

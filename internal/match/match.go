@@ -1,0 +1,260 @@
+// Package match implements the paper's matching methodology (§3.4):
+// two state transitions match if they occur on the same link, in the
+// same direction, within a ten-second window; two failures match if
+// they are on the same link with both start and end times within the
+// window. It also provides interval-intersection downtime (the
+// "Overlap" column of Table 4) and the window-size sweep behind the
+// paper's "knee at ten seconds" observation.
+package match
+
+import (
+	"sort"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// DefaultWindow is the paper's matching window.
+const DefaultWindow = 10 * time.Second
+
+// TransitionIndex answers "is there a transition on this link, in
+// this direction, within w of t" queries in O(log n).
+type TransitionIndex struct {
+	byKey map[key][]trace.Transition
+}
+
+type key struct {
+	link topo.LinkID
+	dir  trace.Direction
+}
+
+// NewTransitionIndex builds the index; input order is irrelevant.
+func NewTransitionIndex(ts []trace.Transition) *TransitionIndex {
+	idx := &TransitionIndex{byKey: make(map[key][]trace.Transition)}
+	for _, t := range ts {
+		k := key{t.Link, t.Dir}
+		idx.byKey[k] = append(idx.byKey[k], t)
+	}
+	for _, list := range idx.byKey {
+		sort.Slice(list, func(i, j int) bool { return list[i].Time.Before(list[j].Time) })
+	}
+	return idx
+}
+
+// Within returns the transitions on (link, dir) with |time − t| ≤ w.
+func (idx *TransitionIndex) Within(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) []trace.Transition {
+	list := idx.byKey[key{link, dir}]
+	lo := t.Add(-w)
+	i := sort.Search(len(list), func(i int) bool { return !list[i].Time.Before(lo) })
+	var out []trace.Transition
+	for ; i < len(list); i++ {
+		if list[i].Time.Sub(t) > w {
+			break
+		}
+		out = append(out, list[i])
+	}
+	return out
+}
+
+// Reporters returns the distinct Reporter values among matches.
+func (idx *TransitionIndex) Reporters(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) map[string]bool {
+	set := make(map[string]bool)
+	for _, m := range idx.Within(link, dir, t, w) {
+		set[m.Reporter] = true
+	}
+	return set
+}
+
+// MatchedFraction returns the fraction of src transitions that have
+// at least one match in ref within the window.
+func MatchedFraction(src, ref []trace.Transition, w time.Duration) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	idx := NewTransitionIndex(ref)
+	matched := 0
+	for _, t := range src {
+		if len(idx.Within(t.Link, t.Dir, t.Time, w)) > 0 {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(src))
+}
+
+// FailurePair records one matched failure pair by index.
+type FailurePair struct {
+	A, B int
+}
+
+// FailureMatch is the outcome of matching two failure lists.
+type FailureMatch struct {
+	// Pairs holds matched (A-index, B-index) pairs.
+	Pairs []FailurePair
+	// OnlyA and OnlyB are the unmatched indices.
+	OnlyA, OnlyB []int
+}
+
+// Failures matches failure lists a and b: same link, start times
+// within w, end times within w, one-to-one (greedy by start-time
+// proximity within each link).
+func Failures(a, b []trace.Failure, w time.Duration) FailureMatch {
+	byLinkB := make(map[topo.LinkID][]int)
+	for i, f := range b {
+		byLinkB[f.Link] = append(byLinkB[f.Link], i)
+	}
+	for _, list := range byLinkB {
+		sort.Slice(list, func(x, y int) bool { return b[list[x]].Start.Before(b[list[y]].Start) })
+	}
+	usedB := make(map[int]bool)
+	var res FailureMatch
+	order := make([]int, len(a))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return a[order[x]].Start.Before(a[order[y]].Start) })
+	for _, ai := range order {
+		fa := a[ai]
+		cands := byLinkB[fa.Link]
+		lo := fa.Start.Add(-w)
+		j := sort.Search(len(cands), func(k int) bool { return !b[cands[k]].Start.Before(lo) })
+		best := -1
+		var bestDiff time.Duration
+		for ; j < len(cands); j++ {
+			bi := cands[j]
+			fb := b[bi]
+			if fb.Start.Sub(fa.Start) > w {
+				break
+			}
+			if usedB[bi] {
+				continue
+			}
+			endDiff := absDur(fb.End.Sub(fa.End))
+			if endDiff > w {
+				continue
+			}
+			diff := absDur(fb.Start.Sub(fa.Start)) + endDiff
+			if best < 0 || diff < bestDiff {
+				best, bestDiff = bi, diff
+			}
+		}
+		if best >= 0 {
+			usedB[best] = true
+			res.Pairs = append(res.Pairs, FailurePair{A: ai, B: best})
+		} else {
+			res.OnlyA = append(res.OnlyA, ai)
+		}
+	}
+	for i := range b {
+		if !usedB[i] {
+			res.OnlyB = append(res.OnlyB, i)
+		}
+	}
+	sort.Ints(res.OnlyB)
+	sort.Ints(res.OnlyA)
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].A < res.Pairs[j].A })
+	return res
+}
+
+// Intersects reports whether failure fa overlaps in time with any
+// failure on the same link in the (sorted-per-link) index list.
+func Intersects(fa trace.Failure, byLink map[topo.LinkID][]trace.Failure) bool {
+	for _, fb := range byLink[fa.Link] {
+		if fb.Start.After(fa.End) {
+			break
+		}
+		if fa.Overlaps(fb.Start, fb.End) {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupByLink builds a per-link failure index sorted by start time.
+func GroupByLink(fs []trace.Failure) map[topo.LinkID][]trace.Failure {
+	byLink := make(map[topo.LinkID][]trace.Failure)
+	for _, f := range fs {
+		byLink[f.Link] = append(byLink[f.Link], f)
+	}
+	for _, list := range byLink {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+	}
+	return byLink
+}
+
+// IntersectionDowntime returns the total time during which both
+// sources agree a link was down, summed over links: the Overlap cell
+// of Table 4's downtime row.
+func IntersectionDowntime(a, b []trace.Failure) time.Duration {
+	byLinkB := GroupByLink(b)
+	var total time.Duration
+	for _, fa := range a {
+		for _, fb := range byLinkB[fa.Link] {
+			if fb.Start.After(fa.End) {
+				break
+			}
+			lo := maxTime(fa.Start, fb.Start)
+			hi := minTime(fa.End, fb.End)
+			if hi.After(lo) {
+				total += hi.Sub(lo)
+			}
+		}
+	}
+	return total
+}
+
+// WindowPoint is one sample of the window-size sweep.
+type WindowPoint struct {
+	Window time.Duration
+	// MatchedDowntimeFraction is the share of source-A downtime in
+	// failures matched at this window.
+	MatchedDowntimeFraction float64
+	// MatchedFailureFraction is the share of source-A failures
+	// matched.
+	MatchedFailureFraction float64
+}
+
+// WindowSweep evaluates failure matching over a range of window
+// sizes: the analysis behind the paper's choice of ten seconds (the
+// knee of this curve).
+func WindowSweep(a, b []trace.Failure, windows []time.Duration) []WindowPoint {
+	var out []WindowPoint
+	totalDowntime := trace.TotalDowntime(a)
+	for _, w := range windows {
+		m := Failures(a, b, w)
+		var matchedDown time.Duration
+		for _, p := range m.Pairs {
+			matchedDown += a[p.A].Duration()
+		}
+		pt := WindowPoint{Window: w}
+		if totalDowntime > 0 {
+			pt.MatchedDowntimeFraction = float64(matchedDown) / float64(totalDowntime)
+		}
+		if len(a) > 0 {
+			pt.MatchedFailureFraction = float64(len(m.Pairs)) / float64(len(a))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}

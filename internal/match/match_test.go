@@ -1,0 +1,178 @@
+package match
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+const linkA = topo.LinkID("a:p1|b:p1")
+const linkB = topo.LinkID("a:p2|c:p1")
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+
+func tr(link topo.LinkID, sec int, dir trace.Direction, reporter string) trace.Transition {
+	return trace.Transition{Time: at(sec), Link: link, Dir: dir, Reporter: reporter}
+}
+
+func fail(link topo.LinkID, start, end int) trace.Failure {
+	return trace.Failure{Link: link, Start: at(start), End: at(end)}
+}
+
+func TestTransitionIndexWithin(t *testing.T) {
+	idx := NewTransitionIndex([]trace.Transition{
+		tr(linkA, 100, trace.Down, "a"),
+		tr(linkA, 105, trace.Down, "b"),
+		tr(linkA, 130, trace.Down, "a"),
+		tr(linkA, 102, trace.Up, "a"),
+		tr(linkB, 100, trace.Down, "c"),
+	})
+	got := idx.Within(linkA, trace.Down, at(103), DefaultWindow)
+	if len(got) != 2 {
+		t.Fatalf("matches = %d, want 2", len(got))
+	}
+	// Direction and link must discriminate.
+	if len(idx.Within(linkA, trace.Up, at(130), DefaultWindow)) != 0 {
+		t.Error("direction not respected")
+	}
+	if len(idx.Within(linkB, trace.Down, at(130), DefaultWindow)) != 0 {
+		t.Error("link not respected")
+	}
+	// Window boundary is inclusive.
+	if len(idx.Within(linkA, trace.Down, at(115), DefaultWindow)) != 1 {
+		t.Error("inclusive boundary broken")
+	}
+}
+
+func TestReporters(t *testing.T) {
+	idx := NewTransitionIndex([]trace.Transition{
+		tr(linkA, 100, trace.Down, "router-a"),
+		tr(linkA, 104, trace.Down, "router-b"),
+		tr(linkA, 106, trace.Down, "router-a"),
+	})
+	reps := idx.Reporters(linkA, trace.Down, at(102), DefaultWindow)
+	if len(reps) != 2 || !reps["router-a"] || !reps["router-b"] {
+		t.Errorf("reporters = %v", reps)
+	}
+}
+
+func TestMatchedFraction(t *testing.T) {
+	src := []trace.Transition{
+		tr(linkA, 100, trace.Down, "x"),
+		tr(linkA, 200, trace.Down, "x"),
+		tr(linkA, 300, trace.Down, "x"),
+		tr(linkA, 400, trace.Down, "x"),
+	}
+	ref := []trace.Transition{
+		tr(linkA, 103, trace.Down, "y"),
+		tr(linkA, 215, trace.Down, "y"), // 15 s off: no match
+		tr(linkA, 300, trace.Up, "y"),   // wrong direction
+	}
+	if got := MatchedFraction(src, ref, DefaultWindow); got != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", got)
+	}
+	if MatchedFraction(nil, ref, DefaultWindow) != 0 {
+		t.Error("empty src should give 0")
+	}
+}
+
+func TestFailuresExactMatch(t *testing.T) {
+	a := []trace.Failure{fail(linkA, 100, 200), fail(linkA, 500, 600)}
+	b := []trace.Failure{fail(linkA, 103, 195), fail(linkA, 900, 950)}
+	m := Failures(a, b, DefaultWindow)
+	if len(m.Pairs) != 1 || m.Pairs[0] != (FailurePair{A: 0, B: 0}) {
+		t.Errorf("pairs = %+v", m.Pairs)
+	}
+	if len(m.OnlyA) != 1 || m.OnlyA[0] != 1 {
+		t.Errorf("onlyA = %v", m.OnlyA)
+	}
+	if len(m.OnlyB) != 1 || m.OnlyB[0] != 1 {
+		t.Errorf("onlyB = %v", m.OnlyB)
+	}
+}
+
+func TestFailuresEndMustMatchToo(t *testing.T) {
+	a := []trace.Failure{fail(linkA, 100, 200)}
+	b := []trace.Failure{fail(linkA, 100, 290)} // start matches, end off by 90 s
+	m := Failures(a, b, DefaultWindow)
+	if len(m.Pairs) != 0 {
+		t.Errorf("pairs = %+v, want none", m.Pairs)
+	}
+}
+
+func TestFailuresOneToOne(t *testing.T) {
+	// Two a-failures near one b-failure: only one may claim it.
+	a := []trace.Failure{fail(linkA, 100, 200), fail(linkA, 105, 205)}
+	b := []trace.Failure{fail(linkA, 102, 202)}
+	m := Failures(a, b, DefaultWindow)
+	if len(m.Pairs) != 1 {
+		t.Fatalf("pairs = %+v", m.Pairs)
+	}
+	if len(m.OnlyA) != 1 {
+		t.Errorf("onlyA = %v", m.OnlyA)
+	}
+}
+
+func TestFailuresPicksNearest(t *testing.T) {
+	a := []trace.Failure{fail(linkA, 100, 200)}
+	b := []trace.Failure{fail(linkA, 92, 200), fail(linkA, 101, 201)}
+	m := Failures(a, b, DefaultWindow)
+	if len(m.Pairs) != 1 || m.Pairs[0].B != 1 {
+		t.Errorf("pairs = %+v, want B=1 (nearest)", m.Pairs)
+	}
+}
+
+func TestIntersectionDowntime(t *testing.T) {
+	a := []trace.Failure{fail(linkA, 100, 200), fail(linkB, 0, 50)}
+	b := []trace.Failure{fail(linkA, 150, 250), fail(linkB, 100, 150)}
+	// linkA overlap [150,200] = 50 s; linkB overlap none.
+	if got := IntersectionDowntime(a, b); got != 50*time.Second {
+		t.Errorf("intersection = %v, want 50s", got)
+	}
+}
+
+func TestIntersectionDowntimeMultipleOverlaps(t *testing.T) {
+	a := []trace.Failure{fail(linkA, 0, 1000)}
+	b := []trace.Failure{fail(linkA, 100, 200), fail(linkA, 300, 400)}
+	if got := IntersectionDowntime(a, b); got != 200*time.Second {
+		t.Errorf("intersection = %v, want 200s", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	byLink := GroupByLink([]trace.Failure{fail(linkA, 100, 200)})
+	if !Intersects(fail(linkA, 150, 300), byLink) {
+		t.Error("overlapping failure not detected")
+	}
+	if Intersects(fail(linkA, 300, 400), byLink) {
+		t.Error("disjoint failure detected")
+	}
+	if Intersects(fail(linkB, 150, 300), byLink) {
+		t.Error("wrong link detected")
+	}
+}
+
+func TestWindowSweepMonotone(t *testing.T) {
+	// Failures offset by varying amounts: larger windows match more.
+	var a, b []trace.Failure
+	for i := 0; i < 30; i++ {
+		start := i * 1000
+		a = append(a, fail(linkA, start, start+100))
+		b = append(b, fail(linkA, start+i, start+100+i)) // offset grows with i
+	}
+	windows := []time.Duration{time.Second, 5 * time.Second, 15 * time.Second, 40 * time.Second}
+	pts := WindowSweep(a, b, windows)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MatchedFailureFraction < pts[i-1].MatchedFailureFraction {
+			t.Errorf("fraction not monotone: %+v", pts)
+		}
+	}
+	if pts[3].MatchedFailureFraction <= pts[0].MatchedFailureFraction {
+		t.Error("sweep shows no growth")
+	}
+}

@@ -1,0 +1,20 @@
+// Package netsim is the discrete-event simulator that stands in for
+// the CENIC production network. The paper's data sources are
+// proprietary operational traces; netsim generates the closest
+// synthetic equivalent: a 13-month campaign of link failures over a
+// CENIC-scale topology, observed through the same two imperfect
+// channels the paper compares —
+//
+//   - routers that originate binary IS-IS LSPs on adjacency changes,
+//     flooded to a passive listener (with LSP suppression for
+//     sub-second resets and scheduled listener-offline windows), and
+//   - routers that emit Cisco syslog messages over lossy UDP (base
+//     loss, heavily elevated loss during flap episodes, spurious
+//     retransmissions, and syslog-only pseudo-failures from
+//     connection resets and aborted three-way handshakes).
+//
+// The failure workload is generated per link class with heavy-tailed
+// durations and flapping episodes calibrated against Table 5 of the
+// paper. All randomness flows from a single seed, so identical
+// configurations reproduce identical captures.
+package netsim

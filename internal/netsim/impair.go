@@ -1,0 +1,163 @@
+package netsim
+
+import "time"
+
+// ImpairParams models everything that makes the two observation
+// channels imperfect. Defaults are calibrated so the comparison
+// reproduces the paper's Tables 2–6 shape.
+type ImpairParams struct {
+	// LossBase is the probability an individual syslog message is
+	// lost in normal operation (UDP transport, low-priority
+	// process). LossFlap applies during flap episodes, when message
+	// generation reliability collapses (§4.1).
+	LossBase float64
+	LossFlap float64
+	// Blackout probabilities model correlated loss: with the
+	// applicable probability, every syslog message for a failure is
+	// lost (the syslog process is overwhelmed or the device drops
+	// the burst). This matches the paper's observation that missed
+	// Down and Up transitions concentrate on the same failures: 18%
+	// of transitions are unmatched yet only 17% of failures are
+	// missed entirely. BlackoutLong applies to failures longer than
+	// LongFailureCutoff — serious incidents during which logging
+	// infrastructure itself suffers — and produces syslog's downtime
+	// deficit (§4.2).
+	BlackoutBase      float64
+	BlackoutFlap      float64
+	BlackoutLong      float64
+	LongFailureCutoff time.Duration
+	// DownBlackoutProb is the chance the loss burst at failure onset
+	// swallows both routers' Down messages while the later Up
+	// messages arrive: the resulting orphaned Up is the paper's
+	// "lost down" double-Up (Table 6), and the ambiguous span it
+	// opens is what the AssumeDown strategy misaccounts (§4.3).
+	DownBlackoutProb float64
+	// ProcDelayMax bounds the syslog emission delay after the event.
+	ProcDelayMax time.Duration
+
+	// RateLimitPerMin, when positive, applies Cisco-style "logging
+	// rate-limit" per device: a token bucket of RateLimitBurst
+	// messages refilled at RateLimitPerMin per minute; excess
+	// messages are silently dropped at the source. Off by default —
+	// the calibrated flap-loss model stands in for it statistically.
+	RateLimitPerMin float64
+	RateLimitBurst  int
+
+	// NoisePerRouterDay, when positive, emits unrelated syslog
+	// messages (config events, login notices) at this per-router
+	// daily rate, exercising the analysis-side filtering the paper's
+	// collector performed. Off by default so Table 1 counts stay
+	// comparable to the paper's link-pertinent subset.
+	NoisePerRouterDay float64
+
+	// SpuriousDownProb is the per-failure probability that a router
+	// re-emits a Down during an ongoing failure; SpuriousUpProb the
+	// probability of a redundant Up while the link is up (§4.3,
+	// Table 6).
+	SpuriousDownProb float64
+	SpuriousUpProb   float64
+
+	// PseudoBackgroundPerYear is the per-link rate of spontaneous
+	// syslog-only pseudo-failures (aborted three-way handshakes,
+	// adjacency resets): sub-second Down/Up message pairs invisible
+	// to the IS-IS listener (§4.3).
+	PseudoBackgroundPerYear float64
+	// BlipPerLinkYear is the rate of physical carrier blips shorter
+	// than the hold time: the interface bounces (%LINK/%LINEPROTO
+	// messages, IP prefix withdrawn and re-advertised) but the
+	// adjacency survives, so neither IS reachability nor IS-IS
+	// syslog sees anything. These events give IP reachability its
+	// physical-media character in Table 2.
+	BlipPerLinkYear float64
+	BlipDurMin      time.Duration
+	BlipDurMax      time.Duration
+	// PseudoAfterFlap and PseudoAfterNonFlap are the chances a real
+	// failure is followed by an adjacency-reset pseudo-failure ("a
+	// reset often occurs immediately after a longer failure").
+	// Resets cluster heavily on flapping links: this is what keeps
+	// syslog's short false positives off the stable sole-uplink
+	// links, so they almost never isolate a customer (§4.4: only 12
+	// syslog-only isolation events with no IS-IS failure at all).
+	PseudoAfterFlap    float64
+	PseudoAfterNonFlap float64
+
+	// Adjacency-detection timing. On a physical failure both routers
+	// usually detect loss of carrier quickly (within DetectFastMax);
+	// with SlowDetectProb detection instead waits for hold-time
+	// expiry in [HoldExpiryMin, HoldExpiryMax]. Protocol failures
+	// always detect within DetectFastMax plus per-endpoint skew.
+	DetectFastMax  time.Duration
+	SlowDetectProb float64
+	HoldExpiryMin  time.Duration
+	HoldExpiryMax  time.Duration
+	EndpointSkew   time.Duration
+
+	// Recovery timing: the three-way handshake delays adjacency
+	// restoration after the link is serviceable, and the two
+	// endpoints complete it at different times.
+	AdjRestoreMin  time.Duration
+	AdjRestoreMax  time.Duration
+	RestoreSkewMax time.Duration
+	// IPWithdrawDelayMax bounds how long after a physical failure
+	// the interface prefix is withdrawn from IS-IS (LSP generation
+	// backoff); IPRestoreMax bounds the re-advertisement delay after
+	// recovery. Both decouple IP-reachability timing from both the
+	// %LINK messages and the adjacency change, producing Table 2's
+	// partial cross-matching.
+	IPWithdrawDelayMax time.Duration
+	IPRestoreMax       time.Duration
+
+	// FloodDelayMax bounds LSP propagation to the listener.
+	FloodDelayMax time.Duration
+
+	// LSPSuppressShort: failures shorter than this may produce no
+	// LSP at all (adjacency reset absorbed before LSP generation),
+	// with probability LSPSuppressProb — the listener's blind spot.
+	LSPSuppressShort time.Duration
+	LSPSuppressProb  float64
+}
+
+// DefaultImpairments returns the calibrated impairment model.
+func DefaultImpairments() ImpairParams {
+	return ImpairParams{
+		LossBase: 0.13,
+		LossFlap: 0.24,
+
+		BlackoutBase:      0.03,
+		BlackoutFlap:      0.21,
+		BlackoutLong:      0.30,
+		LongFailureCutoff: time.Hour,
+		DownBlackoutProb:  0.015,
+
+		ProcDelayMax: 1500 * time.Millisecond,
+
+		SpuriousDownProb: 0.120,
+		SpuriousUpProb:   0.0035,
+
+		PseudoBackgroundPerYear: 0.25,
+		PseudoAfterFlap:         0.45,
+		PseudoAfterNonFlap:      0.03,
+
+		BlipPerLinkYear: 10,
+		BlipDurMin:      12 * time.Second,
+		BlipDurMax:      40 * time.Second,
+
+		DetectFastMax:  1200 * time.Millisecond,
+		SlowDetectProb: 0.25,
+		HoldExpiryMin:  11 * time.Second,
+		HoldExpiryMax:  40 * time.Second,
+		EndpointSkew:   15 * time.Second,
+
+		AdjRestoreMin:  1 * time.Second,
+		AdjRestoreMax:  10 * time.Second,
+		RestoreSkewMax: 18 * time.Second,
+
+		IPWithdrawDelayMax: 20 * time.Second,
+		IPRestoreMax:       18 * time.Second,
+
+		FloodDelayMax: 400 * time.Millisecond,
+
+		LSPSuppressShort: 1500 * time.Millisecond,
+		LSPSuppressProb:  0.55,
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event executor.
+type Scheduler struct {
+	heap eventHeap
+	now  time.Time
+	seq  uint64
+}
+
+// NewScheduler creates a scheduler positioned at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// At schedules fn at the given absolute time. Scheduling in the past
+// is clamped to the current instant (runs next).
+func (s *Scheduler) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay from the current simulated time.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	s.At(s.now.Add(d), fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Run executes events in order until the queue empties or the clock
+// passes end; events scheduled at or before end by running events are
+// also executed. It returns the number of events executed.
+func (s *Scheduler) Run(end time.Time) int {
+	executed := 0
+	for len(s.heap) > 0 {
+		next := s.heap[0]
+		if next.at.After(end) {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = next.at
+		next.fn()
+		executed++
+	}
+	if s.now.Before(end) {
+		s.now = end
+	}
+	return executed
+}

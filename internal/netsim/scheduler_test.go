@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewScheduler(start)
+	var order []int
+	s.At(start.Add(3*time.Second), func() { order = append(order, 3) })
+	s.At(start.Add(1*time.Second), func() { order = append(order, 1) })
+	s.At(start.Add(2*time.Second), func() { order = append(order, 2) })
+	n := s.Run(start.Add(time.Minute))
+	if n != 3 {
+		t.Errorf("executed = %d", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewScheduler(start)
+	var order []int
+	at := start.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Run(start.Add(time.Minute))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewScheduler(start)
+	var fired []time.Time
+	s.At(start.Add(time.Second), func() {
+		s.After(time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run(start.Add(time.Minute))
+	if len(fired) != 1 || !fired[0].Equal(start.Add(2*time.Second)) {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSchedulerStopsAtEnd(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewScheduler(start)
+	ran := false
+	s.At(start.Add(time.Hour), func() { ran = true })
+	s.Run(start.Add(time.Minute))
+	if ran {
+		t.Error("event beyond end executed")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	if !s.Now().Equal(start.Add(time.Minute)) {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestSchedulerPastClamped(t *testing.T) {
+	start := time.Unix(100, 0)
+	s := NewScheduler(start)
+	var at time.Time
+	s.At(start.Add(-time.Hour), func() { at = s.Now() })
+	s.Run(start.Add(time.Second))
+	if !at.Equal(start) {
+		t.Errorf("past event ran at %v, want %v", at, start)
+	}
+}

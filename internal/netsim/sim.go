@@ -1,0 +1,780 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netfail/internal/config"
+	"netfail/internal/device"
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// RefreshMode controls how periodic LSP refreshes (the bulk of the
+// 11 M updates in Table 1) are handled.
+type RefreshMode int
+
+const (
+	// RefreshCounted computes the refresh volume analytically and
+	// only materializes content-bearing LSPs. The default: identical
+	// analysis results at a fraction of the cost.
+	RefreshCounted RefreshMode = iota
+	// RefreshFull schedules every periodic refresh as a real event
+	// and delivers the re-encoded LSP to the listener capture.
+	RefreshFull
+)
+
+// Config parameterizes a simulation campaign.
+type Config struct {
+	Seed int64
+	// Spec shapes the network; zero value means topo.DefaultSpec.
+	Spec topo.Spec
+	// Start and End bound the observation window. Zero values mean
+	// the paper's study period (Oct 20 2010 – Nov 11 2011).
+	Start, End time.Time
+	// Workload and Impair default to the calibrated models when zero.
+	Workload *WorkloadParams
+	Impair   *ImpairParams
+	// ListenerOffline lists windows during which the IS-IS listener
+	// recorded nothing. Nil means the default two maintenance
+	// windows.
+	ListenerOffline []trace.Interval
+	// RefreshMode and RefreshInterval control periodic LSP refresh.
+	RefreshMode     RefreshMode
+	RefreshInterval time.Duration
+	// EnableLinkIDs turns on the RFC 5307 link-identifier sub-TLVs
+	// on every device: the paper's footnote-1 extension that makes
+	// multi-link adjacencies differentiable. Off by default to match
+	// the CENIC deployment.
+	EnableLinkIDs bool
+	// InBandSyslog models syslog's in-band transport mechanistically:
+	// a message is lost outright when its router has no path to the
+	// collector at emission time (the collector sits on the first
+	// core router). Off by default — the calibrated blackout model
+	// already absorbs this effect statistically.
+	InBandSyslog bool
+}
+
+// StudyStart and StudyEnd are the paper's measurement period.
+var (
+	StudyStart = time.Date(2010, time.October, 20, 0, 0, 0, 0, time.UTC)
+	StudyEnd   = time.Date(2011, time.November, 11, 0, 0, 0, 0, time.UTC)
+)
+
+func (c *Config) fillDefaults() {
+	if c.Spec.CoreRouters == 0 {
+		c.Spec = topo.DefaultSpec()
+		c.Spec.Seed = c.Seed
+	}
+	if c.Start.IsZero() {
+		c.Start = StudyStart
+	}
+	if c.End.IsZero() {
+		c.End = StudyEnd
+	}
+	if c.Workload == nil {
+		w := DefaultWorkload()
+		c.Workload = &w
+	}
+	if c.Impair == nil {
+		im := DefaultImpairments()
+		c.Impair = &im
+	}
+	if c.ListenerOffline == nil {
+		c.ListenerOffline = []trace.Interval{
+			{Start: c.Start.Add(80 * 24 * time.Hour), End: c.Start.Add(80*24*time.Hour + 30*time.Hour)},
+			{Start: c.Start.Add(240 * 24 * time.Hour), End: c.Start.Add(240*24*time.Hour + 52*time.Hour)},
+		}
+	}
+	if c.RefreshInterval == 0 {
+		c.RefreshInterval = 15 * time.Minute
+	}
+}
+
+// CapturedLSP is one LSP as the listener's capture file records it:
+// arrival time plus raw wire bytes.
+type CapturedLSP struct {
+	Time time.Time
+	Data []byte
+}
+
+// Counts summarizes campaign volume for Table 1.
+type Counts struct {
+	// SyslogReceived is the number of messages that survived to the
+	// collector; SyslogSent the number emitted by devices.
+	SyslogReceived int
+	SyslogSent     int
+	// LSPUpdates counts all LSP receptions at the listener,
+	// including periodic refreshes (analytic under RefreshCounted).
+	LSPUpdates int
+	// ContentLSPs counts LSPs that carried a state change.
+	ContentLSPs int
+	// GroundTruthFailures is the number of true outages injected.
+	GroundTruthFailures int
+}
+
+// Campaign is everything a simulation run produces: the raw captures
+// the analysis pipelines consume, plus ground truth for calibration.
+type Campaign struct {
+	Config  Config
+	Network *topo.Network
+	// Archive is the router-config archive for mining.
+	Archive *config.Archive
+	// Syslog is the collector's received message log, time-ordered.
+	Syslog []*syslog.Message
+	// LSPLog is the listener's capture, time-ordered. Empty spans
+	// correspond to ListenerOffline windows.
+	LSPLog []CapturedLSP
+	// GroundTruth is the injected failure list (not available to a
+	// real analyst; used for tickets and calibration tests).
+	GroundTruth []GroundTruthFailure
+	// ListenerOffline echoes the windows for sanitization.
+	ListenerOffline []trace.Interval
+	Counts          Counts
+}
+
+// Run executes a campaign.
+func Run(cfg Config) (*Campaign, error) {
+	cfg.fillDefaults()
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("netsim: empty observation window")
+	}
+	net, err := topo.Generate(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	root := newRNG(cfg.Seed)
+	workRNG := root.fork()
+	impairRNG := root.fork()
+
+	camp := &Campaign{
+		Config:          cfg,
+		Network:         net,
+		Archive:         config.GenerateArchive(net, cfg.Start.Add(-24*time.Hour), cfg.End, 7*24*time.Hour),
+		ListenerOffline: cfg.ListenerOffline,
+	}
+	camp.GroundTruth = GenerateWorkload(workRNG, net, *cfg.Workload, cfg.Start, cfg.End)
+	camp.Counts.GroundTruthFailures = len(camp.GroundTruth)
+
+	sim := &simulation{
+		cfg:     cfg,
+		net:     net,
+		camp:    camp,
+		rng:     impairRNG,
+		sched:   NewScheduler(cfg.Start),
+		devices: make(map[string]*device.Router, len(net.RouterNames)),
+	}
+	if cfg.InBandSyslog {
+		sim.graph = topo.NewGraph(net)
+		sim.collectorHost = net.RouterNames[0]
+		sim.gtDown = make(map[topo.LinkID]int)
+		sim.reachCache = make(map[string]bool)
+	}
+	if cfg.Impair.RateLimitPerMin > 0 {
+		sim.buckets = make(map[string]*tokenBucket)
+	}
+	for _, name := range net.RouterNames {
+		r := net.Routers[name]
+		dialect := syslog.DialectIOS
+		if r.Class == topo.Core {
+			dialect = syslog.DialectIOSXR
+		}
+		d := device.New(net, r, dialect)
+		d.LinkIDCapable = cfg.EnableLinkIDs
+		sim.devices[name] = d
+	}
+
+	// Initial database sync: when the listener joins the IS-IS
+	// network it receives every router's current LSP via CSNP
+	// exchange, establishing its baseline. The same resync happens
+	// whenever the listener returns from an offline window.
+	sim.scheduleSync(cfg.Start)
+	for _, w := range cfg.ListenerOffline {
+		sim.scheduleSync(w.End)
+	}
+	sim.scheduleFailures()
+	sim.schedulePseudoFailures()
+	sim.scheduleBlips()
+	sim.scheduleNoise()
+	if cfg.RefreshMode == RefreshFull {
+		sim.scheduleRefreshes()
+	}
+	sim.sched.Run(cfg.End)
+
+	sort.SliceStable(camp.Syslog, func(i, j int) bool {
+		return camp.Syslog[i].Timestamp.Before(camp.Syslog[j].Timestamp)
+	})
+	sort.SliceStable(camp.LSPLog, func(i, j int) bool {
+		return camp.LSPLog[i].Time.Before(camp.LSPLog[j].Time)
+	})
+	if cfg.RefreshMode == RefreshCounted {
+		camp.Counts.LSPUpdates = camp.Counts.ContentLSPs + sim.analyticRefreshCount()
+	}
+	return camp, nil
+}
+
+// simulation carries the mutable run state.
+type simulation struct {
+	cfg     Config
+	net     *topo.Network
+	camp    *Campaign
+	rng     *rng
+	sched   *Scheduler
+	devices map[string]*device.Router
+
+	// In-band syslog state: the graph, collector host, current
+	// ground-truth down set, and a memoized reachability view that
+	// is invalidated whenever the down set changes.
+	graph         *topo.Graph
+	collectorHost string
+	gtDown        map[topo.LinkID]int
+	reachCache    map[string]bool
+	reachDirty    bool
+
+	// Per-device syslog rate-limit buckets (Cisco "logging
+	// rate-limit"), active when RateLimitPerMin > 0.
+	buckets map[string]*tokenBucket
+}
+
+// tokenBucket is the per-device rate limiter state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimited consumes one token from host's bucket, refilling by
+// elapsed simulated time; it reports true when the message must be
+// dropped at the source.
+func (s *simulation) rateLimited(host string, at time.Time) bool {
+	im := s.cfg.Impair
+	if im.RateLimitPerMin <= 0 {
+		return false
+	}
+	burst := float64(im.RateLimitBurst)
+	if burst < 1 {
+		burst = 1
+	}
+	b := s.buckets[host]
+	if b == nil {
+		b = &tokenBucket{tokens: burst, last: at}
+		s.buckets[host] = b
+	}
+	if at.After(b.last) {
+		b.tokens += at.Sub(b.last).Minutes() * im.RateLimitPerMin
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = at
+	}
+	if b.tokens < 1 {
+		return true
+	}
+	b.tokens--
+	return false
+}
+
+// linkStateChanged records a ground-truth link edge for the in-band
+// transport model.
+func (s *simulation) linkStateChanged(link topo.LinkID, down bool) {
+	if !s.cfg.InBandSyslog {
+		return
+	}
+	if down {
+		s.gtDown[link]++
+	} else {
+		s.gtDown[link]--
+		if s.gtDown[link] <= 0 {
+			delete(s.gtDown, link)
+		}
+	}
+	s.reachDirty = true
+}
+
+// collectorReachable reports whether host currently has a path to the
+// collector.
+func (s *simulation) collectorReachable(host string) bool {
+	if !s.cfg.InBandSyslog {
+		return true
+	}
+	if s.reachDirty {
+		s.reachCache = make(map[string]bool, len(s.net.RouterNames))
+		s.reachDirty = false
+	}
+	if v, ok := s.reachCache[host]; ok {
+		return v
+	}
+	down := make(map[topo.LinkID]bool, len(s.gtDown))
+	for l := range s.gtDown {
+		down[l] = true
+	}
+	v := s.graph.Reachable(host, s.collectorHost, down)
+	s.reachCache[host] = v
+	return v
+}
+
+// endpoints returns the two devices terminating a link.
+func (s *simulation) endpoints(id topo.LinkID) (*device.Router, *device.Router) {
+	l, _ := s.net.LinkByID(id)
+	return s.devices[l.A.Host], s.devices[l.B.Host]
+}
+
+// listenerOnline reports whether the listener records at t.
+func (s *simulation) listenerOnline(t time.Time) bool {
+	for _, w := range s.camp.ListenerOffline {
+		if w.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverLSP floods a device's current LSP to the listener.
+func (s *simulation) deliverLSP(d *device.Router, content bool) {
+	lsp := d.OriginateLSP()
+	wire, err := lsp.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("netsim: encoding LSP for %s: %v", d.Info.Name, err))
+	}
+	arrive := s.sched.Now().Add(s.rng.uniformDur(0, s.cfg.Impair.FloodDelayMax))
+	s.sched.At(arrive, func() {
+		if !s.listenerOnline(s.sched.Now()) {
+			return
+		}
+		if content {
+			s.camp.Counts.ContentLSPs++
+		}
+		s.camp.Counts.LSPUpdates++
+		if content || s.cfg.RefreshMode == RefreshFull {
+			// Capture files carry millisecond resolution; quantize so
+			// the on-disk form is lossless.
+			s.camp.LSPLog = append(s.camp.LSPLog, CapturedLSP{Time: s.sched.Now().Truncate(time.Millisecond), Data: wire})
+		}
+	})
+}
+
+// emitSyslog sends a message through the lossy transport. Under the
+// in-band model a message from a router with no path to the collector
+// never arrives, regardless of the loss draw.
+func (s *simulation) emitSyslog(m *syslog.Message, lossProb float64) {
+	s.camp.Counts.SyslogSent++
+	// Draw the loss regardless of reachability so the in-band model
+	// perturbs only delivery, never the random stream (identical
+	// seeds must replay the identical workload either way).
+	lost := s.rng.bernoulli(lossProb)
+	if s.rateLimited(m.Hostname, m.Timestamp) {
+		return
+	}
+	if !s.collectorReachable(m.Hostname) {
+		return
+	}
+	if lost {
+		return
+	}
+	s.camp.Counts.SyslogReceived++
+	s.camp.Syslog = append(s.camp.Syslog, m)
+}
+
+// lossProb returns the applicable loss probability.
+func (s *simulation) lossProb(inFlap bool) float64 {
+	if inFlap {
+		return s.cfg.Impair.LossFlap
+	}
+	return s.cfg.Impair.LossBase
+}
+
+// scheduleFailures drives every ground-truth failure through both
+// observation channels.
+func (s *simulation) scheduleFailures() {
+	for i := range s.camp.GroundTruth {
+		f := s.camp.GroundTruth[i]
+		s.sched.At(f.Start, func() { s.failLink(f) })
+	}
+}
+
+// failLink plays out one failure: detection, LSP origination, syslog
+// emission, recovery.
+func (s *simulation) failLink(f GroundTruthFailure) {
+	im := s.cfg.Impair
+	devA, devB := s.endpoints(f.Link)
+	loss := s.lossProb(f.InFlap)
+
+	// Correlated loss: the failure's entire syslog footprint may be
+	// blacked out (§4.1-style burst loss).
+	blackoutProb := im.BlackoutBase
+	if f.InFlap {
+		blackoutProb = im.BlackoutFlap
+	} else if im.LongFailureCutoff > 0 && f.Duration() > im.LongFailureCutoff {
+		blackoutProb = im.BlackoutLong
+	}
+	blackout := s.rng.bernoulli(blackoutProb)
+	if blackout {
+		loss = 1
+	}
+	// Onset burst loss: only the Down messages are swallowed.
+	downLoss := loss
+	if !blackout && s.rng.bernoulli(im.DownBlackoutProb) {
+		downLoss = 1
+	}
+
+	// The whole failure may be invisible to the listener: sub-second
+	// resets can come and go before LSP generation fires.
+	suppressLSP := f.Duration() < im.LSPSuppressShort && s.rng.bernoulli(im.LSPSuppressProb)
+
+	// Ground truth for the in-band transport model.
+	s.linkStateChanged(f.Link, true)
+
+	// Physical-cause failures take the interface down: %LINK and
+	// %LINEPROTO messages immediately, IP-reachability withdrawal
+	// after the LSP-generation backoff. A blip shorter than the
+	// backoff never withdraws the prefix at all.
+	if f.Cause == CausePhysical {
+		ipDelay := s.rng.uniformDur(0, im.IPWithdrawDelayMax)
+		withdraw := ipDelay < f.Duration()
+		for _, d := range [2]*device.Router{devA, devB} {
+			d := d
+			at := s.sched.Now().Add(s.rng.uniformDur(0, 300*time.Millisecond))
+			s.sched.At(at, func() {
+				msgs, err := d.LinkMessages(s.sched.Now(), f.Link, false)
+				if err == nil {
+					for _, m := range msgs {
+						s.emitSyslog(m, loss)
+					}
+				}
+			})
+			if withdraw {
+				jitter := s.rng.uniformDur(0, time.Second)
+				s.sched.At(f.Start.Add(ipDelay+jitter), func() {
+					if d.SetPhysical(f.Link, false) && !suppressLSP {
+						s.deliverLSP(d, true)
+					}
+				})
+			}
+		}
+	}
+
+	// Adjacency-down detection per endpoint.
+	slow := f.Cause == CausePhysical && s.rng.bernoulli(im.SlowDetectProb)
+	var base time.Duration
+	if slow {
+		base = im.HoldExpiryMin + s.rng.uniformDur(0, im.HoldExpiryMax-im.HoldExpiryMin)
+	} else {
+		base = s.rng.uniformDur(0, im.DetectFastMax)
+	}
+	reason := "hold time expired"
+	if f.Cause == CausePhysical {
+		reason = "interface state change"
+	}
+	for i, d := range [2]*device.Router{devA, devB} {
+		d := d
+		detect := base
+		if i == 1 {
+			detect += s.rng.uniformDur(0, im.EndpointSkew)
+		}
+		// Detection cannot outlive the failure for flap blips; clamp
+		// so Down precedes the recovery.
+		if detect >= f.Duration() {
+			detect = f.Duration() * 3 / 4
+		}
+		s.sched.At(f.Start.Add(detect), func() {
+			if !d.SetAdjacency(f.Link, false) {
+				return
+			}
+			emit := s.sched.Now().Add(s.rng.uniformDur(0, im.ProcDelayMax))
+			msg, err := d.AdjMessage(emit, f.Link, false, reason)
+			if err == nil {
+				s.emitSyslog(msg, downLoss)
+			}
+			if !suppressLSP {
+				s.deliverLSP(d, true)
+			}
+		})
+	}
+
+	// Spurious retransmission of the Down during the failure.
+	if s.rng.bernoulli(im.SpuriousDownProb) && f.Duration() > 4*time.Second {
+		d := devA
+		if s.rng.bernoulli(0.5) {
+			d = devB
+		}
+		at := f.Start.Add(f.Duration()/2 + s.rng.uniformDur(0, f.Duration()/4))
+		s.sched.At(at, func() {
+			msg, err := d.AdjMessage(s.sched.Now(), f.Link, false, reason)
+			if err == nil {
+				s.emitSyslog(msg, loss)
+			}
+		})
+	}
+
+	s.sched.At(f.End, func() { s.recoverLink(f, suppressLSP, blackout) })
+}
+
+// recoverLink plays out the end of a failure.
+func (s *simulation) recoverLink(f GroundTruthFailure, suppressLSP, blackout bool) {
+	im := s.cfg.Impair
+	s.linkStateChanged(f.Link, false)
+	devA, devB := s.endpoints(f.Link)
+	loss := s.lossProb(f.InFlap)
+	if blackout {
+		loss = 1
+	}
+
+	if f.Cause == CausePhysical {
+		for _, d := range [2]*device.Router{devA, devB} {
+			d := d
+			at := s.sched.Now().Add(s.rng.uniformDur(0, 300*time.Millisecond))
+			s.sched.At(at, func() {
+				msgs, err := d.LinkMessages(s.sched.Now(), f.Link, true)
+				if err == nil {
+					for _, m := range msgs {
+						s.emitSyslog(m, loss)
+					}
+				}
+			})
+			// IP reachability returns once the interface is up,
+			// usually ahead of the adjacency handshake.
+			ipAt := s.sched.Now().Add(s.rng.uniformDur(0, im.IPRestoreMax))
+			s.sched.At(ipAt, func() {
+				if d.SetPhysical(f.Link, true) && !suppressLSP {
+					s.deliverLSP(d, true)
+				}
+			})
+		}
+	}
+
+	// Adjacency restoration: three-way handshake, endpoint-skewed.
+	// During flapping the adjacency bounces quickly; otherwise the
+	// full handshake delay applies.
+	var first, skew time.Duration
+	if f.InFlap {
+		first = s.rng.uniformDur(500*time.Millisecond, 2500*time.Millisecond)
+		skew = s.rng.uniformDur(0, 2*time.Second)
+	} else {
+		first = im.AdjRestoreMin + s.rng.uniformDur(0, im.AdjRestoreMax-im.AdjRestoreMin)
+		skew = s.rng.uniformDur(0, im.RestoreSkewMax)
+	}
+	order := [2]*device.Router{devA, devB}
+	if s.rng.bernoulli(0.5) {
+		order[0], order[1] = order[1], order[0]
+	}
+	for i, d := range order {
+		d := d
+		delay := first
+		if i == 1 {
+			delay += skew
+		}
+		s.sched.At(f.End.Add(delay), func() {
+			if !d.SetAdjacency(f.Link, true) {
+				return
+			}
+			emit := s.sched.Now().Add(s.rng.uniformDur(0, im.ProcDelayMax))
+			msg, err := d.AdjMessage(emit, f.Link, true, "new adjacency")
+			if err == nil {
+				s.emitSyslog(msg, loss)
+			}
+			if !suppressLSP {
+				s.deliverLSP(d, true)
+			}
+		})
+	}
+
+	// Redundant Up after recovery.
+	if s.rng.bernoulli(im.SpuriousUpProb) {
+		d := order[0]
+		at := f.End.Add(first + skew + time.Second + s.rng.uniformDur(0, time.Minute))
+		s.sched.At(at, func() {
+			msg, err := d.AdjMessage(s.sched.Now(), f.Link, true, "new adjacency")
+			if err == nil {
+				s.emitSyslog(msg, loss)
+			}
+		})
+	}
+
+	// Adjacency-reset pseudo-failure trailing a real failure.
+	afterProb := im.PseudoAfterNonFlap
+	if f.InFlap {
+		afterProb = im.PseudoAfterFlap
+	}
+	if s.rng.bernoulli(afterProb) {
+		at := f.End.Add(first + skew + 2*time.Second + s.rng.uniformDur(0, 5*time.Second))
+		s.sched.At(at, func() { s.pseudoFailure(f.Link, "adjacency reset", f.InFlap) })
+	}
+}
+
+// pseudoFailure emits a syslog-only Down/Up blip with no LSP: an
+// aborted handshake or adjacency reset.
+func (s *simulation) pseudoFailure(link topo.LinkID, reason string, inFlap bool) {
+	devA, devB := s.endpoints(link)
+	d := devA
+	if s.rng.bernoulli(0.5) {
+		d = devB
+	}
+	// Resets are local control-plane events, not burst load: their
+	// messages are rarely lost. (An orphaned half of this pair shows
+	// up as an unexplained repeated transition.)
+	loss := s.lossProb(inFlap) * 0.3
+	now := s.sched.Now()
+	down, err := d.AdjMessage(now, link, false, reason)
+	if err != nil {
+		return
+	}
+	s.emitSyslog(down, loss)
+	up, err := d.AdjMessage(now.Add(time.Duration(1+s.rng.Intn(999))*time.Millisecond), link, true, "new adjacency")
+	if err != nil {
+		return
+	}
+	s.emitSyslog(up, loss)
+}
+
+// schedulePseudoFailures spreads background reset blips over every
+// link (failure-correlated resets are scheduled from recoverLink).
+func (s *simulation) schedulePseudoFailures() {
+	im := s.cfg.Impair
+	for _, link := range s.net.Links {
+		rate := im.PseudoBackgroundPerYear
+		if rate <= 0 {
+			continue
+		}
+		meanGap := time.Duration(float64(365.25*24*time.Hour) / rate)
+		id := link.ID
+		lr := s.rng.fork()
+		t := s.cfg.Start.Add(lr.expDur(meanGap))
+		for t.Before(s.cfg.End) {
+			at := t
+			reason := "three-way handshake aborted"
+			if lr.bernoulli(0.4) {
+				reason = "adjacency reset"
+			}
+			rsn := reason
+			s.sched.At(at, func() { s.pseudoFailure(id, rsn, false) })
+			t = t.Add(lr.expDur(meanGap))
+		}
+	}
+}
+
+// blip plays a carrier bounce shorter than the hold time: physical
+// messages and prefix withdrawal, no adjacency change.
+func (s *simulation) blip(link topo.LinkID, dur time.Duration) {
+	im := s.cfg.Impair
+	devA, devB := s.endpoints(link)
+	start := s.sched.Now()
+	ipDelay := 2*time.Second + s.rng.uniformDur(0, 13*time.Second)
+	for _, d := range [2]*device.Router{devA, devB} {
+		d := d
+		at := start.Add(s.rng.uniformDur(0, 300*time.Millisecond))
+		s.sched.At(at, func() {
+			if msgs, err := d.LinkMessages(s.sched.Now(), link, false); err == nil {
+				for _, m := range msgs {
+					s.emitSyslog(m, im.LossBase)
+				}
+			}
+		})
+		if ipDelay < dur {
+			s.sched.At(start.Add(ipDelay+s.rng.uniformDur(0, time.Second)), func() {
+				if d.SetPhysical(link, false) {
+					s.deliverLSP(d, true)
+				}
+			})
+		}
+		end := start.Add(dur)
+		s.sched.At(end.Add(s.rng.uniformDur(0, 300*time.Millisecond)), func() {
+			if msgs, err := d.LinkMessages(s.sched.Now(), link, true); err == nil {
+				for _, m := range msgs {
+					s.emitSyslog(m, im.LossBase)
+				}
+			}
+		})
+		s.sched.At(end.Add(s.rng.uniformDur(0, im.IPRestoreMax)), func() {
+			if d.SetPhysical(link, true) {
+				s.deliverLSP(d, true)
+			}
+		})
+	}
+}
+
+// scheduleBlips spreads carrier bounces over every link.
+func (s *simulation) scheduleBlips() {
+	im := s.cfg.Impair
+	if im.BlipPerLinkYear <= 0 {
+		return
+	}
+	meanGap := time.Duration(float64(365.25*24*time.Hour) / im.BlipPerLinkYear)
+	for _, link := range s.net.Links {
+		id := link.ID
+		lr := s.rng.fork()
+		t := s.cfg.Start.Add(lr.expDur(meanGap))
+		for t.Before(s.cfg.End) {
+			dur := im.BlipDurMin + lr.uniformDur(0, im.BlipDurMax-im.BlipDurMin)
+			at := t
+			s.sched.At(at, func() { s.blip(id, dur) })
+			t = t.Add(dur + lr.expDur(meanGap))
+		}
+	}
+}
+
+// scheduleNoise emits unrelated syslog messages (config changes,
+// login notices) that the analysis must filter out, as the paper's
+// collector did.
+func (s *simulation) scheduleNoise() {
+	im := s.cfg.Impair
+	if im.NoisePerRouterDay <= 0 {
+		return
+	}
+	meanGap := time.Duration(float64(24*time.Hour) / im.NoisePerRouterDay)
+	for _, name := range s.net.RouterNames {
+		host := name
+		lr := s.rng.fork()
+		seq := uint64(1 << 20) // clear of the device's own counters
+		t := s.cfg.Start.Add(lr.expDur(meanGap))
+		for t.Before(s.cfg.End) {
+			at := t
+			seq++
+			msgSeq := seq
+			s.sched.At(at, func() {
+				m := &syslog.Message{
+					Facility:  syslog.Local7,
+					Severity:  syslog.Informational,
+					Timestamp: s.sched.Now().Truncate(time.Millisecond),
+					Hostname:  host,
+					Seq:       msgSeq,
+					Mnemonic:  "SYS-5-CONFIG_I",
+					Text:      "Configured from console by admin",
+				}
+				s.emitSyslog(m, s.cfg.Impair.LossBase)
+			})
+			t = t.Add(lr.expDur(meanGap))
+		}
+	}
+}
+
+// scheduleSync delivers every device's current LSP to the listener,
+// modeling the CSNP-driven database synchronization that happens when
+// the listener (re)joins the network.
+func (s *simulation) scheduleSync(at time.Time) {
+	s.sched.At(at, func() {
+		for _, name := range s.net.RouterNames {
+			s.deliverLSP(s.devices[name], true)
+		}
+	})
+}
+
+// scheduleRefreshes arranges periodic LSP refreshes for every device.
+func (s *simulation) scheduleRefreshes() {
+	for _, name := range s.net.RouterNames {
+		d := s.devices[name]
+		var tick func()
+		tick = func() {
+			s.deliverLSP(d, false)
+			s.sched.After(s.cfg.RefreshInterval+s.rng.uniformDur(0, s.cfg.RefreshInterval/10), tick)
+		}
+		s.sched.After(s.rng.uniformDur(0, s.cfg.RefreshInterval), tick)
+	}
+}
+
+// analyticRefreshCount computes the refresh volume RefreshCounted
+// mode does not materialize: one refresh per device per interval.
+func (s *simulation) analyticRefreshCount() int {
+	intervals := float64(s.cfg.End.Sub(s.cfg.Start)) / float64(s.cfg.RefreshInterval)
+	return int(intervals * float64(len(s.net.RouterNames)))
+}

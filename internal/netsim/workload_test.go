@@ -1,0 +1,208 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+func smallNet(t *testing.T) *topo.Network {
+	t.Helper()
+	spec := topo.Spec{
+		Seed: 5, CoreRouters: 10, CPERouters: 20, CoreChords: 2,
+		DualHomedCPE: 4, MultiLinkCorePairs: 1, MultiLinkCPEPairs: 2,
+		Customers: 15, LinkBase: 137<<24 | 164<<16, CoreMetric: 10, CPEMetric: 100,
+	}
+	n, err := topo.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestWorkloadNoOverlapPerLink(t *testing.T) {
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(400 * 24 * time.Hour)
+	failures := GenerateWorkload(newRNG(1), n, DefaultWorkload(), start, end)
+	last := make(map[topo.LinkID]time.Time)
+	for _, f := range failures {
+		if !f.End.After(f.Start) {
+			t.Fatalf("empty failure %+v", f)
+		}
+		if f.Start.Before(start) || f.End.After(end) {
+			t.Fatalf("failure outside window: %+v", f)
+		}
+		if prev, ok := last[f.Link]; ok && f.Start.Before(prev) {
+			t.Fatalf("overlap on %s: starts %v before previous end %v", f.Link, f.Start, prev)
+		}
+		last[f.Link] = f.End
+	}
+	if len(failures) == 0 {
+		t.Fatal("no failures generated")
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(100 * 24 * time.Hour)
+	a := GenerateWorkload(newRNG(7), n, DefaultWorkload(), start, end)
+	b := GenerateWorkload(newRNG(7), n, DefaultWorkload(), start, end)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("failure %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorkloadSortedByStart(t *testing.T) {
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	failures := GenerateWorkload(newRNG(2), n, DefaultWorkload(), start, start.Add(200*24*time.Hour))
+	for i := 1; i < len(failures); i++ {
+		if failures[i].Start.Before(failures[i-1].Start) {
+			t.Fatal("not sorted by start time")
+		}
+	}
+}
+
+func TestWorkloadHasFlapsAndCauses(t *testing.T) {
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	failures := GenerateWorkload(newRNG(3), n, DefaultWorkload(), start, start.Add(400*24*time.Hour))
+	var flaps, physical int
+	for _, f := range failures {
+		if f.InFlap {
+			flaps++
+		}
+		if f.Cause == CausePhysical {
+			physical++
+		}
+	}
+	if flaps == 0 {
+		t.Error("no flap failures")
+	}
+	if physical == 0 || physical == len(failures) {
+		t.Errorf("physical = %d of %d", physical, len(failures))
+	}
+	frac := float64(physical) / float64(len(failures))
+	if frac < 0.2 || frac > 0.55 {
+		t.Errorf("physical fraction = %.2f, want ~1/3", frac)
+	}
+}
+
+func TestWorkloadClassRates(t *testing.T) {
+	// CPE links must fail substantially more often than Core links
+	// per link (Table 5: median 12.3 vs 6.6 per year).
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	failures := GenerateWorkload(newRNG(4), n, DefaultWorkload(), start, start.Add(400*24*time.Hour))
+	perClass := map[topo.LinkClass]int{}
+	for _, f := range failures {
+		perClass[f.Class]++
+	}
+	coreLinks, cpeLinks := n.CountLinks()
+	coreRate := float64(perClass[topo.CoreLink]) / float64(coreLinks)
+	cpeRate := float64(perClass[topo.CPELink]) / float64(cpeLinks)
+	if cpeRate <= coreRate {
+		t.Errorf("per-link rates: core %.1f, cpe %.1f — CPE should exceed Core", coreRate, cpeRate)
+	}
+}
+
+func TestDrawGeometricMean(t *testing.T) {
+	r := newRNG(9)
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += drawGeometric(r, 4)
+	}
+	mean := float64(sum) / trials
+	if mean < 3.4 || mean > 4.6 {
+		t.Errorf("geometric mean = %.2f, want ~4", mean)
+	}
+	if drawGeometric(r, 0) != 0 {
+		t.Error("zero mean should give zero")
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	r := newRNG(1)
+	for i := 0; i < 1000; i++ {
+		d := r.uniformDur(time.Second, 2*time.Second)
+		if d < time.Second || d >= 2*time.Second {
+			t.Fatalf("uniformDur out of range: %v", d)
+		}
+	}
+	if r.uniformDur(time.Second, time.Second) != time.Second {
+		t.Error("degenerate range should return lo")
+	}
+	// Lognormal median check.
+	var above, below int
+	for i := 0; i < 4000; i++ {
+		if r.lognormalDur(time.Minute, 1.5) > time.Minute {
+			above++
+		} else {
+			below++
+		}
+	}
+	if above < 1700 || above > 2300 {
+		t.Errorf("lognormal median off: %d above, %d below", above, below)
+	}
+}
+
+func TestWorkloadMaintenanceSharedRisk(t *testing.T) {
+	n := smallNet(t)
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(200 * 24 * time.Hour)
+	params := DefaultWorkload()
+	params.MaintenancePerRouterYear = 2
+	failures := GenerateWorkload(newRNG(12), n, params, start, end)
+
+	// No-overlap invariant must survive maintenance injection.
+	byLink := make(map[topo.LinkID][]GroundTruthFailure)
+	for _, f := range failures {
+		byLink[f.Link] = append(byLink[f.Link], f)
+	}
+	for link, fs := range byLink {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Start.Before(fs[j].Start) })
+		for i := 1; i < len(fs); i++ {
+			if fs[i].Start.Before(fs[i-1].End) {
+				t.Fatalf("overlap on %s: %v < %v", link, fs[i].Start, fs[i-1].End)
+			}
+		}
+	}
+
+	// Shared risk: find a start time at which several links of one
+	// router fail together.
+	byStart := make(map[time.Time][]topo.LinkID)
+	for _, f := range failures {
+		byStart[f.Start] = append(byStart[f.Start], f.Link)
+	}
+	shared := 0
+	for _, links := range byStart {
+		if len(links) >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no shared-risk maintenance groups found")
+	}
+
+	// Without maintenance the same seed has no such groups.
+	plain := GenerateWorkload(newRNG(12), n, DefaultWorkload(), start, end)
+	byStart = make(map[time.Time][]topo.LinkID)
+	for _, f := range plain {
+		byStart[f.Start] = append(byStart[f.Start], f.Link)
+	}
+	for _, links := range byStart {
+		if len(links) >= 2 {
+			t.Fatal("plain workload has simultaneous multi-link starts")
+		}
+	}
+}

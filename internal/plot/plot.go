@@ -1,0 +1,193 @@
+// Package plot renders simple SVG line charts with optional
+// logarithmic x axes — enough to draw the paper's Figure 1 CDFs
+// without any dependency. Output is deterministic for a given input.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+	// Color is an SVG color; defaults are assigned per index.
+	Color string
+}
+
+// Chart is one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX draws a log10 x axis (the natural scale for failure
+	// durations spanning seconds to days).
+	LogX   bool
+	Series []Series
+	// Width and Height default to 640x420.
+	Width, Height int
+}
+
+var defaultColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd"}
+
+const (
+	marginLeft   = 60
+	marginRight  = 20
+	marginTop    = 36
+	marginBottom = 46
+)
+
+// Render writes the chart as a standalone SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 420
+	}
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	xmin, xmax, ymin, ymax := c.bounds()
+	xt := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		return marginLeft + plotW*(x-xmin)/(xmax-xmin)
+	}
+	yt := func(y float64) float64 {
+		return marginTop + plotH*(1-(y-ymin)/(ymax-ymin))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+
+	// Y ticks at 0, .25, .5, .75, 1 (scaled to range).
+	for i := 0; i <= 4; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/4
+		py := yt(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginLeft, py, width-marginRight, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.2g</text>`+"\n",
+			marginLeft-6, py+4, y)
+	}
+	// X ticks: decades when log, 5 linear ticks otherwise.
+	if c.LogX {
+		for d := math.Ceil(xmin); d <= math.Floor(xmax); d++ {
+			px := marginLeft + plotW*(d-xmin)/(xmax-xmin)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n",
+				px, marginTop, px, height-marginBottom)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				px, height-marginBottom+16, decadeLabel(d))
+		}
+	} else {
+		for i := 0; i <= 4; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/4
+			px := marginLeft + plotW*float64(i)/4
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+				px, height-marginBottom+16, x)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+int(plotW/2), height-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+int(plotH/2), marginTop+int(plotH/2), escape(c.YLabel))
+
+	// Curves as step functions (CDF semantics).
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[i%len(defaultColors)]
+		}
+		var path strings.Builder
+		first := true
+		prevY := 0.0
+		for j := range s.X {
+			x := s.X[j]
+			if c.LogX && x <= 0 {
+				continue
+			}
+			px, py := xt(x), yt(s.Y[j])
+			if first {
+				path.WriteString(fmt.Sprintf("M%.1f,%.1f", px, yt(prevY)))
+				first = false
+			} else {
+				path.WriteString(fmt.Sprintf("L%.1f,%.1f", px, yt(prevY)))
+			}
+			path.WriteString(fmt.Sprintf("L%.1f,%.1f", px, py))
+			prevY = s.Y[j]
+		}
+		if path.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", path.String(), color)
+		// Legend entry.
+		ly := marginTop + 14 + 18*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginRight-120, ly, width-marginRight-96, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginRight-90, ly+4, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes axis ranges (log-space for x when LogX).
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = 0, 1
+	for _, s := range c.Series {
+		for j, x := range s.X {
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if s.Y[j] > ymax {
+				ymax = s.Y[j]
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax = 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func decadeLabel(d float64) string {
+	v := math.Pow(10, d)
+	if d >= 0 && d <= 6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("1e%.0f", d)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleChart(logx bool) *Chart {
+	return &Chart{
+		Title:  "CDF of failure duration",
+		XLabel: "seconds",
+		YLabel: "P[X <= x]",
+		LogX:   logx,
+		Series: []Series{
+			{Label: "syslog", X: []float64{1, 10, 100, 1000}, Y: []float64{0.3, 0.6, 0.9, 1}},
+			{Label: "isis", X: []float64{2, 20, 200, 2000}, Y: []float64{0.25, 0.55, 0.85, 1}},
+		},
+	}
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	for _, logx := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := sampleChart(logx).Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+			t.Errorf("not an SVG document (logx=%v)", logx)
+		}
+		if strings.Count(out, "<path") != 2 {
+			t.Errorf("paths = %d, want 2", strings.Count(out, "<path"))
+		}
+		for _, want := range []string{"syslog", "isis", "CDF of failure duration", "seconds"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q", want)
+			}
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleChart(true).Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleChart(true).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("nondeterministic output")
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	c := &Chart{Title: "empty", Series: []Series{{Label: "none"}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no document for empty chart")
+	}
+}
+
+func TestLogXSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		LogX: true,
+		Series: []Series{
+			{Label: "s", X: []float64{0, -5, 1, 10}, Y: []float64{0.1, 0.2, 0.5, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("non-finite coordinates leaked into SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: "a<b & c>d", Series: []Series{{Label: "x", X: []float64{1}, Y: []float64{1}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a&lt;b &amp; c&gt;d") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,165 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// probeNet: vantage -- core-a -- core-b -- cpe-1 (a chain, so cuts
+// are easy to reason about).
+func probeNet(t *testing.T) (*topo.Network, *topo.Graph, map[string]topo.LinkID) {
+	t.Helper()
+	n := topo.NewNetwork()
+	names := []string{"vantage", "core-a", "core-b", "cpe-1"}
+	for i, name := range names {
+		class := topo.Core
+		if name == "cpe-1" {
+			class = topo.CPE
+		}
+		if err := n.AddRouter(&topo.Router{Name: name, Class: class, SystemID: topo.SystemIDFromIndex(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := map[string]topo.LinkID{}
+	add := func(tag, a, b string, subnet uint32) {
+		l, err := n.AddLink(topo.Endpoint{Host: a, Port: "p" + tag}, topo.Endpoint{Host: b, Port: "q" + tag}, subnet, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[tag] = l.ID
+	}
+	add("va", "vantage", "core-a", 0)
+	add("ab", "core-a", "core-b", 2)
+	add("b1", "core-b", "cpe-1", 4)
+	return n, topo.NewGraph(n), links
+}
+
+func at(min int) time.Time {
+	return time.Date(2011, 5, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func TestProbeDetectsLongOutage(t *testing.T) {
+	n, g, links := probeNet(t)
+	// cpe-1's uplink down for an hour.
+	failures := []trace.Failure{{Link: links["b1"], Start: at(60), End: at(120)}}
+	p := DefaultParams("vantage")
+	p.ReplyLoss = 0
+	res := Run(g, n, failures, p, at(0), at(240))
+	var hit *Outage
+	for i := range res.Outages {
+		if res.Outages[i].Router == "cpe-1" {
+			hit = &res.Outages[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("outage not detected: %+v", res.Outages)
+	}
+	// Detected start is quantized to the probing grid.
+	if hit.Interval.Start.Before(at(60)) || hit.Interval.Start.After(at(65)) {
+		t.Errorf("detected start = %v", hit.Interval.Start)
+	}
+	if hit.Interval.End.Before(at(120)) || hit.Interval.End.After(at(125)) {
+		t.Errorf("detected end = %v", hit.Interval.End)
+	}
+	// Upstream routers were never cut.
+	for _, o := range res.Outages {
+		if o.Router != "cpe-1" {
+			t.Errorf("false outage on %s", o.Router)
+		}
+	}
+}
+
+func TestProbeMissesShortFailure(t *testing.T) {
+	n, g, links := probeNet(t)
+	// A 90-second blip between probes.
+	failures := []trace.Failure{{
+		Link:  links["b1"],
+		Start: at(60).Add(30 * time.Second),
+		End:   at(60).Add(2 * time.Minute),
+	}}
+	p := DefaultParams("vantage")
+	p.ReplyLoss = 0
+	res := Run(g, n, failures, p, at(0), at(240))
+	if len(res.Outages) != 0 {
+		t.Errorf("short blip detected: %+v (probing cannot see it)", res.Outages)
+	}
+}
+
+func TestProbeMidChainCutAffectsDownstream(t *testing.T) {
+	n, g, links := probeNet(t)
+	failures := []trace.Failure{{Link: links["ab"], Start: at(30), End: at(90)}}
+	p := DefaultParams("vantage")
+	p.ReplyLoss = 0
+	res := Run(g, n, failures, p, at(0), at(240))
+	affected := map[string]bool{}
+	for _, o := range res.Outages {
+		affected[o.Router] = true
+	}
+	if !affected["core-b"] || !affected["cpe-1"] {
+		t.Errorf("downstream routers not affected: %v", affected)
+	}
+	if affected["core-a"] {
+		t.Error("core-a should stay reachable")
+	}
+}
+
+func TestProbeLossThresholdSuppressesBlips(t *testing.T) {
+	n, g, _ := probeNet(t)
+	// No failures, heavy background loss: with threshold 2, isolated
+	// single losses must not produce outages... but consecutive
+	// random losses may. Use threshold high enough to suppress all.
+	p := DefaultParams("vantage")
+	p.ReplyLoss = 0.2
+	p.LossThreshold = 6
+	res := Run(g, n, nil, p, at(0), at(6000))
+	if len(res.Outages) != 0 {
+		t.Errorf("background loss produced %d outages at threshold 6", len(res.Outages))
+	}
+	if res.ProbesSent == 0 {
+		t.Error("no probes sent")
+	}
+}
+
+func TestAssessCoverage(t *testing.T) {
+	n, g, links := probeNet(t)
+	failures := []trace.Failure{
+		{Link: links["b1"], Start: at(60), End: at(120)},                                      // long: detectable
+		{Link: links["b1"], Start: at(200), End: at(200).Add(30 * time.Second)},               // short: invisible
+		{Link: links["ab"], Start: at(400), End: at(460)},                                     // long on another link
+		{Link: links["va"], Start: at(600), End: at(600).Add(90 * time.Second)},               // short
+		{Link: links["b1"], Start: at(800), End: at(800).Add(4*time.Minute + 59*time.Second)}, // just under interval
+	}
+	p := DefaultParams("vantage")
+	p.ReplyLoss = 0
+	res := Run(g, n, failures, p, at(0), at(1000))
+	cov := Assess(res, failures, p.Interval)
+	if cov.ReferenceFailures != 5 {
+		t.Fatalf("reference = %d", cov.ReferenceFailures)
+	}
+	if cov.Detected < 2 {
+		t.Errorf("detected = %d, want at least the two long failures", cov.Detected)
+	}
+	if cov.Detected >= 5 {
+		t.Errorf("detected = %d — probing should be sparse", cov.Detected)
+	}
+	if cov.DetectedLong < 2 || cov.LongFailures < 2 {
+		t.Errorf("long coverage: %d/%d", cov.DetectedLong, cov.LongFailures)
+	}
+	if f := cov.Fraction(); f <= 0 || f >= 1 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	n, g, links := probeNet(t)
+	failures := []trace.Failure{{Link: links["b1"], Start: at(60), End: at(120)}}
+	p := DefaultParams("vantage")
+	a := Run(g, n, failures, p, at(0), at(500))
+	b := Run(g, n, failures, p, at(0), at(500))
+	if len(a.Outages) != len(b.Outages) || a.ProbesSent != b.ProbesSent {
+		t.Error("nondeterministic")
+	}
+}

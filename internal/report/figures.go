@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netfail/internal/core"
+	"netfail/internal/match"
+	"netfail/internal/plot"
+)
+
+// SaveFigures writes Figure 1a–1c and the window-sweep knee as SVG
+// files into dir, returning the paths written.
+func SaveFigures(dir string, fig core.Figure1, knee []match.WindowPoint) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	charts := []struct {
+		name  string
+		chart *plot.Chart
+	}{
+		{"figure1a.svg", cdfChart("Figure 1a: CDF of failure duration (CPE links)", "seconds", fig.FailureDuration)},
+		{"figure1b.svg", cdfChart("Figure 1b: CDF of annualized link downtime (CPE links)", "hours per year", fig.LinkDowntime)},
+		{"figure1c.svg", cdfChart("Figure 1c: CDF of time between failures (CPE links)", "hours", fig.TimeBetween)},
+		{"knee.svg", kneeChart(knee)},
+	}
+	var paths []string
+	for _, c := range charts {
+		path := filepath.Join(dir, c.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if err := c.chart.Render(f); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("report: rendering %s: %w", c.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+func cdfChart(title, xlabel string, cdfs [2]core.CDF) *plot.Chart {
+	sx, sy := downsample(cdfs[0].X, cdfs[0].Y, 400)
+	ix, iy := downsample(cdfs[1].X, cdfs[1].Y, 400)
+	return &plot.Chart{
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "cumulative fraction",
+		LogX:   true,
+		Series: []plot.Series{
+			{Label: "syslog", X: sx, Y: sy},
+			{Label: "IS-IS", X: ix, Y: iy},
+		},
+	}
+}
+
+// downsample thins a curve to at most n points, always keeping the
+// endpoints. CDFs are monotone, so uniform index sampling preserves
+// the shape.
+func downsample(x, y []float64, n int) ([]float64, []float64) {
+	if len(x) <= n {
+		return x, y
+	}
+	ox := make([]float64, 0, n)
+	oy := make([]float64, 0, n)
+	step := float64(len(x)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		j := int(float64(i) * step)
+		ox = append(ox, x[j])
+		oy = append(oy, y[j])
+	}
+	ox[n-1], oy[n-1] = x[len(x)-1], y[len(y)-1]
+	return ox, oy
+}
+
+func kneeChart(pts []match.WindowPoint) *plot.Chart {
+	var xs, down, fail []float64
+	for _, p := range pts {
+		xs = append(xs, p.Window.Seconds())
+		down = append(down, p.MatchedDowntimeFraction)
+		fail = append(fail, p.MatchedFailureFraction)
+	}
+	return &plot.Chart{
+		Title:  "Matching window sweep (knee at ten seconds, §3.4)",
+		XLabel: "window (seconds)",
+		YLabel: "fraction matched",
+		LogX:   true,
+		Series: []plot.Series{
+			{Label: "downtime", X: xs, Y: down},
+			{Label: "failures", X: xs, Y: fail},
+		},
+	}
+}

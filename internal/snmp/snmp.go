@@ -1,0 +1,133 @@
+// Package snmp models the other ubiquitous failure data source the
+// paper's introduction lists (§1): an NMS polling every interface's
+// ifOperStatus at a fixed interval (Labovitz et al. combined exactly
+// this with operational logs). Polling quantizes everything to the
+// poll grid — a failure shorter than the interval is usually
+// invisible, and every boundary is rounded to the next poll — which
+// is why the paper's comparison needed message-driven sources.
+//
+// The poller replays a ground-truth failure trace and emits the
+// transition stream the NMS would infer, ready for the same matching
+// machinery as the syslog and IS-IS streams.
+package snmp
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"netfail/internal/match"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Params configures the poller.
+type Params struct {
+	// Interval is the polling period (operationally minutes; SNMP
+	// walks of hundreds of devices are not cheap).
+	Interval time.Duration
+	// PhaseJitter spreads each link's poll phase uniformly over the
+	// interval, as real NMS schedulers do; zero polls everything on
+	// the same grid.
+	PhaseJitter bool
+	// TimeoutLoss is the probability a poll times out (counts as no
+	// sample; the NMS keeps the previous state).
+	TimeoutLoss float64
+	// Seed drives phases and timeouts.
+	Seed int64
+}
+
+// DefaultParams polls every five minutes with phase jitter.
+func DefaultParams() Params {
+	return Params{Interval: 5 * time.Minute, PhaseJitter: true, TimeoutLoss: 0.002, Seed: 1}
+}
+
+// Poll replays the failure trace and returns the inferred transition
+// stream over [start, end), tagged trace.KindSNMP. NMS state starts
+// "up" for every link.
+func Poll(net *topo.Network, failures []trace.Failure, p Params, start, end time.Time) []trace.Transition {
+	if p.Interval <= 0 {
+		p.Interval = 5 * time.Minute
+	}
+	byLink := match.GroupByLink(failures)
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var out []trace.Transition
+	for _, link := range net.Links {
+		fs := byLink[link.ID]
+		phase := time.Duration(0)
+		if p.PhaseJitter {
+			phase = time.Duration(rng.Int63n(int64(p.Interval)))
+		}
+		downAt := func(t time.Time) bool {
+			i := sort.Search(len(fs), func(i int) bool { return fs[i].End.After(t) })
+			return i < len(fs) && !t.Before(fs[i].Start)
+		}
+		nmsDown := false
+		for t := start.Add(phase); t.Before(end); t = t.Add(p.Interval) {
+			if rng.Float64() < p.TimeoutLoss {
+				continue // timeout: previous state stands
+			}
+			cur := downAt(t)
+			if cur == nmsDown {
+				continue
+			}
+			nmsDown = cur
+			dir := trace.Up
+			if cur {
+				dir = trace.Down
+			}
+			out = append(out, trace.Transition{
+				Time:     t,
+				Link:     link.ID,
+				Dir:      dir,
+				Kind:     trace.KindSNMP,
+				Reporter: "nms",
+			})
+		}
+	}
+	trace.SortTransitions(out)
+	return out
+}
+
+// CompareStats summarizes how polling distorts a failure record.
+type CompareStats struct {
+	// ReferenceFailures and Detected mirror probe.Coverage: a
+	// reference failure is detected if an SNMP failure overlaps it.
+	ReferenceFailures int
+	Detected          int
+	// ShortMissed counts undetected failures shorter than the poll
+	// interval (the structural blind spot).
+	ShortMissed int
+	// DowntimeRef and DowntimeSNMP compare total downtime; polling
+	// rounds every boundary up to the next poll.
+	DowntimeRef  time.Duration
+	DowntimeSNMP time.Duration
+}
+
+// Compare reconstructs failures from the SNMP stream and assesses
+// them against a reference failure list.
+func Compare(snmpTransitions []trace.Transition, reference []trace.Failure, interval time.Duration) CompareStats {
+	rec := trace.Reconstruct(snmpTransitions)
+	byLink := match.GroupByLink(rec.Failures)
+	var cs CompareStats
+	cs.DowntimeRef = trace.TotalDowntime(reference)
+	cs.DowntimeSNMP = trace.TotalDowntime(rec.Failures)
+	for _, f := range reference {
+		cs.ReferenceFailures++
+		if match.Intersects(f, byLink) {
+			cs.Detected++
+		} else if f.Duration() < interval {
+			cs.ShortMissed++
+		}
+	}
+	return cs
+}
+
+// Fraction returns detected over reference.
+func (c CompareStats) Fraction() float64 {
+	if c.ReferenceFailures == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.ReferenceFailures)
+}

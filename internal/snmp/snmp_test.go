@@ -1,0 +1,130 @@
+package snmp
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+func snmpNet(t *testing.T) (*topo.Network, topo.LinkID) {
+	t.Helper()
+	n := topo.NewNetwork()
+	for i, name := range []string{"core-a", "cpe-1"} {
+		class := topo.Core
+		if i == 1 {
+			class = topo.CPE
+		}
+		if err := n.AddRouter(&topo.Router{Name: name, Class: class, SystemID: topo.SystemIDFromIndex(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := n.AddLink(topo.Endpoint{Host: "core-a", Port: "Te0"}, topo.Endpoint{Host: "cpe-1", Port: "Gi0"}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, l.ID
+}
+
+func at(min int) time.Time {
+	return time.Date(2011, 5, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func fixedParams() Params {
+	return Params{Interval: 5 * time.Minute, PhaseJitter: false, TimeoutLoss: 0, Seed: 1}
+}
+
+func TestPollDetectsLongFailureQuantized(t *testing.T) {
+	n, link := snmpNet(t)
+	failures := []trace.Failure{{Link: link, Start: at(62), End: at(93)}}
+	ts := Poll(n, failures, fixedParams(), at(0), at(200))
+	if len(ts) != 2 {
+		t.Fatalf("transitions = %+v", ts)
+	}
+	// Down detected at the first poll inside the failure (t=65),
+	// Up at the first poll after it ends (t=95).
+	if !ts[0].Time.Equal(at(65)) || ts[0].Dir != trace.Down {
+		t.Errorf("down = %+v", ts[0])
+	}
+	if !ts[1].Time.Equal(at(95)) || ts[1].Dir != trace.Up {
+		t.Errorf("up = %+v", ts[1])
+	}
+	if ts[0].Kind != trace.KindSNMP {
+		t.Errorf("kind = %v", ts[0].Kind)
+	}
+}
+
+func TestPollMissesShortFailure(t *testing.T) {
+	n, link := snmpNet(t)
+	// Two minutes between two polls.
+	failures := []trace.Failure{{Link: link, Start: at(61), End: at(63)}}
+	ts := Poll(n, failures, fixedParams(), at(0), at(200))
+	if len(ts) != 0 {
+		t.Errorf("short failure visible to polling: %+v", ts)
+	}
+}
+
+func TestPollMergesAdjacentFailures(t *testing.T) {
+	n, link := snmpNet(t)
+	// Two failures whose gap contains no poll tick look like one
+	// long outage to the NMS.
+	failures := []trace.Failure{
+		{Link: link, Start: at(61), End: at(71)},
+		{Link: link, Start: at(73), End: at(84)},
+	}
+	ts := Poll(n, failures, fixedParams(), at(0), at(200))
+	rec := trace.Reconstruct(ts)
+	if len(rec.Failures) != 1 {
+		t.Errorf("NMS failures = %+v, want one merged", rec.Failures)
+	}
+}
+
+func TestPollDeterministicWithJitter(t *testing.T) {
+	n, link := snmpNet(t)
+	failures := []trace.Failure{{Link: link, Start: at(60), End: at(120)}}
+	p := DefaultParams()
+	a := Poll(n, failures, p, at(0), at(300))
+	b := Poll(n, failures, p, at(0), at(300))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+func TestCompareStats(t *testing.T) {
+	n, link := snmpNet(t)
+	reference := []trace.Failure{
+		{Link: link, Start: at(60), End: at(120)},                        // long: detected
+		{Link: link, Start: at(201), End: at(201).Add(90 * time.Second)}, // short, between polls: missed
+		{Link: link, Start: at(300), End: at(400)},                       // long: detected
+	}
+	ts := Poll(n, reference, fixedParams(), at(0), at(500))
+	cs := Compare(ts, reference, 5*time.Minute)
+	if cs.ReferenceFailures != 3 || cs.Detected != 2 || cs.ShortMissed != 1 {
+		t.Errorf("stats = %+v", cs)
+	}
+	if f := cs.Fraction(); f < 0.6 || f > 0.7 {
+		t.Errorf("fraction = %v", f)
+	}
+	// Polling rounds boundaries outward on the up side, so SNMP
+	// downtime for detected failures is similar-or-larger, but the
+	// missed short failure pulls the total down: just require both
+	// positive and different.
+	if cs.DowntimeSNMP <= 0 || cs.DowntimeRef <= 0 {
+		t.Errorf("downtime: %+v", cs)
+	}
+}
+
+func TestPollZeroIntervalDefaults(t *testing.T) {
+	n, link := snmpNet(t)
+	failures := []trace.Failure{{Link: link, Start: at(60), End: at(120)}}
+	ts := Poll(n, failures, Params{}, at(0), at(300))
+	if len(ts) == 0 {
+		t.Error("zero-value params produced nothing")
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMedianCICoversTrueMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	covered := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		// Exponential with true median ln(2)*100 ≈ 69.3.
+		sample := make([]float64, 400)
+		for j := range sample {
+			sample[j] = rng.ExpFloat64() * 100
+		}
+		lo, hi, err := BootstrapMedianCI(sample, 500, 0.05, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("lo %v > hi %v", lo, hi)
+		}
+		if lo <= 69.3 && 69.3 <= hi {
+			covered++
+		}
+	}
+	// A 95% interval should cover the truth nearly always over 40
+	// trials; demand at least 34.
+	if covered < 34 {
+		t.Errorf("coverage = %d/%d", covered, trials)
+	}
+}
+
+func TestBootstrapMedianCIDeterministic(t *testing.T) {
+	sample := []float64{5, 1, 9, 3, 7, 2, 8}
+	lo1, hi1, err := BootstrapMedianCI(sample, 300, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapMedianCI(sample, 300, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("nondeterministic")
+	}
+}
+
+func TestBootstrapMedianCIBracketsSampleMedian(t *testing.T) {
+	sample := []float64{10, 20, 30, 40, 50, 60, 70}
+	lo, hi, err := BootstrapMedianCI(sample, 1000, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 40 || hi < 40 {
+		t.Errorf("CI [%v, %v] excludes the sample median 40", lo, hi)
+	}
+	if lo < 10 || hi > 70 {
+		t.Errorf("CI [%v, %v] outside sample range", lo, hi)
+	}
+}
+
+func TestBootstrapMedianCINarrowsWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	width := func(n int) float64 {
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.NormFloat64()
+		}
+		lo, hi, err := BootstrapMedianCI(sample, 500, 0.05, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hi - lo
+	}
+	if w1, w2 := width(50), width(5000); w2 >= w1 {
+		t.Errorf("CI did not narrow: n=50 width %v, n=5000 width %v", w1, w2)
+	}
+}
+
+func TestBootstrapMedianCIErrors(t *testing.T) {
+	if _, _, err := BootstrapMedianCI(nil, 100, 0.05, 1); err != ErrNoData {
+		t.Errorf("err = %v", err)
+	}
+	// Degenerate parameters fall back to defaults.
+	lo, hi, err := BootstrapMedianCI([]float64{1, 2, 3}, 0, 2, 1)
+	if err != nil || lo > hi {
+		t.Errorf("defaults broken: %v %v %v", lo, hi, err)
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCvMSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rejections := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 300)
+		b := make([]float64, 400)
+		for j := range a {
+			a[j] = rng.ExpFloat64()
+		}
+		for j := range b {
+			b[j] = rng.ExpFloat64()
+		}
+		r, err := CvMTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Consistent(0.05) {
+			rejections++
+		}
+	}
+	// At alpha 0.05 expect ~1.5 rejections in 30 trials; allow 5.
+	if rejections > 5 {
+		t.Errorf("rejections = %d/%d under H0", rejections, trials)
+	}
+}
+
+func TestCvMShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for j := range a {
+		a[j] = rng.NormFloat64()
+		b[j] = rng.NormFloat64() + 0.5
+	}
+	r, err := CvMTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent(0.01) {
+		t.Errorf("shifted samples accepted: T=%v p=%v", r.T, r.PValue)
+	}
+}
+
+func TestCvMIdenticalSamples(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	r, err := CvMTest(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent(0.05) {
+		t.Errorf("identical samples rejected: T=%v p=%v", r.T, r.PValue)
+	}
+}
+
+func TestCvMKnownCriticalValue(t *testing.T) {
+	// The limiting distribution's 0.05 critical value is ~0.461 and
+	// the 0.01 value ~0.743 (Anderson & Darling 1952).
+	if p := cvmPValue(0.461); p < 0.035 || p > 0.065 {
+		t.Errorf("p(0.461) = %v, want ~0.05", p)
+	}
+	if p := cvmPValue(0.743); p < 0.005 || p > 0.02 {
+		t.Errorf("p(0.743) = %v, want ~0.01", p)
+	}
+	if p := cvmPValue(0.05); p < 0.5 {
+		t.Errorf("p(0.05) = %v, want large", p)
+	}
+}
+
+func TestCvMMonotonePValue(t *testing.T) {
+	prev := 1.1
+	for x := 0.05; x < 2.0; x += 0.05 {
+		p := cvmPValue(x)
+		if p > prev+1e-9 {
+			t.Fatalf("p-value not monotone at %v: %v > %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCvMErrors(t *testing.T) {
+	if _, err := CvMTest(nil, []float64{1}); err != ErrNoData {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCvMAgreesWithKSOnGrossDifference(t *testing.T) {
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i + 1000)
+	}
+	cvm, err := CvMTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvm.Consistent(0.05) || ks.Consistent(0.05) {
+		t.Errorf("disjoint samples accepted: cvm p=%v ks p=%v", cvm.PValue, ks.PValue)
+	}
+}

@@ -1,0 +1,33 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"netfail/internal/stats"
+)
+
+// ExampleKSTest checks whether two failure-duration samples could
+// come from the same distribution, the §4.2 consistency question.
+func ExampleKSTest() {
+	syslogDurations := []float64{1, 2, 2, 5, 10, 12, 48, 52, 60, 300}
+	isisDurations := []float64{2, 3, 4, 6, 11, 12, 42, 55, 70, 290}
+	r, err := stats.KSTest(syslogDurations, isisDurations)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("D = %.2f, consistent at 5%%: %v\n", r.D, r.Consistent(0.05))
+	// Output:
+	// D = 0.20, consistent at 5%: true
+}
+
+// ExampleSummarize reports the order statistics every Table 5 cell
+// carries.
+func ExampleSummarize() {
+	s, err := stats.Summarize([]float64{10, 12, 42, 52, 1527})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("median %.0f, mean %.0f\n", s.Median, s.Mean)
+	// Output:
+	// median 42, mean 329
+}

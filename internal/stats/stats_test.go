@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 3 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("got %+v", s)
+	}
+	if !almostEqual(s.P95, 4.8, 1e-9) {
+		t.Errorf("P95 = %v, want 4.8", s.P95)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	sample := []float64{10, 20, 30}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 10}, {1, 30}, {0.5, 20}, {-1, 10}, {2, 30},
+	} {
+		got, err := Quantile(sample, c.q)
+		if err != nil || got != c.want {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", c.q, got, err, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	if _, err := Quantile(sample, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Errorf("input mutated: %v", sample)
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		var sample []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sample = append(sample, v)
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		a, b := math.Abs(math.Mod(q1, 1)), math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		qa, _ := Quantile(sample, a)
+		qb, _ := Quantile(sample, b)
+		return qa <= qb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 4})
+	xs, ys := e.Points()
+	wantX := []float64{1, 2, 4}
+	wantY := []float64{0.25, 0.75, 1}
+	if len(xs) != len(wantX) {
+		t.Fatalf("got %d points, want %d", len(xs), len(wantX))
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || ys[i] != wantY[i] {
+			t.Errorf("point %d = (%v,%v), want (%v,%v)", i, xs[i], ys[i], wantX[i], wantY[i])
+		}
+	}
+}
+
+func TestECDFMatchesBruteForceQuick(t *testing.T) {
+	f := func(raw []float64, x float64) bool {
+		var sample []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				sample = append(sample, v)
+			}
+		}
+		if math.IsNaN(x) {
+			return true
+		}
+		e := NewECDF(sample)
+		count := 0
+		for _, v := range sample {
+			if v <= x {
+				count++
+			}
+		}
+		want := 0.0
+		if len(sample) > 0 {
+			want = float64(count) / float64(len(sample))
+		}
+		return e.At(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	r, err := KSTest(sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 0 {
+		t.Errorf("D = %v, want 0", r.D)
+	}
+	if !r.Consistent(0.05) {
+		t.Error("identical samples judged inconsistent")
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i + 1000)
+	}
+	r, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 1 {
+		t.Errorf("D = %v, want 1", r.D)
+	}
+	if r.Consistent(0.05) {
+		t.Error("disjoint samples judged consistent")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 500)
+	b := make([]float64, 600)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	r, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent(0.01) {
+		t.Errorf("same-distribution samples rejected: D=%v p=%v", r.D, r.PValue)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 800)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.0
+	}
+	r, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent(0.05) {
+		t.Errorf("shifted samples accepted: D=%v p=%v", r.D, r.PValue)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KSTest(nil, []float64{1}); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestKSStatisticMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 5+rng.Intn(50))
+		b := make([]float64, 5+rng.Intn(50))
+		for i := range a {
+			a[i] = math.Round(rng.Float64()*20) / 2 // ties on purpose
+		}
+		for i := range b {
+			b[i] = math.Round(rng.Float64()*20) / 2
+		}
+		r, err := KSTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: max over all sample points of |Fa - Fb|.
+		ea, eb := NewECDF(a), NewECDF(b)
+		all := append(append([]float64(nil), a...), b...)
+		sort.Float64s(all)
+		var want float64
+		for _, x := range all {
+			if d := math.Abs(ea.At(x) - eb.At(x)); d > want {
+				want = d
+			}
+		}
+		if !almostEqual(r.D, want, 1e-12) {
+			t.Errorf("trial %d: D = %v, brute force %v", trial, r.D, want)
+		}
+	}
+}
+
+func TestKSPValueDecreasesWithD(t *testing.T) {
+	// For fixed sample sizes, larger D must give smaller p.
+	prev := 1.1
+	for d := 0.05; d <= 0.5; d += 0.05 {
+		lambda := (math.Sqrt(50) + 0.12 + 0.11/math.Sqrt(50)) * d
+		p := ksQ(lambda)
+		if p > prev {
+			t.Errorf("p-value not monotone at D=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -1, 11}, 10, 0, 10)
+	if h.N != 4 {
+		t.Errorf("N = %d, want 4 (out-of-range dropped)", h.N)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramUpperEdgeInLastBin(t *testing.T) {
+	h := NewHistogram([]float64{10}, 10, 0, 10)
+	if h.Counts[9] != 1 {
+		t.Errorf("upper edge not in last bin: %v", h.Counts)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2 4]) != 3")
+	}
+}

@@ -1,0 +1,42 @@
+package syslog
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkRender(b *testing.B) {
+	m := AdjChange(DialectIOSXR, "riv-core-01", 421,
+		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
+		"cpe-001", "TenGigE0/1/0/3", false, "hold time expired")
+	for i := 0; i < b.N; i++ {
+		if m.Render() == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	line := AdjChange(DialectIOSXR, "riv-core-01", 421,
+		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
+		"cpe-001", "TenGigE0/1/0/3", false, "hold time expired").Render()
+	ref := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(line, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLinkEvent(b *testing.B) {
+	m := AdjChange(DialectIOS, "riv-core-01", 1,
+		time.Date(2011, 3, 3, 4, 5, 6, 0, time.UTC),
+		"cpe-001", "GigabitEthernet0/0/1", true, "new adjacency")
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLinkEvent(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

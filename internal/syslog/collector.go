@@ -1,0 +1,167 @@
+package syslog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Collector is the central logging facility: it receives syslog lines
+// over UDP and appends the parsed messages to an in-memory log. Every
+// router in the network is configured to send to one collector.
+type Collector struct {
+	conn *net.UDPConn
+	ref  time.Time
+
+	mu       sync.Mutex
+	messages []*Message
+	dropped  int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCollector starts a collector listening on addr (e.g.
+// "127.0.0.1:0"). ref is the reference time for resolving the
+// year-less RFC 3164 timestamps.
+func NewCollector(addr string, ref time.Time) (*Collector, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("syslog: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("syslog: listen: %w", err)
+	}
+	c := &Collector{conn: conn, ref: ref, done: make(chan struct{})}
+	c.wg.Add(1)
+	go c.run()
+	return c, nil
+}
+
+// Addr returns the address the collector is listening on.
+func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+func (c *Collector) run() {
+	defer c.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return
+		}
+		m, err := Parse(string(buf[:n]), c.ref)
+		c.mu.Lock()
+		if err != nil {
+			c.dropped++
+		} else {
+			c.messages = append(c.messages, m)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Messages returns a snapshot of the messages received so far.
+func (c *Collector) Messages() []*Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Message(nil), c.messages...)
+}
+
+// Dropped returns the count of unparseable datagrams.
+func (c *Collector) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close stops the collector.
+func (c *Collector) Close() error {
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Sender transmits syslog messages over UDP, as a router's syslog
+// process would.
+type Sender struct {
+	conn net.Conn
+}
+
+// NewSender dials the collector.
+func NewSender(addr string) (*Sender, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("syslog: dial %q: %w", addr, err)
+	}
+	return &Sender{conn: conn}, nil
+}
+
+// Send transmits one message. UDP delivery is, faithfully, best
+// effort.
+func (s *Sender) Send(m *Message) error {
+	_, err := io.WriteString(s.conn, m.Render())
+	return err
+}
+
+// Close releases the socket.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// WriteLog writes messages to w, one rendered line each: the on-disk
+// archive format the analysis pipeline reads back.
+func WriteLog(w io.Writer, messages []*Message) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range messages {
+		if _, err := bw.WriteString(m.Render()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a log written by WriteLog. Unparseable lines are
+// counted, not fatal, matching operational reality.
+//
+// RFC 3164 timestamps carry no year, so a single fixed reference
+// would misplace messages more than six months from it — fatal for a
+// 13-month archive. Logs are chronological, so the reader resolves
+// each line against a rolling reference: the previous message's
+// resolved time (seeded by ref, the archive's start).
+func ReadLog(r io.Reader, ref time.Time) (messages []*Message, badLines int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	rolling := ref
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		m, perr := Parse(line, rolling)
+		if perr != nil {
+			badLines++
+			continue
+		}
+		if m.Timestamp.After(rolling) {
+			rolling = m.Timestamp
+		}
+		messages = append(messages, m)
+	}
+	return messages, badLines, sc.Err()
+}

@@ -1,0 +1,31 @@
+package syslog
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse: arbitrary lines must never panic the parser, and
+// anything that parses must render back to something parseable.
+func FuzzParse(f *testing.F) {
+	ref := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	f.Add(AdjChange(DialectIOS, "riv-core-01", 1, ref, "cpe-001", "Gi0/0/0", true, "new adjacency").Render())
+	f.Add(AdjChange(DialectIOSXR, "riv-core-01", 2, ref, "cpe-001", "Te0/1/0/3", false, "hold time expired").Render())
+	f.Add(LinkUpDown("cpe-001", 3, ref, "Gi0/0/0", false).Render())
+	f.Add(LineProtoUpDown("cpe-001", 4, ref, "Gi0/0/0", true).Render())
+	f.Add("<189>Oct 20 04:01:02 host 1: %SYS-5-CONFIG_I: Configured")
+	f.Add("")
+	f.Add("<>")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		m, err := Parse(line, ref)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(m.Render(), ref); err != nil {
+			t.Fatalf("re-rendered message does not parse: %v (from %q)", err, line)
+		}
+		// Link-event extraction must not panic either.
+		_, _ = ParseLinkEvent(m)
+	})
+}

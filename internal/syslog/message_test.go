@@ -1,0 +1,160 @@
+package syslog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+var refTime = time.Date(2011, time.March, 15, 0, 0, 0, 0, time.UTC)
+
+func ts(month time.Month, day, hour, min, sec, ms int) time.Time {
+	return time.Date(2011, month, day, hour, min, sec, ms*int(time.Millisecond), time.UTC)
+}
+
+func TestAdjChangeRenderParseRoundTrip(t *testing.T) {
+	for _, dialect := range []Dialect{DialectIOS, DialectIOSXR} {
+		orig := AdjChange(dialect, "riv-core-01", 421, ts(time.March, 3, 4, 5, 6, 789),
+			"cpe-001", "TenGigE0/1/0/3", false, "hold time expired")
+		line := orig.Render()
+		m, err := Parse(line, refTime)
+		if err != nil {
+			t.Fatalf("dialect %d: Parse(%q): %v", dialect, line, err)
+		}
+		if m.Hostname != "riv-core-01" || m.Seq != 421 {
+			t.Errorf("header: %+v", m)
+		}
+		if !m.Timestamp.Equal(orig.Timestamp) {
+			t.Errorf("timestamp = %v, want %v", m.Timestamp, orig.Timestamp)
+		}
+		ev, err := ParseLinkEvent(m)
+		if err != nil {
+			t.Fatalf("ParseLinkEvent: %v", err)
+		}
+		if ev.Type != EventISISAdj || ev.Up || ev.Neighbor != "cpe-001" ||
+			ev.Interface != "TenGigE0/1/0/3" || ev.Reason != "hold time expired" {
+			t.Errorf("event = %+v", ev)
+		}
+	}
+}
+
+func TestLinkUpDownRoundTrip(t *testing.T) {
+	orig := LinkUpDown("cpe-001", 7, ts(time.October, 20, 23, 59, 59, 1), "GigabitEthernet0/0/1", true)
+	m, err := Parse(orig.Render(), refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ParseLinkEvent(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventLink || !ev.Up || ev.Interface != "GigabitEthernet0/0/1" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestLineProtoRoundTrip(t *testing.T) {
+	orig := LineProtoUpDown("cpe-001", 8, ts(time.June, 1, 1, 2, 3, 0), "GigabitEthernet0/0/1", false)
+	m, err := Parse(orig.Render(), refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ParseLinkEvent(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != EventLineProto || ev.Up {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestParseYearResolution(t *testing.T) {
+	// Study period Oct 2010 – Nov 2011: a December stamp seen from a
+	// January reference belongs to the previous year.
+	jan2011 := time.Date(2011, time.January, 10, 0, 0, 0, 0, time.UTC)
+	m := LinkUpDown("r", 1, time.Date(2010, time.December, 30, 12, 0, 0, 0, time.UTC), "Gi0/0/0", false)
+	got, err := Parse(m.Render(), jan2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp.Year() != 2010 {
+		t.Errorf("year = %d, want 2010", got.Timestamp.Year())
+	}
+	// And a January stamp seen from December belongs to the next year.
+	dec2010 := time.Date(2010, time.December, 28, 0, 0, 0, 0, time.UTC)
+	m2 := LinkUpDown("r", 2, time.Date(2011, time.January, 2, 3, 0, 0, 0, time.UTC), "Gi0/0/0", true)
+	got2, err := Parse(m2.Render(), dec2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Timestamp.Year() != 2011 {
+		t.Errorf("year = %d, want 2011", got2.Timestamp.Year())
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"no pri at all",
+		"<999>Oct 20 01:02:03 host 1: %X-1-Y: text",
+		"<189>bad timestamp here host 1: %X-1-Y: t",
+		"<189>Oct 20 01:02:03 ",
+		"<189>Oct 20 01:02:03 host notanum: %X-1-Y: t",
+		"<189>Oct 20 01:02:03 host 1: no mnemonic here",
+	}
+	for _, line := range bad {
+		if _, err := Parse(line, refTime); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseLinkEventRejectsOthers(t *testing.T) {
+	m := &Message{Mnemonic: "SYS-5-CONFIG_I", Text: "Configured from console"}
+	if _, err := ParseLinkEvent(m); !errors.Is(err, ErrNotLink) {
+		t.Errorf("err = %v, want ErrNotLink", err)
+	}
+}
+
+func TestParseAdjTextMalformed(t *testing.T) {
+	for _, text := range []string{
+		"Adjacency to neighbor-without-iface Up, ok",
+		"Adjacency to n (iface-unterminated Up",
+		"Adjacency to n (i) Sideways, reason",
+		"nonsense",
+	} {
+		m := &Message{Mnemonic: "ROUTING-ISIS-4-ADJCHANGE", Text: text}
+		if _, err := ParseLinkEvent(m); err == nil {
+			t.Errorf("ParseLinkEvent(%q) succeeded", text)
+		}
+	}
+}
+
+func TestPRIEncoding(t *testing.T) {
+	m := &Message{Facility: Local7, Severity: Notice}
+	if m.PRI() != 189 {
+		t.Errorf("PRI = %d, want 189", m.PRI())
+	}
+	if !strings.HasPrefix(m.Render(), "<189>") {
+		t.Errorf("render = %q", m.Render())
+	}
+}
+
+func TestInterfaceNamesWithSpacesInDescription(t *testing.T) {
+	// Neighbor hostnames may contain dots and dashes; parser must not
+	// split on them.
+	orig := AdjChange(DialectIOS, "h", 1, ts(time.May, 5, 5, 5, 5, 5),
+		"svl-core-02.cenic.net", "TenGigE0/1/0/3.100", true, "new adjacency")
+	m, err := Parse(orig.Render(), refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ParseLinkEvent(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Neighbor != "svl-core-02.cenic.net" || ev.Interface != "TenGigE0/1/0/3.100" {
+		t.Errorf("event = %+v", ev)
+	}
+}

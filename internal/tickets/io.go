@@ -1,0 +1,23 @@
+package tickets
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the corpus.
+func WriteJSON(w io.Writer, ts []Ticket) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
+}
+
+// ReadJSON parses a corpus written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Ticket, error) {
+	var ts []Ticket
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("tickets: %w", err)
+	}
+	return ts, nil
+}

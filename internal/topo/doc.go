@@ -1,0 +1,13 @@
+// Package topo models the network under study: routers, interfaces,
+// links, and customers, together with a deterministic generator that
+// produces CENIC-like topologies (a ring-structured 10G backbone of
+// Core routers with single- and dual-homed CPE routers on customer
+// premises) and graph utilities used by the customer-isolation
+// analysis.
+//
+// The topology is the common substrate shared by the IS-IS simulator,
+// the configuration miner, and the failure-trace comparison: both the
+// syslog and IS-IS reconstruction pipelines resolve their respective
+// router naming schemes (hostnames vs. OSI system IDs) onto the link
+// namespace defined here.
+package topo

@@ -1,0 +1,255 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec parameterizes the CENIC-like topology generator. The zero value
+// is not useful; start from DefaultSpec.
+type Spec struct {
+	// Seed drives all randomized choices so a given spec always
+	// generates the identical network.
+	Seed int64
+	// CoreRouters and CPERouters size the two router classes.
+	CoreRouters int
+	CPERouters  int
+	// CoreChords is the number of extra backbone links added on top
+	// of the backbone ring for redundancy.
+	CoreChords int
+	// DualHomedCPE is the number of CPE routers given a second
+	// uplink to a distinct core router.
+	DualHomedCPE int
+	// MultiLinkCorePairs and MultiLinkCPEPairs are the number of
+	// router pairs (of each flavor) connected by two parallel links,
+	// producing the multi-link adjacencies the IS-reachability
+	// analysis must exclude.
+	MultiLinkCorePairs int
+	MultiLinkCPEPairs  int
+	// Customers is the number of customer sites; CPE routers are
+	// distributed over sites (some sites have several routers).
+	Customers int
+	// LinkBase is the host-order address of the /16 from which /31
+	// link subnets are carved.
+	LinkBase uint32
+	// CoreMetric and CPEMetric are the configured IS-IS metrics.
+	CoreMetric uint32
+	CPEMetric  uint32
+}
+
+// DefaultSpec reproduces the scale of the CENIC network in the paper:
+// 60 core and 175 CPE routers, 84 core and 215 CPE IS-IS links, and 26
+// multi-link adjacency pairs (paper Table 1 and §3.4).
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:               1,
+		CoreRouters:        60,
+		CPERouters:         175,
+		CoreChords:         14, // ring(60) + 14 chords + 10 parallel = 84 core links
+		DualHomedCPE:       24, // 175 uplinks + 24 second uplinks + 16 parallel = 215
+		MultiLinkCorePairs: 10,
+		MultiLinkCPEPairs:  16,
+		Customers:          120,
+		LinkBase:           137<<24 | 164<<16, // 137.164.0.0/16
+		CoreMetric:         10,
+		CPEMetric:          100,
+	}
+}
+
+// pops are the backbone point-of-presence name prefixes, echoing
+// CENIC's California footprint.
+var pops = []string{
+	"lax", "sac", "svl", "fre", "oak", "slo", "sdg", "tus", "bak", "riv",
+}
+
+// Generate builds a network from the spec. The backbone is a ring over
+// all core routers plus chord links; each CPE router uplinks to one
+// (or, if dual-homed, two) core routers; selected pairs get a second
+// parallel link to create multi-link adjacencies.
+func Generate(spec Spec) (*Network, error) {
+	if spec.CoreRouters < 3 {
+		return nil, fmt.Errorf("topo: need at least 3 core routers, have %d", spec.CoreRouters)
+	}
+	if spec.Customers > spec.CPERouters {
+		return nil, fmt.Errorf("topo: more customers (%d) than CPE routers (%d)", spec.Customers, spec.CPERouters)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := NewNetwork()
+
+	// Routers.
+	coreNames := make([]string, spec.CoreRouters)
+	for i := 0; i < spec.CoreRouters; i++ {
+		pop := pops[i%len(pops)]
+		name := fmt.Sprintf("%s-core-%02d", pop, i/len(pops)+1)
+		coreNames[i] = name
+		if err := n.AddRouter(&Router{
+			Name:     name,
+			Class:    Core,
+			SystemID: SystemIDFromIndex(i + 1),
+			Loopback: 10<<24 | 1<<16 | uint32(i+1),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	cpeNames := make([]string, spec.CPERouters)
+	for i := 0; i < spec.CPERouters; i++ {
+		name := fmt.Sprintf("cpe-%03d", i+1)
+		cpeNames[i] = name
+		if err := n.AddRouter(&Router{
+			Name:     name,
+			Class:    CPE,
+			SystemID: SystemIDFromIndex(1000 + i + 1),
+			Loopback: 10<<24 | 2<<16 | uint32(i+1),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	alloc := &subnetAllocator{next: spec.LinkBase}
+	ports := newPortAllocator()
+
+	addLink := func(a, b string, metric uint32) (*Link, error) {
+		ea := Endpoint{Host: a, Port: ports.next(n.Routers[a])}
+		eb := Endpoint{Host: b, Port: ports.next(n.Routers[b])}
+		return n.AddLink(ea, eb, alloc.take(), metric)
+	}
+
+	// Backbone ring.
+	for i := range coreNames {
+		j := (i + 1) % len(coreNames)
+		if _, err := addLink(coreNames[i], coreNames[j], spec.CoreMetric); err != nil {
+			return nil, err
+		}
+	}
+	// Chords: connect well-separated ring positions for redundancy.
+	chordsAdded := 0
+	for attempt := 0; chordsAdded < spec.CoreChords && attempt < 10*spec.CoreChords+100; attempt++ {
+		i := rng.Intn(len(coreNames))
+		j := (i + 2 + rng.Intn(len(coreNames)-4)) % len(coreNames)
+		key := MakeAdjacencyKey(n.Routers[coreNames[i]].SystemID, n.Routers[coreNames[j]].SystemID)
+		if len(n.LinksByAdjacency(key)) > 0 {
+			continue
+		}
+		if _, err := addLink(coreNames[i], coreNames[j], spec.CoreMetric*2); err != nil {
+			return nil, err
+		}
+		chordsAdded++
+	}
+	if chordsAdded != spec.CoreChords {
+		return nil, fmt.Errorf("topo: only placed %d of %d chords", chordsAdded, spec.CoreChords)
+	}
+
+	// CPE uplinks: deterministic spread over core routers.
+	uplink := make(map[string][]string) // cpe -> core hosts
+	for i, cpe := range cpeNames {
+		core := coreNames[i%len(coreNames)]
+		if _, err := addLink(cpe, core, spec.CPEMetric); err != nil {
+			return nil, err
+		}
+		uplink[cpe] = append(uplink[cpe], core)
+	}
+	// Second uplinks for dual-homed CPE routers.
+	for i := 0; i < spec.DualHomedCPE; i++ {
+		cpe := cpeNames[i*len(cpeNames)/max(spec.DualHomedCPE, 1)]
+		first := uplink[cpe][0]
+		second := coreNames[(indexOf(coreNames, first)+len(coreNames)/2)%len(coreNames)]
+		if _, err := addLink(cpe, second, spec.CPEMetric); err != nil {
+			return nil, err
+		}
+		uplink[cpe] = append(uplink[cpe], second)
+	}
+
+	// Parallel links creating multi-link adjacencies.
+	coreParallel := 0
+	for i := 0; coreParallel < spec.MultiLinkCorePairs && i < len(coreNames); i++ {
+		j := (i + 1) % len(coreNames)
+		if i%6 != 0 { // spread the doubled pairs around the ring
+			continue
+		}
+		if _, err := addLink(coreNames[i], coreNames[j], spec.CoreMetric); err != nil {
+			return nil, err
+		}
+		coreParallel++
+	}
+	for i := 0; coreParallel < spec.MultiLinkCorePairs; i++ {
+		j := (i + 1) % len(coreNames)
+		key := MakeAdjacencyKey(n.Routers[coreNames[i]].SystemID, n.Routers[coreNames[j]].SystemID)
+		if len(n.LinksByAdjacency(key)) != 1 {
+			continue
+		}
+		if _, err := addLink(coreNames[i], coreNames[j], spec.CoreMetric); err != nil {
+			return nil, err
+		}
+		coreParallel++
+	}
+	cpeParallel := 0
+	for i := 0; cpeParallel < spec.MultiLinkCPEPairs && i < len(cpeNames); i++ {
+		if i%7 != 3 {
+			continue
+		}
+		cpe := cpeNames[i]
+		if _, err := addLink(cpe, uplink[cpe][0], spec.CPEMetric); err != nil {
+			return nil, err
+		}
+		cpeParallel++
+	}
+	for i := 0; cpeParallel < spec.MultiLinkCPEPairs && i < len(cpeNames); i++ {
+		cpe := cpeNames[i]
+		key := MakeAdjacencyKey(n.Routers[cpe].SystemID, n.Routers[uplink[cpe][0]].SystemID)
+		if len(n.LinksByAdjacency(key)) != 1 {
+			continue
+		}
+		if _, err := addLink(cpe, uplink[cpe][0], spec.CPEMetric); err != nil {
+			return nil, err
+		}
+		cpeParallel++
+	}
+
+	// Customer sites: distribute CPE routers round-robin over sites.
+	n.Customers = make([]*Customer, spec.Customers)
+	for i := range n.Customers {
+		n.Customers[i] = &Customer{Name: fmt.Sprintf("site-%03d", i+1)}
+	}
+	for i, cpe := range cpeNames {
+		c := n.Customers[i%spec.Customers]
+		c.Routers = append(c.Routers, cpe)
+	}
+	return n, nil
+}
+
+func indexOf(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// subnetAllocator hands out sequential /31 subnets.
+type subnetAllocator struct{ next uint32 }
+
+func (a *subnetAllocator) take() uint32 {
+	s := a.next
+	a.next += 2
+	return s
+}
+
+// portAllocator assigns IOS-style interface names, choosing the
+// flavor by router class.
+type portAllocator struct {
+	used map[string]int
+}
+
+func newPortAllocator() *portAllocator {
+	return &portAllocator{used: make(map[string]int)}
+}
+
+func (p *portAllocator) next(r *Router) string {
+	i := p.used[r.Name]
+	p.used[r.Name]++
+	if r.Class == Core {
+		return fmt.Sprintf("TenGigE0/%d/0/%d", i/4, i%4)
+	}
+	return fmt.Sprintf("GigabitEthernet0/0/%d", i)
+}

@@ -1,0 +1,135 @@
+package topo
+
+// Graph is a precomputed adjacency view of a Network used by the
+// customer-isolation analysis, which must evaluate connectivity with
+// an arbitrary subset of links failed at every event boundary.
+type Graph struct {
+	net *Network
+	// index maps hostname to a dense node index.
+	index map[string]int
+	names []string
+	// edges[i] lists the links incident to node i.
+	edges [][]*Link
+	// coreNodes lists node indices of core routers.
+	coreNodes []int
+}
+
+// NewGraph builds the adjacency view.
+func NewGraph(n *Network) *Graph {
+	g := &Graph{
+		net:   n,
+		index: make(map[string]int, len(n.Routers)),
+	}
+	for _, name := range n.RouterNames {
+		g.index[name] = len(g.names)
+		g.names = append(g.names, name)
+		if n.Routers[name].Class == Core {
+			g.coreNodes = append(g.coreNodes, g.index[name])
+		}
+	}
+	g.edges = make([][]*Link, len(g.names))
+	for _, l := range n.Links {
+		ai, bi := g.index[l.A.Host], g.index[l.B.Host]
+		g.edges[ai] = append(g.edges[ai], l)
+		g.edges[bi] = append(g.edges[bi], l)
+	}
+	return g
+}
+
+// Components labels each router with a connected-component number,
+// ignoring links for which down returns true. It returns the label
+// slice (indexed like node indices) and the number of components.
+func (g *Graph) Components(down func(LinkID) bool) ([]int, int) {
+	labels := make([]int, len(g.names))
+	for i := range labels {
+		labels[i] = -1
+	}
+	comp := 0
+	queue := make([]int, 0, len(g.names))
+	for start := range g.names {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = comp
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, l := range g.edges[v] {
+				if down != nil && down(l.ID) {
+					continue
+				}
+				var w int
+				if g.index[l.A.Host] == v {
+					w = g.index[l.B.Host]
+				} else {
+					w = g.index[l.A.Host]
+				}
+				if labels[w] < 0 {
+					labels[w] = comp
+					queue = append(queue, w)
+				}
+			}
+		}
+		comp++
+	}
+	return labels, comp
+}
+
+// BackboneComponent returns the component label containing the most
+// core routers, which the isolation analysis treats as "the backbone".
+func (g *Graph) BackboneComponent(labels []int) int {
+	counts := make(map[int]int)
+	best, bestCount := -1, -1
+	for _, ni := range g.coreNodes {
+		c := labels[ni]
+		counts[c]++
+		if counts[c] > bestCount {
+			best, bestCount = c, counts[c]
+		}
+	}
+	return best
+}
+
+// IsolatedCustomers returns the names of customers none of whose CPE
+// routers can reach the backbone component when the given links are
+// down. The down set is keyed by LinkID.
+func (g *Graph) IsolatedCustomers(down map[LinkID]bool) []string {
+	if len(down) == 0 {
+		return nil
+	}
+	labels, _ := g.Components(func(id LinkID) bool { return down[id] })
+	backbone := g.BackboneComponent(labels)
+	var isolated []string
+	for _, c := range g.net.Customers {
+		cut := true
+		for _, host := range c.Routers {
+			if labels[g.index[host]] == backbone {
+				cut = false
+				break
+			}
+		}
+		if cut {
+			isolated = append(isolated, c.Name)
+		}
+	}
+	return isolated
+}
+
+// NodeCount returns the number of routers in the graph.
+func (g *Graph) NodeCount() int { return len(g.names) }
+
+// Reachable reports whether a path exists between two routers with the
+// given links down.
+func (g *Graph) Reachable(from, to string, down map[LinkID]bool) bool {
+	fi, ok := g.index[from]
+	if !ok {
+		return false
+	}
+	ti, ok := g.index[to]
+	if !ok {
+		return false
+	}
+	labels, _ := g.Components(func(id LinkID) bool { return down[id] })
+	return labels[fi] == labels[ti]
+}

@@ -1,0 +1,62 @@
+package topo
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// SystemID is the 6-byte OSI system identifier used by IS-IS to name a
+// router. CENIC-style deployments commonly derive it from a loopback
+// IP address; here it is assigned by the topology generator.
+type SystemID [6]byte
+
+// String renders the system ID in the conventional dotted-triplet form,
+// e.g. "1921.6800.1042".
+func (s SystemID) String() string {
+	h := hex.EncodeToString(s[:])
+	return h[0:4] + "." + h[4:8] + "." + h[8:12]
+}
+
+// IsZero reports whether the system ID is the all-zero value.
+func (s SystemID) IsZero() bool { return s == SystemID{} }
+
+// ParseSystemID parses a dotted-triplet system ID such as
+// "1921.6800.1042". It also accepts the undotted 12-hex-digit form.
+func ParseSystemID(text string) (SystemID, error) {
+	var id SystemID
+	clean := strings.ReplaceAll(text, ".", "")
+	if len(clean) != 12 {
+		return id, fmt.Errorf("topo: malformed system ID %q", text)
+	}
+	raw, err := hex.DecodeString(clean)
+	if err != nil {
+		return id, fmt.Errorf("topo: malformed system ID %q: %v", text, err)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// SystemIDFromIndex derives a deterministic system ID from a router
+// index, in a scheme reminiscent of encoding an IPv4 loopback address
+// as BCD digits (the common operational convention).
+func SystemIDFromIndex(idx int) SystemID {
+	if idx < 0 || idx > 99999 {
+		panic(fmt.Sprintf("topo: router index %d out of range for system ID derivation", idx))
+	}
+	digits := fmt.Sprintf("1921680%05d", idx)
+	var id SystemID
+	raw, _ := hex.DecodeString(digits)
+	copy(id[:], raw)
+	return id
+}
+
+// Less imposes a total order on system IDs (lexicographic on bytes).
+func (s SystemID) Less(o SystemID) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return s[i] < o[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSystemIDString(t *testing.T) {
+	id := SystemID{0x19, 0x21, 0x68, 0x00, 0x10, 0x42}
+	if got, want := id.String(), "1921.6800.1042"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseSystemIDRoundTrip(t *testing.T) {
+	for _, text := range []string{"1921.6800.1042", "0000.0000.0001", "ffff.ffff.ffff"} {
+		id, err := ParseSystemID(text)
+		if err != nil {
+			t.Fatalf("ParseSystemID(%q): %v", text, err)
+		}
+		if id.String() != text {
+			t.Errorf("round trip %q -> %q", text, id.String())
+		}
+	}
+}
+
+func TestParseSystemIDUndotted(t *testing.T) {
+	id, err := ParseSystemID("192168001042")
+	if err != nil {
+		t.Fatalf("ParseSystemID: %v", err)
+	}
+	if got := id.String(); got != "1921.6800.1042" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseSystemIDErrors(t *testing.T) {
+	for _, text := range []string{"", "1921.6800", "1921.6800.104g", "1921.6800.10422"} {
+		if _, err := ParseSystemID(text); err == nil {
+			t.Errorf("ParseSystemID(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestSystemIDFromIndexUnique(t *testing.T) {
+	seen := make(map[SystemID]int)
+	for i := 0; i < 5000; i++ {
+		id := SystemIDFromIndex(i)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("index %d and %d collide on %v", prev, i, id)
+		}
+		seen[id] = i
+	}
+}
+
+func TestSystemIDFromIndexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	SystemIDFromIndex(100000)
+}
+
+func TestSystemIDLessIsStrictOrder(t *testing.T) {
+	f := func(a, b SystemID) bool {
+		switch {
+		case a == b:
+			return !a.Less(b) && !b.Less(a)
+		default:
+			return a.Less(b) != b.Less(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSystemIDRoundTripQuick(t *testing.T) {
+	f := func(id SystemID) bool {
+		back, err := ParseSystemID(id.String())
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCustomersJSON serializes the customer list: operational
+// knowledge that accompanies the captures (it is not derivable from
+// router configurations).
+func WriteCustomersJSON(w io.Writer, customers []*Customer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(customers)
+}
+
+// ReadCustomersJSON parses a customer list written by
+// WriteCustomersJSON.
+func ReadCustomersJSON(r io.Reader) ([]*Customer, error) {
+	var customers []*Customer
+	if err := json.NewDecoder(r).Decode(&customers); err != nil {
+		return nil, fmt.Errorf("topo: customers: %w", err)
+	}
+	return customers, nil
+}
+
+// WriteDOT renders the network as a Graphviz graph: core routers as
+// boxes, CPE routers as ellipses, parallel (multi-link-adjacency)
+// links dashed. Render with e.g. `sfdp -Tsvg topology.dot`.
+func WriteDOT(w io.Writer, n *Network) error {
+	var b strings.Builder
+	b.WriteString("graph netfail {\n")
+	b.WriteString("  layout=sfdp; overlap=false; splines=true;\n")
+	b.WriteString("  node [fontsize=9, fontname=\"sans-serif\"];\n")
+	for _, name := range n.RouterNames {
+		r := n.Routers[name]
+		shape := "ellipse"
+		fill := "#dceefb"
+		if r.Class == Core {
+			shape = "box"
+			fill = "#fde2c8"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, style=filled, fillcolor=%q];\n", name, shape, fill)
+	}
+	for _, l := range n.Links {
+		style := "solid"
+		if n.IsMultiLink(l.ID) {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -- %q [style=%s, tooltip=%q];\n",
+			l.A.Host, l.B.Host, style, string(l.ID))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,74 @@
+package topo
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCustomersJSONRoundTrip(t *testing.T) {
+	customers := []*Customer{
+		{Name: "site-001", Routers: []string{"cpe-001", "cpe-002"}},
+		{Name: "site-002", Routers: []string{"cpe-003"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCustomersJSON(&buf, customers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCustomersJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, customers) {
+		t.Errorf("round trip: %+v != %+v", got, customers)
+	}
+}
+
+func TestReadCustomersJSONError(t *testing.T) {
+	if _, err := ReadCustomersJSON(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCriticalUplinks(t *testing.T) {
+	n, links := tinyNetwork(t)
+	// site-1: single router cpe-1 with one uplink → critical.
+	// site-2: single router cpe-2 with two uplinks → not critical.
+	critical := n.CriticalUplinks()
+	if len(critical) != 1 || !critical[links["u1"]] {
+		t.Errorf("critical = %v, want only u1", critical)
+	}
+	// A two-router customer is never critical.
+	n.Customers = append(n.Customers, &Customer{Name: "site-3", Routers: []string{"cpe-1", "cpe-2"}})
+	n.Customers = n.Customers[2:] // replace list with just the 2-router site
+	if got := n.CriticalUplinks(); len(got) != 0 {
+		t.Errorf("multi-router customer marked critical: %v", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n, links := tinyNetwork(t)
+	// Make one adjacency multi-link to exercise the dashed style.
+	if _, err := n.AddLink(Endpoint{Host: "core-a", Port: "px"}, Endpoint{Host: "core-b", Port: "qx"}, 20, 10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph netfail {", `"core-a" [shape=box`, `"cpe-1" [shape=ellipse`,
+		`"core-a" -- "core-b" [style=dashed`, "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// One edge per link.
+	if got := strings.Count(out, " -- "); got != len(n.Links) {
+		t.Errorf("edges = %d, want %d", got, len(n.Links))
+	}
+	_ = links
+}

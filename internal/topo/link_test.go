@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeLinkIDSymmetric(t *testing.T) {
+	a := Endpoint{Host: "riv-core-01", Port: "TenGigE0/0/0/0"}
+	b := Endpoint{Host: "lax-core-01", Port: "TenGigE0/1/0/2"}
+	if MakeLinkID(a, b) != MakeLinkID(b, a) {
+		t.Error("LinkID depends on endpoint order")
+	}
+}
+
+func TestMakeLinkIDSymmetricQuick(t *testing.T) {
+	f := func(h1, p1, h2, p2 string) bool {
+		a := Endpoint{Host: h1, Port: p1}
+		b := Endpoint{Host: h2, Port: p2}
+		return MakeLinkID(a, b) == MakeLinkID(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkIDEndpoints(t *testing.T) {
+	a := Endpoint{Host: "alpha", Port: "Gi0/0/1"}
+	b := Endpoint{Host: "beta", Port: "Gi0/0/2"}
+	id := MakeLinkID(a, b)
+	ea, eb := id.Endpoints()
+	if ea != a || eb != b {
+		t.Errorf("Endpoints() = %v, %v; want %v, %v", ea, eb, a, b)
+	}
+}
+
+func TestAdjacencyKeySymmetric(t *testing.T) {
+	f := func(a, b SystemID) bool {
+		return MakeAdjacencyKey(a, b) == MakeAdjacencyKey(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacencyKeyOrdered(t *testing.T) {
+	f := func(a, b SystemID) bool {
+		k := MakeAdjacencyKey(a, b)
+		return !k.Hi.Less(k.Lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatParseIPv4(t *testing.T) {
+	cases := map[uint32]string{
+		137<<24 | 164<<16:  "137.164.0.0",
+		0:                  "0.0.0.0",
+		0xFFFFFFFF:         "255.255.255.255",
+		10<<24 | 1<<16 | 7: "10.1.0.7",
+	}
+	for v, s := range cases {
+		if got := FormatIPv4(v); got != s {
+			t.Errorf("FormatIPv4(%#x) = %q, want %q", v, got, s)
+		}
+		back, err := ParseIPv4(s)
+		if err != nil || back != v {
+			t.Errorf("ParseIPv4(%q) = %#x, %v; want %#x", s, back, err, v)
+		}
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "256.1.1.1", "a.b.c.d"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseIPv4RoundTripQuick(t *testing.T) {
+	f := func(v uint32) bool {
+		back, err := ParseIPv4(FormatIPv4(v))
+		return err == nil && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	a := Endpoint{Host: "alpha", Port: "p1"}
+	b := Endpoint{Host: "beta", Port: "p2"}
+	l := &Link{ID: MakeLinkID(a, b), A: a, B: b}
+	if got, ok := l.Other("alpha"); !ok || got != b {
+		t.Errorf("Other(alpha) = %v, %v", got, ok)
+	}
+	if got, ok := l.Other("beta"); !ok || got != a {
+		t.Errorf("Other(beta) = %v, %v", got, ok)
+	}
+	if _, ok := l.Other("gamma"); ok {
+		t.Error("Other(gamma) should not resolve")
+	}
+}

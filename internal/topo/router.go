@@ -1,0 +1,72 @@
+package topo
+
+import "fmt"
+
+// RouterClass distinguishes backbone routers from customer-premises
+// equipment. The paper reports most statistics separately for the two
+// classes because their equipment, use, and importance differ.
+type RouterClass int
+
+const (
+	// Core routers form the 10 Gbit/s backbone.
+	Core RouterClass = iota
+	// CPE routers sit on customer premises and uplink to the backbone.
+	CPE
+)
+
+// String returns "Core" or "CPE".
+func (c RouterClass) String() string {
+	switch c {
+	case Core:
+		return "Core"
+	case CPE:
+		return "CPE"
+	default:
+		return fmt.Sprintf("RouterClass(%d)", int(c))
+	}
+}
+
+// Interface is a named port on a router. Interfaces participating in a
+// link carry one address of the link's /31 subnet.
+type Interface struct {
+	// Name is the IOS-style interface name, e.g. "TenGigE0/1/0/3".
+	Name string
+	// Router is the hostname of the owning router.
+	Router string
+	// Addr is the IPv4 address assigned to the interface, as a
+	// 32-bit integer in host order; zero if unnumbered.
+	Addr uint32
+	// Link is the ID of the link this interface terminates, or the
+	// empty LinkID if the interface is unused.
+	Link LinkID
+	// Description mirrors the IOS "description" line and names the
+	// far end; the configuration miner parses it.
+	Description string
+}
+
+// Router is a single IS-IS speaking device.
+type Router struct {
+	// Name is the syslog-visible hostname, e.g. "riv-core-01".
+	Name string
+	// Class reports whether the device is a backbone or CPE router.
+	Class RouterClass
+	// SystemID is the OSI identifier the router uses in IS-IS PDUs.
+	SystemID SystemID
+	// Loopback is the router's loopback address (advertised in IP
+	// reachability), host order.
+	Loopback uint32
+	// Interfaces lists the router's configured ports in a stable
+	// order.
+	Interfaces []*Interface
+}
+
+// Interface returns the named interface, or nil if the router has no
+// such port.
+func (r *Router) Interface(name string) *Interface {
+	for _, ifc := range r.Interfaces {
+		if ifc.Name == name {
+			return ifc
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// ExampleReconstruct turns a transition stream into failure events,
+// treating the repeated Down as a spurious retransmission per the
+// paper's recommendation.
+func ExampleReconstruct() {
+	link := topo.LinkID("cpe-001:Gi0|core-a:Te0")
+	at := func(sec int) time.Time { return time.Unix(int64(sec), 0).UTC() }
+	rec := trace.Reconstruct([]trace.Transition{
+		{Time: at(100), Link: link, Dir: trace.Down},
+		{Time: at(130), Link: link, Dir: trace.Down}, // repeated: ambiguous
+		{Time: at(160), Link: link, Dir: trace.Up},
+	})
+	for _, f := range rec.Failures {
+		fmt.Printf("failure lasting %v\n", f.Duration())
+	}
+	fmt.Printf("ambiguities: %d\n", len(rec.Ambiguities))
+	// Output:
+	// failure lasting 1m0s
+	// ambiguities: 1
+}

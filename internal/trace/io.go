@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// WriteTransitions serializes transitions one per line:
+// "<unix_ms> <down|up> <kind> <link> <reporter>". Link IDs and
+// hostnames contain no spaces, so the format splits cleanly.
+func WriteTransitions(w io.Writer, ts []Transition) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := fmt.Fprintf(bw, "%d %s %s %s %s\n",
+			t.Time.UnixMilli(), t.Dir, t.Kind, t.Link, t.Reporter); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFailuresJSON serializes a failure list as JSON lines, one
+// failure per line — greppable and streamable for large traces.
+func WriteFailuresJSON(w io.Writer, fs []Failure) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range fs {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFailuresJSON parses the WriteFailuresJSON format.
+func ReadFailuresJSON(r io.Reader) ([]Failure, error) {
+	var out []Failure
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var f Failure
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("trace: failures JSON: %w", err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ReadTransitions parses the WriteTransitions format.
+func ReadTransitions(r io.Reader) ([]Transition, error) {
+	var out []Transition
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		ms, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineNo, err)
+		}
+		var dir Direction
+		switch fields[1] {
+		case "down":
+			dir = Down
+		case "up":
+			dir = Up
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad direction %q", lineNo, fields[1])
+		}
+		kind, err := ParseKind(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		out = append(out, Transition{
+			Time:     time.UnixMilli(ms).UTC(),
+			Dir:      dir,
+			Kind:     kind,
+			Link:     topo.LinkID(fields[3]),
+			Reporter: fields[4],
+		})
+	}
+	return out, sc.Err()
+}

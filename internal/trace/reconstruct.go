@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"netfail/internal/topo"
+)
+
+// AmbiguityPolicy selects how the period between two repeated
+// same-direction transitions is accounted (§4.3). The paper finds
+// HoldPrevious — treating the offending message as a spurious
+// retransmission and leaving link state unmodified — brings syslog
+// downtime closest to IS-IS downtime.
+type AmbiguityPolicy int
+
+const (
+	// HoldPrevious leaves the link in the state the first message
+	// established (the paper's recommendation).
+	HoldPrevious AmbiguityPolicy = iota
+	// AssumeDown counts every ambiguous period as downtime.
+	AssumeDown
+	// AssumeUp counts every ambiguous period as uptime.
+	AssumeUp
+)
+
+// String names the policy.
+func (p AmbiguityPolicy) String() string {
+	switch p {
+	case AssumeDown:
+		return "assume-down"
+	case AssumeUp:
+		return "assume-up"
+	default:
+		return "hold-previous"
+	}
+}
+
+// Reconstruction is the output of turning one source's transition
+// stream into failure events.
+type Reconstruction struct {
+	// Failures are the completed Down→Up events, ordered by link
+	// then start time.
+	Failures []Failure
+	// Ambiguities are the repeated-transition records.
+	Ambiguities []Ambiguity
+	// OpenAtEnd counts failures still open when the observation
+	// window closed (dropped from Failures).
+	OpenAtEnd int
+}
+
+// Reconstruct builds failure events from transitions using the
+// paper's recommended HoldPrevious rule for repeated transitions.
+func Reconstruct(ts []Transition) Reconstruction {
+	return ReconstructPolicy(ts, HoldPrevious)
+}
+
+// ReconstructPolicy builds failure events from transitions, which may
+// cover many links and need not be sorted. Links are assumed up at
+// the start of the observation window. Repeated same-direction
+// transitions are recorded as ambiguities and the span between them
+// is attributed per the policy (§4.3):
+//
+//   - HoldPrevious: the repeated message is spurious; a second Down
+//     does not move a failure's start and a second Up creates nothing.
+//   - AssumeDown: the span is downtime — a double Up inserts a
+//     failure covering it; a double Down extends like HoldPrevious.
+//   - AssumeUp: the span is uptime — a double Down restarts the
+//     failure at the second message.
+func ReconstructPolicy(ts []Transition, policy AmbiguityPolicy) Reconstruction {
+	var rec Reconstruction
+	grouped := ByLink(ts)
+	links := make([]topo.LinkID, 0, len(grouped))
+	for link := range grouped {
+		links = append(links, link)
+	}
+	sortLinkIDs(links)
+	for _, link := range links {
+		seq := grouped[link]
+		down := false
+		var start time.Time
+		var lastDir Direction
+		var lastTime time.Time
+		seen := false
+		for _, t := range seq {
+			if seen && t.Dir == lastDir {
+				rec.Ambiguities = append(rec.Ambiguities, Ambiguity{
+					Link: link, Dir: t.Dir, First: lastTime, Second: t.Time,
+				})
+				switch {
+				case policy == AssumeUp && t.Dir == Down && down:
+					// The span was uptime: restart the failure here.
+					start = t.Time
+				case policy == AssumeDown && t.Dir == Up && !down:
+					// The span was downtime: record it as a failure.
+					rec.Failures = append(rec.Failures, Failure{Link: link, Start: lastTime, End: t.Time})
+				}
+				lastTime = t.Time
+				continue
+			}
+			switch t.Dir {
+			case Down:
+				down = true
+				start = t.Time
+			case Up:
+				if down {
+					rec.Failures = append(rec.Failures, Failure{Link: link, Start: start, End: t.Time})
+					down = false
+				} else if !seen {
+					// Leading Up with no preceding Down: state was
+					// already up; nothing to record.
+				}
+			}
+			lastDir, lastTime, seen = t.Dir, t.Time, true
+		}
+		if down {
+			rec.OpenAtEnd++
+		}
+	}
+	sortFailures(rec.Failures)
+	return rec
+}
+
+func sortFailures(fs []Failure) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Link != fs[j].Link {
+			return fs[i].Link < fs[j].Link
+		}
+		return fs[i].Start.Before(fs[j].Start)
+	})
+}
+
+// Downtime computes total downtime per link over the observation
+// window under the given ambiguity policy. Ambiguous periods are
+// attributed per the policy; unambiguous failures count fully. A
+// failure still open at end is dropped (its true extent is unknown),
+// consistent with Reconstruct.
+func Downtime(ts []Transition, policy AmbiguityPolicy) map[topo.LinkID]time.Duration {
+	result := make(map[topo.LinkID]time.Duration)
+	for link, seq := range ByLink(ts) {
+		var total time.Duration
+		down := false
+		var since time.Time
+		var lastDir Direction
+		var lastTime time.Time
+		seen := false
+		for _, t := range seq {
+			if seen && t.Dir == lastDir {
+				// Ambiguous span [lastTime, t.Time].
+				switch policy {
+				case AssumeDown:
+					if !down {
+						total += t.Time.Sub(lastTime)
+					}
+					// If already down, the open failure covers it.
+				case AssumeUp:
+					if down {
+						// Close the accumulated downtime at the
+						// start of the ambiguous span and restart
+						// at its end.
+						total += lastTime.Sub(since)
+						since = t.Time
+					}
+				case HoldPrevious:
+					// State unmodified: nothing to adjust.
+				}
+				lastTime = t.Time
+				continue
+			}
+			switch t.Dir {
+			case Down:
+				if !down {
+					down = true
+					since = t.Time
+				}
+			case Up:
+				if down {
+					total += t.Time.Sub(since)
+					down = false
+				}
+			}
+			lastDir, lastTime, seen = t.Dir, t.Time, true
+		}
+		if total > 0 {
+			result[link] = total
+		}
+	}
+	return result
+}
+
+func sortLinkIDs(links []topo.LinkID) {
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSanitizeOfflineWindows(t *testing.T) {
+	failures := []Failure{
+		fl(linkA, 100, 200),
+		fl(linkA, 1000, 1100), // overlaps the window
+		fl(linkB, 5000, 5010),
+	}
+	offline := []Interval{{Start: at(1050), End: at(1060)}}
+	rep := Sanitize(failures, offline, 0, nil)
+	if rep.RemovedOffline != 1 {
+		t.Errorf("removed = %d, want 1", rep.RemovedOffline)
+	}
+	if len(rep.Kept) != 2 {
+		t.Errorf("kept = %d, want 2", len(rep.Kept))
+	}
+}
+
+func TestSanitizeLongFailureVerification(t *testing.T) {
+	day := int(24 * time.Hour / time.Second)
+	failures := []Failure{
+		fl(linkA, 0, 100),         // short: untouched
+		fl(linkA, 200, 200+2*day), // long: verified true
+		fl(linkB, 0, 3*day),       // long: verified false
+	}
+	verify := func(f Failure) bool { return f.Link == linkA }
+	rep := Sanitize(failures, nil, LongFailureThreshold, verify)
+	if rep.LongChecked != 2 {
+		t.Errorf("checked = %d, want 2", rep.LongChecked)
+	}
+	if rep.LongRemoved != 1 {
+		t.Errorf("removed = %d, want 1", rep.LongRemoved)
+	}
+	if rep.LongRemovedTime != 3*24*time.Hour {
+		t.Errorf("removed time = %v", rep.LongRemovedTime)
+	}
+	if len(rep.Kept) != 2 {
+		t.Errorf("kept = %d, want 2", len(rep.Kept))
+	}
+}
+
+func TestSanitizeNilVerifyKeepsLong(t *testing.T) {
+	failures := []Failure{fl(linkA, 0, int(48*time.Hour/time.Second))}
+	rep := Sanitize(failures, nil, LongFailureThreshold, nil)
+	if len(rep.Kept) != 1 || rep.LongChecked != 1 || rep.LongRemoved != 0 {
+		t.Errorf("rep = %+v", rep)
+	}
+}
+
+func TestTotalDowntime(t *testing.T) {
+	failures := []Failure{fl(linkA, 0, 10), fl(linkB, 100, 130)}
+	if got := TotalDowntime(failures); got != 40*time.Second {
+		t.Errorf("downtime = %v, want 40s", got)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: at(10), End: at(20)}
+	if !iv.Contains(at(10)) || !iv.Contains(at(19)) {
+		t.Error("closed start / interior membership wrong")
+	}
+	if iv.Contains(at(20)) || iv.Contains(at(9)) {
+		t.Error("open end / exterior membership wrong")
+	}
+	if iv.Duration() != 10*time.Second {
+		t.Errorf("duration = %v", iv.Duration())
+	}
+}
+
+func TestTransitionsIORoundTrip(t *testing.T) {
+	ts := []Transition{
+		{Time: at(100), Link: linkA, Dir: Down, Kind: KindISISAdj, Reporter: "a"},
+		{Time: at(101), Link: linkA, Dir: Up, Kind: KindISReach, Reporter: "b"},
+		{Time: at(102), Link: linkB, Dir: Down, Kind: KindPhysical, Reporter: "c"},
+		{Time: at(103), Link: linkB, Dir: Up, Kind: KindIPReach, Reporter: "d"},
+		{Time: at(104), Link: linkB, Dir: Down, Kind: KindLineProto, Reporter: "e"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTransitions(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransitions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ts) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, ts)
+	}
+}
+
+func TestReadTransitionsErrors(t *testing.T) {
+	for _, in := range []string{
+		"notanumber down isis-adj l r",
+		"100 sideways isis-adj l r",
+		"100 down nosuchkind l r",
+		"100 down isis-adj l",
+	} {
+		if _, err := ReadTransitions(bytes.NewBufferString(in + "\n")); err == nil {
+			t.Errorf("ReadTransitions(%q) succeeded", in)
+		}
+	}
+}
+
+func TestReadTransitionsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n100000 down isis-adj a:p1|b:p1 a\n"
+	got, err := ReadTransitions(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Link != linkA {
+		t.Errorf("got = %+v", got)
+	}
+}
+
+func TestFailuresJSONRoundTrip(t *testing.T) {
+	fs := []Failure{fl(linkA, 0, 10), fl(linkB, 100, 130), fl(linkA, 500, 9999)}
+	var buf bytes.Buffer
+	if err := WriteFailuresJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFailuresJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fs) {
+		t.Errorf("round trip: %+v != %+v", got, fs)
+	}
+	// One JSON object per line: easy to grep and stream.
+	buf.Reset()
+	if err := WriteFailuresJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	if lines := len(bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))); lines != 3 {
+		t.Errorf("lines = %d, want 3", lines)
+	}
+}
+
+func TestReadFailuresJSONError(t *testing.T) {
+	if _, err := ReadFailuresJSON(bytes.NewBufferString("{broken")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Package netfail reproduces the measurement study "A Comparison of
+// Syslog and IS-IS for Network Failure Analysis" (Turner, Levchenko,
+// Savage, Snoeren — ACM IMC 2013) as a reusable library.
+//
+// The original study compared two reconstructions of thirteen months
+// of link failures in the CENIC network: one from Cisco syslog
+// messages collected over UDP, one from a passive IS-IS listener
+// recording link-state PDUs. The operational traces are proprietary,
+// so this package pairs the paper's analysis pipeline with a
+// calibrated discrete-event simulator of a CENIC-scale network that
+// reproduces both observation channels, wire formats included.
+//
+// The high-level flow:
+//
+//	study, err := netfail.Run(netfail.SimulationConfig{Seed: 1})
+//	...
+//	study.Report(os.Stdout)               // Tables 1-7, Figure 1 data
+//	t4 := study.Analysis.Table4()         // or drill into results
+//
+// Each stage is also available separately: Simulate produces raw
+// captures (syslog log, LSP capture, config archive, trouble
+// tickets), MineConfigs rebuilds the link namespace from the config
+// archive, Listen replays the LSP capture through the IS-IS listener,
+// and Analyze runs the comparison. Everything is deterministic in the
+// seed.
+package netfail
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"netfail/internal/config"
+	"netfail/internal/core"
+	"netfail/internal/listener"
+	"netfail/internal/netsim"
+	"netfail/internal/report"
+	"netfail/internal/tickets"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// SimulationConfig parameterizes a simulated measurement
+	// campaign; the zero value (plus a Seed) reproduces the paper's
+	// 13-month CENIC-scale study.
+	SimulationConfig = netsim.Config
+	// Campaign is a simulation's raw output: captures plus ground
+	// truth.
+	Campaign = netsim.Campaign
+	// Analysis exposes the comparison results (Table1 … Table7,
+	// Figure1, WindowKnee, PolicyAblation).
+	Analysis = core.Analysis
+	// ListenerResult is the IS-IS listener's reconstruction.
+	ListenerResult = listener.Result
+	// TopologySpec shapes the generated network.
+	TopologySpec = topo.Spec
+	// WorkloadParams and ImpairParams expose the calibrated failure
+	// and impairment models for ablation studies.
+	WorkloadParams = netsim.WorkloadParams
+	ImpairParams   = netsim.ImpairParams
+)
+
+// Study bundles the artifacts of one end-to-end run.
+type Study struct {
+	// Campaign holds the raw captures and ground truth.
+	Campaign *Campaign
+	// Mined is the topology reconstructed from the config archive —
+	// the link namespace both pipelines share.
+	Mined *config.Mined
+	// Listener is the IS-IS reconstruction.
+	Listener *ListenerResult
+	// Tickets is the generated trouble-ticket index.
+	Tickets *tickets.Index
+	// Analysis is the full comparison.
+	Analysis *Analysis
+}
+
+// Simulate runs a measurement campaign.
+func Simulate(cfg SimulationConfig) (*Campaign, error) {
+	return netsim.Run(cfg)
+}
+
+// MineConfigs reconstructs the network from a campaign's config
+// archive, exactly as the original study mined CENIC's archive.
+func MineConfigs(camp *Campaign) (*config.Mined, error) {
+	return config.Mine(camp.Archive)
+}
+
+// Listen replays a campaign's LSP capture through the passive IS-IS
+// listener, resolving against the given (typically mined) network.
+func Listen(net *topo.Network, camp *Campaign) (*ListenerResult, error) {
+	l := listener.New(net)
+	for _, c := range camp.LSPLog {
+		if err := l.Process(c.Time, c.Data); err != nil {
+			return nil, fmt.Errorf("netfail: replaying LSP capture: %w", err)
+		}
+	}
+	return l.Results(), nil
+}
+
+// GenerateTickets builds the trouble-ticket corpus from a campaign's
+// ground truth, for the long-failure verification step.
+func GenerateTickets(camp *Campaign) *tickets.Index {
+	corpus := tickets.Generate(camp.Config.Seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
+	return tickets.NewIndex(corpus)
+}
+
+// Run executes the complete pipeline: simulate, mine configs, listen,
+// generate tickets, analyze.
+func Run(cfg SimulationConfig) (*Study, error) {
+	camp, err := Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCampaign(camp)
+}
+
+// AnalysisOptions tune the comparison without changing the captures.
+type AnalysisOptions struct {
+	// Window is the matching window (default ten seconds).
+	Window time.Duration
+	// FlapGap is the flapping rule (default ten minutes).
+	FlapGap time.Duration
+	// MergeWindow collapses the two routers' reports of one event
+	// (default sixty seconds).
+	MergeWindow time.Duration
+	// IncludeMultiLink keeps multi-link-adjacency links in the
+	// analysis; pair with SimulationConfig.EnableLinkIDs.
+	IncludeMultiLink bool
+}
+
+// AnalyzeCampaign runs the analysis pipeline over an existing
+// campaign with the paper's default options.
+func AnalyzeCampaign(camp *Campaign) (*Study, error) {
+	return AnalyzeCampaignWithOptions(camp, AnalysisOptions{})
+}
+
+// AnalyzeCampaignWithOptions runs the analysis pipeline with custom
+// options.
+func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, error) {
+	mined, err := MineConfigs(camp)
+	if err != nil {
+		return nil, fmt.Errorf("netfail: mining configs: %w", err)
+	}
+	res, err := Listen(mined.Network, camp)
+	if err != nil {
+		return nil, err
+	}
+	tix := GenerateTickets(camp)
+	analysis, err := core.Analyze(core.Input{
+		Network:          mined.Network,
+		Customers:        camp.Network.Customers,
+		Syslog:           camp.Syslog,
+		ISTransitions:    res.ISTransitions,
+		IPTransitions:    res.IPTransitions,
+		Start:            camp.Config.Start,
+		End:              camp.Config.End,
+		ListenerOffline:  camp.ListenerOffline,
+		Tickets:          tix,
+		Window:           opts.Window,
+		FlapGap:          opts.FlapGap,
+		MergeWindow:      opts.MergeWindow,
+		IncludeMultiLink: opts.IncludeMultiLink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netfail: %w", err)
+	}
+	return &Study{
+		Campaign: camp,
+		Mined:    mined,
+		Listener: res,
+		Tickets:  tix,
+		Analysis: analysis,
+	}, nil
+}
+
+// Report renders every table and figure of the paper's evaluation
+// section, with the published values alongside.
+func (s *Study) Report(w io.Writer) error {
+	a := s.Analysis
+	steps := []func() error{
+		func() error {
+			return report.RenderTable1(w, a.Table1(s.Campaign.Archive.FileCount(), s.Campaign.Counts.LSPUpdates))
+		},
+		func() error { return blank(w) },
+		func() error { return report.RenderTable2(w, a.Table2()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderTable3(w, a.Table3()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderTable4(w, a.Table4()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderFalsePositives(w, a.FalsePositives()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderTable5(w, a.Table5()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderTable6(w, a.Table6()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderPolicies(w, a.PolicyAblation()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderTable7(w, a.Table7()) },
+		func() error { return blank(w) },
+		func() error { return report.RenderKnee(w, a.WindowKnee(nil)) },
+		func() error { return blank(w) },
+		func() error { return report.RenderFigure1(w, a.Figure1()) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func blank(w io.Writer) error {
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Failure re-exports the trace failure record for downstream
+// consumers of Analysis fields.
+type Failure = trace.Failure
+
+// Episode re-exports the flapping-episode record.
+type Episode = trace.Episode
+
+// FlapEpisodes groups failures into flapping episodes using the
+// paper's ten-minute rule (or any other gap).
+func FlapEpisodes(failures []Failure, gap time.Duration) []Episode {
+	return trace.Episodes(failures, gap)
+}
+
+// DefaultFlapGap is the paper's ten-minute flapping rule.
+const DefaultFlapGap = trace.DefaultFlapGap

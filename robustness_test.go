@@ -1,0 +1,116 @@
+package netfail
+
+// External-validity checks: the paper's qualitative findings should
+// not be artifacts of the CENIC-shaped topology or of one particular
+// seed. These tests rerun the comparison on differently-shaped
+// networks and across seeds and assert the directional results.
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// denseMeshConfig: a small, heavily-chorded backbone with mostly
+// dual-homed CPE — much better connected than CENIC.
+func denseMeshConfig(seed int64) SimulationConfig {
+	return SimulationConfig{
+		Seed: seed,
+		Spec: topo.Spec{
+			Seed: seed, CoreRouters: 16, CPERouters: 40, CoreChords: 24,
+			DualHomedCPE: 30, MultiLinkCorePairs: 2, MultiLinkCPEPairs: 3,
+			Customers: 25, LinkBase: 137<<24 | 164<<16, CoreMetric: 10, CPEMetric: 100,
+		},
+		Start:           time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2011, 5, 1, 0, 0, 0, 0, time.UTC),
+		ListenerOffline: []trace.Interval{},
+	}
+}
+
+// sparseTreeConfig: a thin ring with single-homed everything — much
+// more fragile than CENIC.
+func sparseTreeConfig(seed int64) SimulationConfig {
+	return SimulationConfig{
+		Seed: seed,
+		Spec: topo.Spec{
+			Seed: seed, CoreRouters: 12, CPERouters: 36, CoreChords: 1,
+			DualHomedCPE: 1, MultiLinkCorePairs: 1, MultiLinkCPEPairs: 1,
+			Customers: 30, LinkBase: 137<<24 | 164<<16, CoreMetric: 10, CPEMetric: 100,
+		},
+		Start:           time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2011, 5, 1, 0, 0, 0, 0, time.UTC),
+		ListenerOffline: []trace.Interval{},
+	}
+}
+
+// assertQualitativeFindings checks the directional results that must
+// hold regardless of topology: syslog misses transitions (mostly in
+// flaps), underestimates downtime, carries short false positives, and
+// KS accepts counts but rejects durations.
+func assertQualitativeFindings(t *testing.T, name string, s *Study) {
+	t.Helper()
+	t4 := s.Analysis.Table4()
+	if t4.ISISFailures == 0 || t4.SyslogFailures == 0 {
+		t.Fatalf("%s: empty comparison", name)
+	}
+	if t4.SyslogDowntime >= t4.ISISDowntime {
+		t.Errorf("%s: syslog downtime (%v) not below IS-IS (%v)", name, t4.SyslogDowntime, t4.ISISDowntime)
+	}
+	if t4.FalsePositiveFraction < 0.05 || t4.FalsePositiveFraction > 0.5 {
+		t.Errorf("%s: FP fraction = %.2f", name, t4.FalsePositiveFraction)
+	}
+	t3 := s.Analysis.Table3()
+	noneDown := float64(t3.Down.None) / float64(max(t3.Down.Total(), 1))
+	if noneDown < 0.03 || noneDown > 0.4 {
+		t.Errorf("%s: DOWN none fraction = %.2f", name, noneDown)
+	}
+	t5 := s.Analysis.Table5()
+	if !t5.KSFailuresPerLink.Consistent(0.01) {
+		t.Errorf("%s: failures/link rejected (p=%.4f)", name, t5.KSFailuresPerLink.PValue)
+	}
+	if t5.KSDuration.Consistent(0.05) {
+		t.Errorf("%s: duration accepted (p=%.4f)", name, t5.KSDuration.PValue)
+	}
+}
+
+func TestFindingsHoldOnDenseMesh(t *testing.T) {
+	s, err := Run(denseMeshConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertQualitativeFindings(t, "dense-mesh", s)
+	// A dense mesh should produce almost no customer isolation.
+	t7 := s.Analysis.Table7()
+	t.Logf("dense-mesh isolation: isis=%d syslog=%d", t7.ISISEvents, t7.SyslogEvents)
+}
+
+func TestFindingsHoldOnSparseTree(t *testing.T) {
+	s, err := Run(sparseTreeConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertQualitativeFindings(t, "sparse-tree", s)
+	// A fragile network must show substantial isolation.
+	t7 := s.Analysis.Table7()
+	if t7.ISISEvents == 0 {
+		t.Error("sparse-tree: no isolation events despite single-homing")
+	}
+	t.Logf("sparse-tree isolation: isis=%d syslog=%d", t7.ISISEvents, t7.SyslogEvents)
+}
+
+func TestFindingsHoldAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []int64{11, 22, 33} {
+		cfg := smallConfig(seed)
+		cfg.End = cfg.Start.Add(120 * 24 * time.Hour)
+		s, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertQualitativeFindings(t, "seed-sweep", s)
+	}
+}

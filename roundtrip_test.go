@@ -1,0 +1,177 @@
+package netfail
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netfail/internal/config"
+	"netfail/internal/core"
+	"netfail/internal/listener"
+	"netfail/internal/netsim"
+	"netfail/internal/syslog"
+	"netfail/internal/tickets"
+	"netfail/internal/topo"
+)
+
+// TestFilePipelineMatchesInMemory saves a campaign to disk in the
+// netfail-sim formats, reloads everything, re-runs the analysis, and
+// checks the results equal the in-memory pipeline: the serialization
+// layer must be lossless where it matters.
+func TestFilePipelineMatchesInMemory(t *testing.T) {
+	camp, err := Simulate(smallConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := AnalyzeCampaign(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Save, mirroring cmd/netfail-sim.
+	write := func(name string, fn func(*os.File) error) {
+		t.Helper()
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("syslog.log", func(f *os.File) error { return syslog.WriteLog(f, camp.Syslog) })
+	write("lsps.log", func(f *os.File) error { return netsim.WriteLSPLog(f, camp.LSPLog) })
+	write("manifest.json", func(f *os.File) error { return camp.WriteManifest(f) })
+	corpus := tickets.Generate(camp.Config.Seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
+	write("tickets.json", func(f *os.File) error { return tickets.WriteJSON(f, corpus) })
+	write("customers.json", func(f *os.File) error {
+		return topo.WriteCustomersJSON(f, camp.Network.Customers)
+	})
+	if err := camp.Archive.SaveDir(filepath.Join(dir, "configs")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload, mirroring cmd/netfail-analyze.
+	open := func(name string) *os.File {
+		t.Helper()
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mf := open("manifest.json")
+	manifest, err := netsim.ReadManifest(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, err := config.LoadDir(filepath.Join(dir, "configs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := config.Mine(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := open("syslog.log")
+	msgs, bad, err := syslog.ReadLog(sf, manifest.Start)
+	sf.Close()
+	if err != nil || bad != 0 {
+		t.Fatalf("syslog reload: err=%v bad=%d", err, bad)
+	}
+	lf := open("lsps.log")
+	lsps, err := netsim.ReadLSPLog(lf)
+	lf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := listener.New(mined.Network)
+	for _, c := range lsps {
+		if err := l.Process(c.Time, c.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := l.Results()
+	tf := open("tickets.json")
+	corpus2, err := tickets.ReadJSON(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := open("customers.json")
+	customers, err := topo.ReadCustomersJSON(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := core.Analyze(core.Input{
+		Network:         mined.Network,
+		Customers:       customers,
+		Syslog:          msgs,
+		ISTransitions:   res.ISTransitions,
+		IPTransitions:   res.IPTransitions,
+		Start:           manifest.Start,
+		End:             manifest.End,
+		ListenerOffline: manifest.Offline(),
+		Tickets:         tickets.NewIndex(corpus2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare headline results.
+	a, b := inMem.Analysis.Table4(), fromDisk.Table4()
+	if a.ISISFailures != b.ISISFailures || a.SyslogFailures != b.SyslogFailures ||
+		a.OverlapFailures != b.OverlapFailures ||
+		a.ISISDowntime != b.ISISDowntime || a.SyslogDowntime != b.SyslogDowntime {
+		t.Errorf("Table 4 differs:\n mem: %+v\ndisk: %+v", a, b)
+	}
+	t3a, t3b := inMem.Analysis.Table3(), fromDisk.Table3()
+	if t3a != t3b {
+		t.Errorf("Table 3 differs:\n mem: %+v\ndisk: %+v", t3a, t3b)
+	}
+	t6a, t6b := inMem.Analysis.Table6(), fromDisk.Table6()
+	if t6a != t6b {
+		t.Errorf("Table 6 differs:\n mem: %+v\ndisk: %+v", t6a, t6b)
+	}
+	t7a, t7b := inMem.Analysis.Table7(), fromDisk.Table7()
+	if t7a != t7b {
+		t.Errorf("Table 7 differs:\n mem: %+v\ndisk: %+v", t7a, t7b)
+	}
+}
+
+// TestGoldenSeed1Headline pins the seed-1 small-campaign headline
+// numbers: any change to the deterministic pipeline shows up here
+// before it silently shifts EXPERIMENTS.md.
+func TestGoldenSeed1Headline(t *testing.T) {
+	study, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4 := study.Analysis.Table4()
+	var buf bytes.Buffer
+	if err := study.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if t4.ISISFailures == 0 || t4.SyslogFailures == 0 {
+		t.Fatal("empty study")
+	}
+	// Re-run must give the identical report text.
+	study2, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := study2.Report(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("report text not reproducible for identical seeds")
+	}
+}
