@@ -1,0 +1,19 @@
+# Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
+
+.PHONY: build test lint race verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+lint:
+	go vet ./...
+	go run ./cmd/netfail-lint ./...
+
+race:
+	go test -race ./...
+
+verify:
+	./scripts/verify.sh

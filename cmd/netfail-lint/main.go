@@ -1,0 +1,62 @@
+// Command netfail-lint runs the repository's static-analysis suite —
+// the four invariant checkers under internal/lint — over the named
+// package patterns (default ./...), printing one line per finding and
+// exiting non-zero if any invariant is violated:
+//
+//	go run ./cmd/netfail-lint ./...
+//
+// The suite (see docs/static-analysis.md):
+//
+//	detclock    no wall clock / global math/rand outside internal/clock
+//	droppederr  no silently discarded parse/decode errors
+//	lockguard   "// guarded by mu" fields accessed only under the mutex
+//	durmul      no duration×duration, no unit-less duration constants
+//
+// netfail-lint is self-contained: it loads and type-checks packages
+// via `go list -export` export data, so it needs no network access
+// and no dependencies beyond the Go toolchain.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"netfail/internal/lint"
+	"netfail/internal/lint/detclock"
+	"netfail/internal/lint/droppederr"
+	"netfail/internal/lint/durmul"
+	"netfail/internal/lint/lockguard"
+)
+
+// Suite is the full analyzer set, in the order findings are
+// attributed.
+var suite = []*lint.Analyzer{
+	detclock.Analyzer,
+	droppederr.Analyzer,
+	lockguard.Analyzer,
+	durmul.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-lint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "netfail-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -18,16 +18,14 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"time"
 
+	"netfail/internal/clock"
 	"netfail/internal/config"
 	"netfail/internal/isis"
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
 	"netfail/internal/topo"
 )
-
-func nowUTC() time.Time { return time.Now().UTC() }
 
 func main() {
 	var (
@@ -42,7 +40,7 @@ func main() {
 	var err error
 	switch {
 	case *listen != "" && *configs != "":
-		err = receive(*listen, *configs, *limit)
+		err = receive(*listen, *configs, *limit, clock.System())
 	case *replay != "" && *to != "":
 		err = transmit(*replay, *to)
 	default:
@@ -54,7 +52,7 @@ func main() {
 	}
 }
 
-func receive(addr, configDir string, limit int) error {
+func receive(addr, configDir string, limit int, clk clock.Clock) error {
 	archive, err := config.LoadDir(configDir)
 	if err != nil {
 		return err
@@ -109,7 +107,7 @@ func receive(addr, configDir string, limit int) error {
 			continue
 		}
 
-		if err := l.Process(nowUTC(), pkt); err != nil {
+		if err := l.Process(clk.Now(), pkt); err != nil {
 			fmt.Fprintf(os.Stderr, "decode error: %v\n", err)
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"net"
 	"time"
 
+	"netfail/internal/clock"
 	"netfail/internal/device"
 	"netfail/internal/listener"
 	"netfail/internal/syslog"
@@ -18,6 +19,10 @@ import (
 )
 
 func main() {
+	// Wall time enters through the sanctioned clock only (the
+	// detclock analyzer forbids time.Now outside internal/clock).
+	clk := clock.System()
+
 	// A two-router network with one link.
 	network := topo.NewNetwork()
 	for i, name := range []string{"riv-core-01", "cpe-001"} {
@@ -42,7 +47,7 @@ func main() {
 	}
 
 	// Central syslog collector, as CENIC ran.
-	collector, err := syslog.NewCollector("127.0.0.1:0", time.Now().UTC())
+	collector, err := syslog.NewCollector("127.0.0.1:0", clk.Now())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +72,7 @@ func main() {
 			if err != nil {
 				return
 			}
-			if err := lsp.Process(time.Now().UTC(), append([]byte(nil), buf[:n]...)); err != nil {
+			if err := lsp.Process(clk.Now(), append([]byte(nil), buf[:n]...)); err != nil {
 				fmt.Println("listener:", err)
 			}
 		}
@@ -91,7 +96,7 @@ func main() {
 		}
 	}
 	emit := func(d *device.Router, up bool, reason string) {
-		m, err := d.AdjMessage(time.Now().UTC(), link.ID, up, reason)
+		m, err := d.AdjMessage(clk.Now(), link.ID, up, reason)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -123,8 +128,8 @@ func main() {
 	originate(cpe)
 
 	// Let the sockets drain.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(3 * time.Second)
+	for clk.Now().Before(deadline) {
 		if len(collector.Messages()) >= 4 && len(lsp.Results().ISTransitions) >= 2 {
 			break
 		}

@@ -1,0 +1,45 @@
+// Package clock is the repository's single sanctioned source of wall
+// time. Every other package either receives a Clock or takes
+// timestamps as explicit parameters, so that simulation and analysis
+// paths are reproducible from a seed; the detclock analyzer
+// (internal/lint/detclock) enforces that time.Now, time.Since, and
+// time.Until appear nowhere else in the module.
+package clock
+
+import "time"
+
+// A Clock supplies the current time. Production code injects System;
+// tests and simulations inject a Fake they advance explicitly.
+type Clock interface {
+	Now() time.Time
+}
+
+// System reads the operating-system wall clock in UTC. It is the only
+// place in the module allowed to call time.Now, and belongs only at
+// composition roots (cmd/, examples/) feeding live capture paths.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now().UTC() }
+
+// A Fake is a manually advanced clock for deterministic tests and
+// simulations.
+type Fake struct {
+	t time.Time
+}
+
+// NewFake returns a Fake frozen at start.
+func NewFake(start time.Time) *Fake { return &Fake{t: start} }
+
+// Now returns the fake's current instant.
+func (f *Fake) Now() time.Time { return f.t }
+
+// Advance moves the fake forward by d and returns the new instant.
+func (f *Fake) Advance(d time.Duration) time.Time {
+	f.t = f.t.Add(d)
+	return f.t
+}
+
+// Set jumps the fake to t.
+func (f *Fake) Set(t time.Time) { f.t = t }

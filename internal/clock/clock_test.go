@@ -1,0 +1,37 @@
+package clock_test
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/clock"
+)
+
+func TestFakeAdvances(t *testing.T) {
+	start := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	f := clock.NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), start)
+	}
+	if got := f.Advance(90 * time.Second); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Advance = %v, want %v", got, start.Add(90*time.Second))
+	}
+	if !f.Now().Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", f.Now())
+	}
+	jump := time.Date(2004, 9, 1, 0, 0, 0, 0, time.UTC)
+	f.Set(jump)
+	if !f.Now().Equal(jump) {
+		t.Fatalf("Now after Set = %v, want %v", f.Now(), jump)
+	}
+}
+
+func TestSystemIsUTC(t *testing.T) {
+	now := clock.System().Now()
+	if now.Location() != time.UTC {
+		t.Fatalf("System().Now() location = %v, want UTC", now.Location())
+	}
+	if now.IsZero() {
+		t.Fatal("System().Now() returned the zero time")
+	}
+}

@@ -11,7 +11,7 @@ import (
 // number. It is safe for concurrent use.
 type Database struct {
 	mu   sync.RWMutex
-	lsps map[LSPID]*storedLSP
+	lsps map[LSPID]*storedLSP // guarded by mu
 }
 
 type storedLSP struct {

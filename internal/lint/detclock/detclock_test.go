@@ -1,0 +1,29 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/detclock"
+	"netfail/internal/lint/linttest"
+)
+
+// TestDeterministicPackage checks that wall-clock reads and global
+// math/rand draws are diagnosed inside the deterministic scope. The
+// fixture reproduces the pre-fix defects from examples/livecapture
+// and cmd/netfail-listener.
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, detclock.Analyzer, "testdata/det", "netfail/internal/netsim/dettest")
+}
+
+// TestClockPackageExempt checks that internal/clock — the sanctioned
+// wall-clock source — is outside the enforcement scope.
+func TestClockPackageExempt(t *testing.T) {
+	linttest.Run(t, detclock.Analyzer, "testdata/exempt", "netfail/internal/clock/systest")
+}
+
+// TestOutsideModuleExempt checks that a package outside the module
+// path (e.g. a vendored tool) is not in scope: the same defective
+// code that TestDeterministicPackage flags must be silent there.
+func TestOutsideModuleExempt(t *testing.T) {
+	linttest.RunExpectNone(t, detclock.Analyzer, "testdata/det", "example.com/external")
+}

@@ -1,0 +1,62 @@
+// Fixture derived from the pre-fix repository code that detclock was
+// built to catch: examples/livecapture/main.go fed lsp.Process with
+// time.Now().UTC() and cmd/netfail-listener/main.go wrapped the wall
+// clock in a nowUTC() helper, so replaying the same capture twice
+// produced two different traces. This package is type-checked under a
+// deterministic import path, so every wall-clock read and global
+// rand draw must be diagnosed.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func nowUTC() time.Time {
+	return time.Now().UTC() // want `time\.Now reads the wall clock`
+}
+
+func process(at time.Time, data []byte) error { return nil }
+
+func capture(buf []byte) error {
+	// Pre-fix examples/livecapture: stamping a simulated PDU with the
+	// host's wall clock.
+	return process(time.Now().UTC(), buf) // want `time\.Now reads the wall clock`
+}
+
+func age(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func deadline(start time.Time) time.Duration {
+	return time.Until(start.Add(time.Hour)) // want `time\.Until reads the wall clock`
+}
+
+func jitter() time.Duration {
+	// Pre-fix seed pattern: the process-global source, seeded from
+	// the wall clock, in one line.
+	rand.Seed(time.Now().UnixNano()) // want `rand\.Seed draws from the process-global source` `time\.Now reads the wall clock`
+	return time.Duration(rand.Intn(1000)) * time.Millisecond // want `rand\.Intn draws from the process-global source`
+}
+
+func seeded(seed int64, n int) []int {
+	// The required idiom: an explicitly seeded source and methods on
+	// it. rand.New and rand.NewSource are constructors, not draws.
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+func explicitTimestamps(at time.Time, events []time.Time) time.Duration {
+	// Timestamp parameters and time.Time methods are fine; only the
+	// ambient wall clock is forbidden.
+	var total time.Duration
+	for _, e := range events {
+		total += at.Sub(e)
+	}
+	time.Sleep(0) // Sleep does not read the clock.
+	return total
+}

@@ -1,0 +1,10 @@
+// Fixture type-checked under a path below netfail/internal/clock:
+// the one sanctioned home for the wall clock. Identical calls to the
+// det fixture, zero diagnostics expected.
+package exempt
+
+import "time"
+
+func systemNow() time.Time { return time.Now().UTC() }
+
+func sinceStart(start time.Time) time.Duration { return time.Since(start) }

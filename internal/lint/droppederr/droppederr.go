@@ -1,0 +1,165 @@
+// Package droppederr implements the parse-error analyzer: an error
+// returned by the syslog/IS-IS parse and decode paths must not be
+// silently discarded.
+//
+// The syslog-mining literature (Liang et al.; Simache & Kaâniche)
+// shows log-analysis pipelines live or die on silently-dropped parse
+// errors, and for this reproduction a swallowed decode error is a
+// silently shortened trace: the failure simply vanishes from one side
+// of the syslog-vs-IS-IS comparison. The analyzer therefore flags any
+// call site — anywhere in the module — that discards an error
+// returned by a function or method declared in netfail/internal/syslog,
+// netfail/internal/isis, or netfail/internal/listener:
+//
+//   - a call used as a bare expression statement, e.g.
+//     `sender.Send(m)`;
+//   - an assignment that binds the error result to the blank
+//     identifier, e.g. `m, _ := syslog.Parse(line, ref)` or
+//     `_ = lsp.Process(at, pkt)`.
+//
+// Deferred and go'd calls (`defer c.Close()`) are deliberately not
+// flagged: there is no binding position for the error, and the
+// cleanup-path convention is established in the codebase.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"netfail/internal/lint"
+)
+
+// Analyzer is the droppederr pass.
+var Analyzer = &lint.Analyzer{
+	Name: "droppederr",
+	Doc:  "forbid discarding errors returned by the syslog/IS-IS parse and decode paths",
+	Run:  run,
+}
+
+// tracedPackages are the packages whose returned errors account for
+// trace completeness (ISSUE: the parse and decode paths).
+var tracedPackages = []string{
+	"netfail/internal/syslog",
+	"netfail/internal/isis",
+	"netfail/internal/listener",
+}
+
+func tracedPackage(path string) bool {
+	for _, p := range tracedPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, errs := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(errs) > 0 {
+					pass.Reportf(call.Pos(),
+						"error returned by %s.%s is silently discarded; a swallowed parse error silently shortens the trace",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags assignments that bind an error result from a
+// traced call to the blank identifier.
+func checkAssign(pass *lint.Pass, stmt *ast.AssignStmt) {
+	// Only the 1-call form (x, _ := f(...)) binds results
+	// positionally; n:n assignments pair one value per expression.
+	if len(stmt.Rhs) != 1 {
+		for i, rhs := range stmt.Rhs {
+			if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+				continue
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, errs := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(errs) == 1 {
+				pass.Reportf(stmt.Lhs[i].Pos(),
+					"error returned by %s.%s is assigned to the blank identifier",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errPositions := tracedErrorCall(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	for _, i := range errPositions {
+		if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+			pass.Reportf(stmt.Lhs[i].Pos(),
+				"error returned by %s.%s is assigned to the blank identifier",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// tracedErrorCall resolves call's callee; if it is a function or
+// method declared in a traced package whose signature returns one or
+// more errors, it returns the callee and the indices of the
+// error-typed results.
+func tracedErrorCall(info *types.Info, call *ast.CallExpr) (*types.Func, []int) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !tracedPackage(fn.Pkg().Path()) {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	var errPositions []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errPositions = append(errPositions, i)
+		}
+	}
+	if len(errPositions) == 0 {
+		return nil, nil
+	}
+	return fn, errPositions
+}
+
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,16 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/droppederr"
+	"netfail/internal/lint/linttest"
+)
+
+// TestDroppedParseErrors checks that discarded errors from the
+// syslog/IS-IS parse and decode paths are diagnosed wherever the call
+// site lives, while checked, counted, and deferred errors pass. The
+// fixture mirrors the real ingest pipeline's call shapes.
+func TestDroppedParseErrors(t *testing.T) {
+	linttest.Run(t, droppederr.Analyzer, "testdata/drop", "netfail/internal/report/ingest")
+}

@@ -1,0 +1,73 @@
+// Fixture derived from the repository's real ingest pipeline: the
+// call shapes come from internal/syslog/collector.go (Parse feeding
+// the message log), internal/listener (Process feeding the LSP
+// database), and examples/livecapture (Send on the UDP sender).
+// Before droppederr, any of these errors could be dropped on the
+// floor and the trace would silently shorten — the defect class
+// Liang et al. and Simache & Kaâniche document for syslog pipelines.
+package drop
+
+import (
+	"fmt"
+	"time"
+
+	"netfail/internal/isis"
+	"netfail/internal/listener"
+	"netfail/internal/syslog"
+	"netfail/internal/topo"
+)
+
+// ingest loses messages three different ways.
+func ingest(lines []string, ref time.Time) []*syslog.Message {
+	var out []*syslog.Message
+	for _, line := range lines {
+		// Blank-binding the parse error: the message count silently
+		// diverges from the line count.
+		m, _ := syslog.Parse(line, ref) // want `error returned by syslog\.Parse is assigned to the blank identifier`
+		out = append(out, m)
+	}
+	return out
+}
+
+func replay(l *listener.Listener, at time.Time, pkts [][]byte) {
+	for _, pkt := range pkts {
+		// Bare call statement: a decode failure vanishes entirely.
+		l.Process(at, pkt) // want `error returned by listener\.Process is silently discarded`
+	}
+}
+
+func flood(s *syslog.Sender, m *syslog.Message) {
+	s.Send(m) // want `error returned by syslog\.Send is silently discarded`
+	_ = s.Send(m) // want `error returned by syslog\.Send is assigned to the blank identifier`
+}
+
+func peek(pkt []byte) isis.PDUType {
+	typ, _ := isis.PeekType(pkt) // want `error returned by isis\.PeekType is assigned to the blank identifier`
+	return typ
+}
+
+// handled shows the accepted shapes: checked errors, counted errors,
+// deferred cleanup, and out-of-scope callees.
+func handled(net *topo.Network, lines []string, pkts [][]byte, ref time.Time) (int, error) {
+	bad := 0
+	for _, line := range lines {
+		if _, err := syslog.Parse(line, ref); err != nil {
+			bad++ // counted, not fatal: ReadLog's documented contract
+		}
+	}
+	l := listener.New(net)
+	for _, pkt := range pkts {
+		if err := l.Process(ref, pkt); err != nil {
+			return bad, err
+		}
+	}
+	c, err := syslog.NewCollector("127.0.0.1:0", ref)
+	if err != nil {
+		return bad, err
+	}
+	// Deferred cleanup is the established idiom; there is no binding
+	// position for the error.
+	defer c.Close()
+	fmt.Println(bad) // out-of-scope package: not a traced callee
+	return bad, nil
+}

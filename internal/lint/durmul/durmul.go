@@ -1,0 +1,252 @@
+// Package durmul implements the duration-arithmetic analyzer for the
+// flap-detection and matching-window code.
+//
+// time.Duration is an int64 nanosecond count, and Go's untyped
+// constants make two mistakes compile silently:
+//
+//   - duration × duration: `w * time.Second` where w is already a
+//     time.Duration multiplies nanoseconds by nanoseconds. A 10s
+//     matching window becomes 10??s×10?? — every window comparison in
+//     the paper's Tables 4–7 silently saturates.
+//   - raw integer as duration: `idx.Within(link, dir, t, 10)` passes
+//     10 nanoseconds where a 10-second window was meant; the untyped
+//     constant converts without complaint.
+//
+// The correct idioms — `10 * time.Second` (untyped constant times
+// unit) and `time.Duration(n) * time.Second` (explicit conversion of
+// a variable, then unit) — are recognized and allowed.
+package durmul
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"netfail/internal/lint"
+)
+
+// Analyzer is the durmul pass.
+var Analyzer = &lint.Analyzer{
+	Name: "durmul",
+	Doc:  "catch time.Duration arithmetic bugs: duration×duration and raw integers passed as durations",
+	Run:  run,
+}
+
+// nanosecondThreshold bounds the raw-integer heuristic: an untyped
+// integer constant below one millisecond's worth of nanoseconds
+// passed as a time.Duration almost certainly meant seconds or
+// milliseconds, not nanoseconds.
+const nanosecondThreshold = 1_000_000
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkMul(pass, e)
+			case *ast.CallExpr:
+				checkArgs(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// operand classifies how a duration-typed expression participates in
+// multiplication.
+type operand int
+
+const (
+	// untypedNum: a pure untyped constant (literal 10, 80*24, const
+	// scale = 3). Multiplying a duration by it is scaling — fine.
+	untypedNum operand = iota
+	// unitConst: contains a typed duration constant (time.Second,
+	// 24*time.Hour). Carries real units.
+	unitConst
+	// scaledCount: a non-constant expression made dimensionless by an
+	// explicit conversion, e.g. time.Duration(n) or
+	// time.Duration(*days)*24. The programmer asserted "this is a
+	// count"; multiplying it by a unit is the sanctioned idiom.
+	scaledCount
+	// durationVar: a non-constant expression with duration semantics
+	// (variable, field, function result). Multiplying it by a unit or
+	// another duration is the bug.
+	durationVar
+)
+
+// checkMul flags multiplication of two duration-typed operands when
+// both sides carry duration semantics: variable×unit (`w *
+// time.Second`), variable×variable, and unit×unit (`time.Second *
+// time.Second`) all yield nanoseconds squared. Scaling by an untyped
+// constant or by an explicit time.Duration(n) conversion is the
+// correct idiom and passes.
+func checkMul(pass *lint.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.MUL {
+		return
+	}
+	if !isDuration(pass.TypesInfo.TypeOf(e.X)) || !isDuration(pass.TypesInfo.TypeOf(e.Y)) {
+		return
+	}
+	x, y := classify(pass, e.X), classify(pass, e.Y)
+	if (x == unitConst || x == durationVar) && (y == unitConst || y == durationVar) {
+		pass.Reportf(e.Pos(),
+			"time.Duration multiplied by time.Duration: the result is nanoseconds squared; convert one operand with time.Duration(n) or use an untyped constant")
+	}
+}
+
+func classify(pass *lint.Pass, e ast.Expr) operand {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return untypedNum
+	case *ast.UnaryExpr:
+		return classify(pass, e.X)
+	case *ast.Ident:
+		return classifyObj(pass.TypesInfo.Uses[e])
+	case *ast.SelectorExpr:
+		return classifyObj(pass.TypesInfo.Uses[e.Sel])
+	case *ast.BinaryExpr:
+		return combine(classify(pass, e.X), classify(pass, e.Y))
+	case *ast.CallExpr:
+		// A conversion: the call's Fun denotes a type, not a value.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if !isDuration(pass.TypesInfo.TypeOf(e.Args[0])) {
+				return scaledCount
+			}
+			return classify(pass, e.Args[0])
+		}
+	}
+	return durationVar
+}
+
+func classifyObj(obj types.Object) operand {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return durationVar
+	}
+	if basic, ok := c.Type().(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
+		return untypedNum
+	}
+	if isDuration(c.Type()) {
+		return unitConst
+	}
+	return untypedNum
+}
+
+// combine folds the classification of a compound expression: pure
+// numbers stay numbers, an explicit conversion anywhere keeps the
+// expression a sanctioned count, otherwise any non-constant part
+// makes it a duration variable and any unit constant gives it units.
+func combine(x, y operand) operand {
+	switch {
+	case x == untypedNum && y == untypedNum:
+		return untypedNum
+	case x == scaledCount || y == scaledCount:
+		return scaledCount
+	case x == durationVar || y == durationVar:
+		return durationVar
+	default:
+		return unitConst
+	}
+}
+
+// untypedConst reports whether obj is a constant declared without an
+// explicit type (e.g. `const scale = 3`). Typed duration constants
+// such as time.Second do NOT qualify: `w * time.Second` with w a
+// duration is precisely the bug.
+func untypedConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	basic, ok := c.Type().(*types.Basic)
+	return ok && basic.Info()&types.IsUntyped != 0
+}
+
+// checkArgs flags small untyped integer constants passed where a
+// time.Duration parameter is expected.
+func checkArgs(pass *lint.Pass, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i)
+		if param == nil || !isDuration(param.Type()) {
+			continue
+		}
+		v, ok := smallIntConstant(pass, arg)
+		if !ok {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"integer constant %d passed as time.Duration is %d nanoseconds; write an explicit unit such as %d*time.Second",
+			v, v, v)
+	}
+}
+
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok {
+			return types.NewVar(last.Pos(), last.Pkg(), last.Name(), slice.Elem())
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i)
+}
+
+// smallIntConstant reports the value of arg if it is a syntactically
+// constant positive integer below the nanosecond threshold — i.e. a
+// literal or untyped constant the programmer wrote without a unit.
+func smallIntConstant(pass *lint.Pass, arg ast.Expr) (int64, bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+	case *ast.Ident:
+		if !untypedConst(pass.TypesInfo.Uses[e]) {
+			return 0, false
+		}
+	case *ast.SelectorExpr:
+		if !untypedConst(pass.TypesInfo.Uses[e.Sel]) {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if !isDuration(tv.Type) {
+		return 0, false
+	}
+	v, ok := int64Value(tv)
+	if !ok || v <= 0 || v >= nanosecondThreshold {
+		return 0, false
+	}
+	return v, true
+}
+
+func int64Value(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}

@@ -1,0 +1,16 @@
+package durmul_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/durmul"
+	"netfail/internal/lint/linttest"
+)
+
+// TestWindowArithmetic checks duration arithmetic on fixtures
+// mirroring the matching-window code: duration×duration and bare
+// integer windows are diagnosed; untyped-constant scaling, explicit
+// conversions, and constant folding pass.
+func TestWindowArithmetic(t *testing.T) {
+	linttest.Run(t, durmul.Analyzer, "testdata/windows", "netfail/internal/match/windowtest")
+}

@@ -1,0 +1,52 @@
+// Fixture derived from the matching-window code in internal/match
+// (DefaultWindow, Within, WindowSweep) and the campaign-duration
+// arithmetic in internal/netsim. The defective lines are the
+// mistakes durmul exists to catch: scaling an existing window by a
+// unit constant, multiplying two windows, and passing a bare integer
+// where a window is expected — each compiles silently and each
+// corrupts every matched-fraction figure downstream.
+package windows
+
+import "time"
+
+const defaultWindow = 10 * time.Second // untyped 10 × unit: correct
+
+// scale = 3 is an untyped constant; durations may be scaled by it.
+const scale = 3
+
+type index struct{}
+
+// within mirrors match.TransitionIndex.Within's window parameter.
+func (index) within(t time.Time, w time.Duration) int { return 0 }
+
+func sweep(idx index, t time.Time, w time.Duration, n int, ds []time.Duration) {
+	// The classic widening bug: w already carries units.
+	wide := w * time.Second // want `time\.Duration multiplied by time\.Duration`
+
+	// Window × window, as in a bad variance computation.
+	sq := w * w // want `time\.Duration multiplied by time\.Duration`
+
+	// Unit² hidden in a constant expression.
+	u := time.Second * time.Second // want `time\.Duration multiplied by time\.Duration`
+
+	// A bare integer window: 10 nanoseconds where 10 seconds was
+	// meant (match.DefaultWindow is 10s).
+	idx.within(t, 10) // want `integer constant 10 passed as time\.Duration`
+
+	// Correct idioms, all silent: untyped-constant scaling,
+	// explicit conversion then unit, conversion products
+	// (cmd/netfail-sim's campaign length), constant folding
+	// (netsim's listener-offline windows), and unit-typed argument.
+	half := w / 2
+	tripled := scale * w
+	converted := time.Duration(n) * time.Second
+	campaign := time.Duration(n) * 24 * time.Hour
+	offline := 80*24*time.Hour + 30*time.Hour
+	backoff := half * time.Duration(n)
+	idx.within(t, defaultWindow)
+	idx.within(t, 10*time.Second)
+	idx.within(t, 0) // zero disables the window; no unit implied
+
+	_ = []time.Duration{wide, sq, u, tripled, converted, campaign, offline, backoff}
+	_ = ds
+}

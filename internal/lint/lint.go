@@ -1,0 +1,125 @@
+// Package lint is a self-contained static-analysis framework for the
+// netfail repository, modelled on golang.org/x/tools/go/analysis but
+// built entirely on the standard library so the repo carries no
+// external dependencies.
+//
+// The paper's methodology rests on byte-faithful trace reconstruction
+// and reproducible matching windows: a single unseeded random source,
+// a stray wall-clock read in a simulation path, or an unsynchronized
+// LSP-database access silently corrupts the syslog-vs-IS-IS
+// comparison. The analyzers under internal/lint/ encode those
+// invariants so they are checked mechanically on every change:
+//
+//   - detclock: forbids time.Now/Since/Until and global math/rand
+//     outside internal/clock (determinism).
+//   - droppederr: forbids silently discarding errors returned by the
+//     syslog/IS-IS parse and decode paths (a swallowed error is a
+//     silently shortened trace).
+//   - lockguard: enforces the "// guarded by mu" field annotation
+//     convention (accesses must hold the named mutex).
+//   - durmul: catches time.Duration arithmetic bugs in the
+//     flap/matching-window code (duration×duration, raw integers
+//     passed as durations).
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. The loader (Load) type-checks packages offline using
+// export data produced by `go list -export`, and the cmd/netfail-lint
+// multichecker drives the whole suite.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "detclock".
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to a single package and reports
+	// findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides an analyzer with the parsed, type-checked package
+// under inspection and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a diagnostic resolved to a file position, tagged with
+// the analyzer and package that produced it.
+type Finding struct {
+	Analyzer string
+	Pkg      string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies each analyzer to each package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diagnostics {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pkg:      pkg.ImportPath,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

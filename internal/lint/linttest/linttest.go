@@ -1,0 +1,281 @@
+// Package linttest runs lint analyzers over testdata fixture
+// packages and checks their diagnostics against expectations written
+// in the fixtures themselves, following the golang.org/x/tools
+// analysistest convention: a line that should be flagged carries a
+// trailing comment
+//
+//	// want `regexp`
+//
+// (double-quoted Go strings also work, and several expectations may
+// follow one want). A fixture directory holds exactly one package;
+// the test chooses the import path under which it is type-checked,
+// which is how path-scoped analyzers (detclock, droppederr) are
+// exercised both inside and outside their enforcement scope.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netfail/internal/lint"
+)
+
+// Run type-checks the single package in dir under importPath, applies
+// the analyzer, and reports any mismatch between its diagnostics and
+// the fixture's want comments as test errors.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	run(t, a, dir, importPath, true)
+}
+
+// RunExpectNone applies the analyzer to the fixture and requires zero
+// diagnostics, ignoring any want comments. It re-uses positive
+// fixtures to prove a scope exemption: the same code that is flagged
+// under a deterministic import path must be silent outside it.
+func RunExpectNone(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	run(t, a, dir, importPath, false)
+}
+
+func run(t *testing.T, a *lint.Analyzer, dir, importPath string, useWants bool) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: fixtureImporter(t, fset, files)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s: %v", dir, err)
+	}
+
+	pkg := &lint.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	if !useWants {
+		for _, f := range findings {
+			t.Errorf("%s: unexpected diagnostic outside scope: %s", f.Pos, f.Message)
+		}
+		return
+	}
+	wants := collectWants(t, fset, files)
+	checkExpectations(t, findings, wants)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	return files, nil
+}
+
+// fixtureImporter resolves the fixture's imports (standard library
+// and netfail packages alike) from export data produced by
+// `go list -export`, run once per fixture from the module root.
+func fixtureImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			paths = append(paths, path)
+		}
+	}
+	exports := exportData(t, paths)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func exportData(t *testing.T, paths []string) map[string]string {
+	t.Helper()
+	exports := map[string]string{}
+	if len(paths) == 0 {
+		return exports
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot(t)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("linttest: go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatalf("linttest: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// A want is one expected diagnostic: a position and a regexp the
+// message must match.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos, m[1]) {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns reads a space-separated sequence of quoted regexps
+// (backquoted or double-quoted) from the tail of a want comment.
+func parsePatterns(t *testing.T, pos token.Position, s string) []*regexp.Regexp {
+	t.Helper()
+	var pats []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		quoted, rest, err := quotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", pos, s, err)
+		}
+		text, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", pos, quoted, err)
+		}
+		pat, err := regexp.Compile(text)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+		}
+		pats = append(pats, pat)
+		s = rest
+	}
+}
+
+func quotedPrefix(s string) (quoted, rest string, err error) {
+	quoted, err = strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	return quoted, s[len(quoted):], nil
+}
+
+func checkExpectations(t *testing.T, findings []lint.Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		if w := matchWant(wants, f); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func matchWant(wants []*want, f lint.Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"netfail/internal/lint"
+)
+
+// TestLoadTypeChecksModulePackages loads a real module package
+// offline through the export-data importer and runs a trivial
+// analyzer over it, exercising the exact path cmd/netfail-lint uses.
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	pkgs, err := lint.Load("..", "netfail/internal/clock", "netfail/internal/match")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*lint.Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package: %+v", p.ImportPath, p)
+		}
+		if len(p.TypesInfo.Uses) == 0 {
+			t.Fatalf("%s: type info has no uses; type-checking did not run", p.ImportPath)
+		}
+	}
+	if byPath["netfail/internal/match"] == nil || byPath["netfail/internal/clock"] == nil {
+		t.Fatalf("unexpected package set: %v", byPath)
+	}
+
+	// A trivial analyzer: count function declarations, prove Run
+	// routes diagnostics with positions.
+	funcs := 0
+	counter := &lint.Analyzer{
+		Name: "funccount",
+		Doc:  "test analyzer",
+		Run: func(pass *lint.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						funcs++
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := lint.Run(pkgs, []*lint.Analyzer{counter})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != funcs || funcs == 0 {
+		t.Fatalf("got %d findings for %d functions", len(findings), funcs)
+	}
+	for _, f := range findings {
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Fatalf("finding lacks a position: %+v", f)
+		}
+		if !strings.HasPrefix(f.Message, "func ") {
+			t.Fatalf("unexpected message: %q", f.Message)
+		}
+	}
+}
+
+// TestLoadRejectsUnknownPattern ensures loader errors surface instead
+// of silently analyzing nothing.
+func TestLoadRejectsUnknownPattern(t *testing.T) {
+	if _, err := lint.Load("..", "netfail/internal/does-not-exist"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}

@@ -18,8 +18,8 @@ type Collector struct {
 	ref  time.Time
 
 	mu       sync.Mutex
-	messages []*Message
-	dropped  int
+	messages []*Message // guarded by mu
+	dropped  int        // guarded by mu
 
 	done chan struct{}
 	wg   sync.WaitGroup

@@ -1,0 +1,33 @@
+#!/bin/sh
+# verify.sh — the single tier-1 verification entrypoint: build,
+# vet, the repo's own static-analysis suite (netfail-lint), and the
+# full test suite under the race detector. CI runs exactly this
+# script; run it locally before pushing:
+#
+#   ./scripts/verify.sh          # everything
+#   ./scripts/verify.sh -short   # skip the race run (quick iteration)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=0
+[ "${1:-}" = "-short" ] && short=1
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> netfail-lint ./..."
+go run ./cmd/netfail-lint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [ "$short" = 0 ]; then
+    echo "==> go test -race ./..."
+    go test -race ./...
+fi
+
+echo "verify: OK"
