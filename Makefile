@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint race verify
+.PHONY: build test lint race verify faultinject
 
 build:
 	go build ./...
@@ -14,6 +14,11 @@ lint:
 
 race:
 	go test -race ./...
+
+# Degradation gate: corrupt every capture stream deterministically and
+# re-assert the paper's qualitative findings on the salvaged data.
+faultinject:
+	go test -short -run 'Corrupt' -v . ./internal/faultinject
 
 verify:
 	./scripts/verify.sh

@@ -10,6 +10,13 @@
 //	netfail-analyze -data ./campaign                 # everything
 //	netfail-analyze -data ./campaign -table 4        # one table
 //	netfail-analyze -data ./campaign -figure knee    # window sweep
+//	netfail-analyze -data ./campaign -lenient        # salvage mode
+//
+// In -lenient mode malformed capture records are skipped instead of
+// aborting the analysis; a per-file salvage report goes to stderr, and
+// the process exits with code 3 (instead of 0) when any record was
+// dropped, so scripts can distinguish a clean analysis from a salvaged
+// one.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
 	"netfail/internal/report"
+	"netfail/internal/salvage"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
 	"netfail/internal/topo"
@@ -31,26 +39,31 @@ import (
 
 func main() {
 	var (
-		data   = flag.String("data", "campaign", "campaign directory written by netfail-sim")
-		seed   = flag.Int64("seed", 0, "skip the directory: simulate+analyze in memory with this seed")
-		table  = flag.Int("table", 0, "render only this table (1-7)")
-		figure = flag.String("figure", "", "render only this figure: 1a, 1b, 1c, knee, policies")
-		svgDir = flag.String("svg", "", "also write figure1[abc].svg and knee.svg into this directory")
-		export = flag.String("export", "", "also write the reconstructed transition streams into this directory")
-		multi  = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
-		md     = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
+		data    = flag.String("data", "campaign", "campaign directory written by netfail-sim")
+		seed    = flag.Int64("seed", 0, "skip the directory: simulate+analyze in memory with this seed")
+		table   = flag.Int("table", 0, "render only this table (1-7)")
+		figure  = flag.String("figure", "", "render only this figure: 1a, 1b, 1c, knee, policies")
+		svgDir  = flag.String("svg", "", "also write figure1[abc].svg and knee.svg into this directory")
+		export  = flag.String("export", "", "also write the reconstructed transition streams into this directory")
+		multi   = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
+		md      = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
+		lenient = flag.Bool("lenient", false, "salvage malformed capture records instead of aborting; exit 3 if any were dropped")
 	)
 	flag.Parse()
 
 	var err error
+	salvaged := false
 	if *seed != 0 {
 		err = runSeed(*seed, *table, *figure, *svgDir, *export, *multi, *md)
 	} else {
-		err = run(*data, *table, *figure, *svgDir, *export, *multi, *md)
+		salvaged, err = run(*data, *table, *figure, *svgDir, *export, *multi, *md, *lenient)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-analyze:", err)
 		os.Exit(1)
+	}
+	if salvaged {
+		os.Exit(3)
 	}
 }
 
@@ -90,12 +103,18 @@ func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md 
 	return render(a, camp.Archive, camp.Counts, table, figure, svgDir, exportDir, md)
 }
 
-func run(dir string, table int, figure, svgDir, exportDir string, multi, md bool) error {
-	a, campaignCounts, archive, err := loadAndAnalyze(dir, multi)
+func run(dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool) (salvaged bool, err error) {
+	a, campaignCounts, archive, reports, err := loadAndAnalyze(dir, multi, lenient)
 	if err != nil {
-		return err
+		return false, err
 	}
-	return render(a, archive, campaignCounts, table, figure, svgDir, exportDir, md)
+	for _, r := range reports {
+		fmt.Fprintf(os.Stderr, "netfail-analyze: salvage %s: %s\n", r.name, r.rep)
+		if !r.rep.Clean() {
+			salvaged = true
+		}
+	}
+	return salvaged, render(a, archive, campaignCounts, table, figure, svgDir, exportDir, md)
 }
 
 // render prints the requested tables/figures.
@@ -206,17 +225,36 @@ func exportTransitions(a *core.Analysis, dir string) error {
 	return write("ip-reach-transitions.log", a.IPReach)
 }
 
+// salvageEntry names one capture file's salvage report.
+type salvageEntry struct {
+	name string
+	rep  *salvage.Report
+}
+
 // loadAndAnalyze reads every capture artifact and runs the pipeline.
-func loadAndAnalyze(dir string, multi bool) (*core.Analysis, netsim.Counts, *config.Archive, error) {
-	fail := func(err error) (*core.Analysis, netsim.Counts, *config.Archive, error) {
-		return nil, netsim.Counts{}, nil, err
+// In lenient mode malformed records are skipped and accounted in the
+// returned per-file salvage reports; in strict mode the first
+// malformed record aborts with a line-accurate error.
+func loadAndAnalyze(dir string, multi, lenient bool) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
+	fail := func(err error) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
+		return nil, netsim.Counts{}, nil, nil, err
 	}
+	var reports []salvageEntry
 
 	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return fail(err)
 	}
-	manifest, err := netsim.ReadManifest(mf)
+	var manifest *netsim.Manifest
+	if lenient {
+		var rep *salvage.Report
+		manifest, rep, err = netsim.ReadManifestLenient(mf)
+		if err == nil {
+			reports = append(reports, salvageEntry{"manifest.json", rep})
+		}
+	} else {
+		manifest, err = netsim.ReadManifest(mf)
+	}
 	mf.Close()
 	if err != nil {
 		return fail(err)
@@ -235,31 +273,55 @@ func loadAndAnalyze(dir string, multi bool) (*core.Analysis, netsim.Counts, *con
 	if err != nil {
 		return fail(err)
 	}
-	msgs, badLines, err := syslog.ReadLog(sf, manifest.Start)
+	msgs, syslogRep, err := syslog.ReadLogLenient(sf, manifest.Start)
 	sf.Close()
 	if err != nil {
 		return fail(err)
 	}
-	if badLines > 0 {
-		fmt.Fprintf(os.Stderr, "netfail-analyze: %d unparseable syslog lines skipped\n", badLines)
+	if lenient {
+		reports = append(reports, salvageEntry{"syslog.log", syslogRep})
+	} else if syslogRep.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "netfail-analyze: %d unparseable syslog lines skipped\n", syslogRep.Skipped)
 	}
 
 	lf, err := os.Open(filepath.Join(dir, "lsps.log"))
 	if err != nil {
 		return fail(err)
 	}
-	lsps, err := netsim.ReadLSPLog(lf)
+	var lsps []netsim.CapturedLSP
+	if lenient {
+		var rep *salvage.Report
+		lsps, rep, err = netsim.ReadLSPLogLenient(lf)
+		if err == nil {
+			reports = append(reports, salvageEntry{"lsps.log", rep})
+		}
+	} else {
+		lsps, err = netsim.ReadLSPLog(lf)
+	}
 	lf.Close()
 	if err != nil {
 		return fail(err)
 	}
 	l := listener.New(mined.Network)
+	decodeFailures := 0
 	for _, c := range lsps {
 		if err := l.Process(c.Time, c.Data); err != nil {
-			return fail(fmt.Errorf("LSP capture: %w", err))
+			if !lenient {
+				return fail(fmt.Errorf("LSP capture: %w", err))
+			}
+			// Salvaged-but-corrupt payloads land in the listener's
+			// decode-error accounting instead of aborting.
+			decodeFailures++
 		}
 	}
 	res := l.Results()
+	if lenient && decodeFailures > 0 {
+		reports = append(reports, salvageEntry{"lsps.log payloads", &salvage.Report{
+			Kept:    len(lsps) - decodeFailures,
+			Skipped: decodeFailures,
+			Reasons: map[string]int{"undecodable LSP payload": decodeFailures},
+		}})
+	}
 
 	tf, err := os.Open(filepath.Join(dir, "tickets.json"))
 	if err != nil {
@@ -296,5 +358,5 @@ func loadAndAnalyze(dir string, multi bool) (*core.Analysis, netsim.Counts, *con
 	if err != nil {
 		return fail(err)
 	}
-	return a, manifest.Counts, archive, nil
+	return a, manifest.Counts, archive, reports, nil
 }

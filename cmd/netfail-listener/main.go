@@ -14,10 +14,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"netfail/internal/clock"
 	"netfail/internal/config"
@@ -25,6 +27,15 @@ import (
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
 	"netfail/internal/topo"
+)
+
+// Read-retry policy for the live UDP capture path, mirroring
+// syslog.Collector: transient socket errors are retried with
+// exponential backoff; only persistent ones end the capture, and then
+// with an explicit error rather than a silent truncation.
+const (
+	maxReadRetries = 5
+	readRetryBase  = time.Millisecond
 )
 
 func main() {
@@ -77,11 +88,27 @@ func receive(addr, configDir string, limit int, clk clock.Clock) error {
 	var listenerID topo.SystemID // all-zero passive system ID
 	buf := make([]byte, 64*1024)
 	emitted := 0
+	readFailures := 0
 	for limit == 0 || l.Results().LSPCount < limit {
 		n, from, err := conn.ReadFromUDP(buf)
 		if err != nil {
-			return err
+			// A persistent socket error must not silently end the
+			// capture mid-campaign: retry transient failures with
+			// backoff, give up loudly only when they persist.
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				readFailures = 0
+				continue
+			}
+			readFailures++
+			if readFailures > maxReadRetries {
+				return fmt.Errorf("capture stopped after %d consecutive read errors: %w", readFailures, err)
+			}
+			fmt.Fprintf(os.Stderr, "read error (retry %d/%d): %v\n", readFailures, maxReadRetries, err)
+			time.Sleep(readRetryBase << uint(readFailures-1))
+			continue
 		}
+		readFailures = 0
 		// Copy: Process retains no reference, but the decode reads
 		// beyond this iteration via the LSP database.
 		pkt := append([]byte(nil), buf[:n]...)

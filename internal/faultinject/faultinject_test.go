@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sampleCapture builds a line-oriented capture resembling the LSP log
+// format: "<unix_ms> <hex>".
+func sampleCapture(lines int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, "%d 83%02x00aa55\n", 1_300_000_000_000+int64(i)*1000, i)
+	}
+	return b.Bytes()
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	in := sampleCapture(200)
+	a, fa := Corrupt(in, Plan{Seed: 42, Rate: 0.05})
+	b, fb := Corrupt(in, Plan{Seed: 42, Rate: 0.05})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corrupted output")
+	}
+	if len(fa) != len(fb) {
+		t.Fatalf("fault lists differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+	c, _ := Corrupt(in, Plan{Seed: 43, Rate: 0.05})
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corrupted output")
+	}
+}
+
+func TestCorruptLeavesInputIntact(t *testing.T) {
+	in := sampleCapture(50)
+	orig := append([]byte(nil), in...)
+	Corrupt(in, Plan{Seed: 1, Rate: 1})
+	if !bytes.Equal(in, orig) {
+		t.Error("Corrupt modified its input")
+	}
+}
+
+func TestCorruptRateZeroOnlyTruncatesFinal(t *testing.T) {
+	in := sampleCapture(30)
+	out, faults := Corrupt(in, Plan{Seed: 7, Rate: 0})
+	if len(faults) != 1 || faults[0].Mode != TruncateFinal {
+		t.Fatalf("faults = %+v, want exactly one TruncateFinal", faults)
+	}
+	if !bytes.HasPrefix(in, out) {
+		t.Error("rate-0 corruption is not a prefix of the input")
+	}
+	if out[len(out)-1] == '\n' {
+		t.Error("truncated capture still ends in a newline")
+	}
+}
+
+func TestCorruptModesRestrictable(t *testing.T) {
+	in := sampleCapture(300)
+	out, faults := Corrupt(in, Plan{Seed: 5, Rate: 0.2, Modes: []Mode{GarbageLine}})
+	if len(faults) == 0 {
+		t.Fatal("no faults injected at rate 0.2 over 300 lines")
+	}
+	for _, f := range faults {
+		if f.Mode != GarbageLine {
+			t.Fatalf("unexpected mode %v", f.Mode)
+		}
+	}
+	// GarbageLine only inserts: every original line must survive.
+	lines := strings.Split(strings.TrimSuffix(string(out), "\n"), "\n")
+	if want := 300 + len(faults); len(lines) != want {
+		t.Errorf("got %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestCorruptFaultLinesPointAtCorruptedOutput(t *testing.T) {
+	in := sampleCapture(100)
+	out, faults := Corrupt(in, Plan{Seed: 11, Rate: 0.1})
+	lines := strings.Split(string(out), "\n")
+	orig := strings.Split(string(in), "\n")
+	for _, f := range faults {
+		if f.Line < 1 || f.Line > len(lines) {
+			t.Fatalf("fault line %d out of range (%d lines)", f.Line, len(lines))
+		}
+		got := lines[f.Line-1]
+		// Every per-line fault must have actually changed something
+		// at its recorded position relative to the clean capture.
+		if f.Mode != TruncateFinal && f.Line-1 < len(orig) && got == orig[f.Line-1] {
+			// A GarbageLine entry is the inserted line itself, which
+			// by construction differs from any record; the remaining
+			// modes rewrite the record in place.
+			t.Errorf("fault %+v: output line unchanged: %q", f, got)
+		}
+	}
+}
+
+func TestCorruptEmptyInput(t *testing.T) {
+	out, faults := Corrupt(nil, Plan{Seed: 1, Rate: 1})
+	if len(out) != 0 || len(faults) != 0 {
+		t.Errorf("corrupting nothing produced %q, %v", out, faults)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		BitFlip:         "bit-flip",
+		MangleTimestamp: "mangle-timestamp",
+		GarbageLine:     "garbage-line",
+		TornWrite:       "torn-write",
+		TruncateFinal:   "truncate-final",
+		Mode(99):        "Mode(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

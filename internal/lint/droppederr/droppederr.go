@@ -17,6 +17,14 @@
 //     identifier, e.g. `m, _ := syslog.Parse(line, ref)` or
 //     `_ = lsp.Process(at, pkt)`.
 //
+// The capture readers in netfail/internal/netsim and
+// netfail/internal/trace (ReadLSPLog, ReadManifest, ReadTransitions,
+// ReadFailuresJSON and their Lenient variants) are traced as specific
+// entry points: they gate the same trace completeness from disk, and
+// their lenient variants additionally return a *salvage.Report whose
+// discard silently hides dropped records — blank-binding that report
+// is flagged exactly like blank-binding an error.
+//
 // Deferred and go'd calls (`defer c.Close()`) are deliberately not
 // flagged: there is no binding position for the error, and the
 // cleanup-path convention is established in the codebase.
@@ -24,6 +32,7 @@ package droppederr
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -45,6 +54,25 @@ var tracedPackages = []string{
 	"netfail/internal/listener",
 }
 
+// tracedFuncs pins individual capture-reader entry points in packages
+// that are otherwise out of scope: a discarded error (or salvage
+// report) from these readers silently shortens or mis-accounts a
+// trace read back from disk.
+var tracedFuncs = map[string]map[string]bool{
+	"netfail/internal/netsim": {
+		"ReadLSPLog":          true,
+		"ReadLSPLogLenient":   true,
+		"ReadManifest":        true,
+		"ReadManifestLenient": true,
+	},
+	"netfail/internal/trace": {
+		"ReadTransitions":         true,
+		"ReadTransitionsLenient":  true,
+		"ReadFailuresJSON":        true,
+		"ReadFailuresJSONLenient": true,
+	},
+}
+
 func tracedPackage(path string) bool {
 	for _, p := range tracedPackages {
 		if path == p || strings.HasPrefix(path, p+"/") {
@@ -52,6 +80,13 @@ func tracedPackage(path string) bool {
 		}
 	}
 	return false
+}
+
+func tracedFunc(fn *types.Func) bool {
+	if tracedPackage(fn.Pkg().Path()) {
+		return true
+	}
+	return tracedFuncs[fn.Pkg().Path()][fn.Name()]
 }
 
 func run(pass *lint.Pass) error {
@@ -63,10 +98,10 @@ func run(pass *lint.Pass) error {
 				if !ok {
 					return true
 				}
-				if fn, errs := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(errs) > 0 {
+				if fn, kinds := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(kinds) > 0 {
 					pass.Reportf(call.Pos(),
-						"error returned by %s.%s is silently discarded; a swallowed parse error silently shortens the trace",
-						fn.Pkg().Name(), fn.Name())
+						"%s returned by %s.%s is silently discarded; a swallowed parse error silently shortens the trace",
+						resultNoun(kinds), fn.Pkg().Name(), fn.Name())
 				}
 			case *ast.AssignStmt:
 				checkAssign(pass, stmt)
@@ -91,10 +126,10 @@ func checkAssign(pass *lint.Pass, stmt *ast.AssignStmt) {
 			if !ok {
 				continue
 			}
-			if fn, errs := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(errs) == 1 {
-				pass.Reportf(stmt.Lhs[i].Pos(),
-					"error returned by %s.%s is assigned to the blank identifier",
-					fn.Pkg().Name(), fn.Name())
+			if fn, kinds := tracedErrorCall(pass.TypesInfo, call); fn != nil && len(kinds) == 1 {
+				for _, noun := range kinds {
+					reportBlank(pass, stmt.Lhs[i].Pos(), noun, fn)
+				}
 			}
 		}
 		return
@@ -103,42 +138,85 @@ func checkAssign(pass *lint.Pass, stmt *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	fn, errPositions := tracedErrorCall(pass.TypesInfo, call)
+	fn, kinds := tracedErrorCall(pass.TypesInfo, call)
 	if fn == nil {
 		return
 	}
-	for _, i := range errPositions {
+	for i, noun := range kinds {
 		if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
-			pass.Reportf(stmt.Lhs[i].Pos(),
-				"error returned by %s.%s is assigned to the blank identifier",
-				fn.Pkg().Name(), fn.Name())
+			reportBlank(pass, stmt.Lhs[i].Pos(), noun, fn)
 		}
 	}
 }
 
-// tracedErrorCall resolves call's callee; if it is a function or
-// method declared in a traced package whose signature returns one or
-// more errors, it returns the callee and the indices of the
-// error-typed results.
-func tracedErrorCall(info *types.Info, call *ast.CallExpr) (*types.Func, []int) {
+func reportBlank(pass *lint.Pass, pos token.Pos, noun string, fn *types.Func) {
+	if noun == reportNoun {
+		pass.Reportf(pos,
+			"salvage report returned by %s.%s is assigned to the blank identifier; dropped-record accounting is lost",
+			fn.Pkg().Name(), fn.Name())
+		return
+	}
+	pass.Reportf(pos,
+		"error returned by %s.%s is assigned to the blank identifier",
+		fn.Pkg().Name(), fn.Name())
+}
+
+const (
+	errNoun    = "error"
+	reportNoun = "salvage report"
+)
+
+// resultNoun summarizes a kinds map for the bare-statement message:
+// "error" wins when present, since that is the sharper defect.
+func resultNoun(kinds map[int]string) string {
+	for _, noun := range kinds {
+		if noun == errNoun {
+			return errNoun
+		}
+	}
+	return reportNoun
+}
+
+// tracedErrorCall resolves call's callee; if it is a traced function
+// or method whose signature returns one or more accountable results
+// (errors, or *salvage.Report for the lenient capture readers), it
+// returns the callee and a map from result index to result noun.
+func tracedErrorCall(info *types.Info, call *ast.CallExpr) (*types.Func, map[int]string) {
 	fn := callee(info, call)
-	if fn == nil || fn.Pkg() == nil || !tracedPackage(fn.Pkg().Path()) {
+	if fn == nil || fn.Pkg() == nil || !tracedFunc(fn) {
 		return nil, nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return nil, nil
 	}
-	var errPositions []int
+	kinds := make(map[int]string)
 	for i := 0; i < sig.Results().Len(); i++ {
-		if isErrorType(sig.Results().At(i).Type()) {
-			errPositions = append(errPositions, i)
+		switch t := sig.Results().At(i).Type(); {
+		case isErrorType(t):
+			kinds[i] = errNoun
+		case isSalvageReport(t):
+			kinds[i] = reportNoun
 		}
 	}
-	if len(errPositions) == 0 {
+	if len(kinds) == 0 {
 		return nil, nil
 	}
-	return fn, errPositions
+	return fn, kinds
+}
+
+// isSalvageReport matches *netfail/internal/salvage.Report.
+func isSalvageReport(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "netfail/internal/salvage" && obj.Name() == "Report"
 }
 
 func callee(info *types.Info, call *ast.CallExpr) *types.Func {

@@ -14,3 +14,12 @@ import (
 func TestDroppedParseErrors(t *testing.T) {
 	linttest.Run(t, droppederr.Analyzer, "testdata/drop", "netfail/internal/report/ingest")
 }
+
+// TestDroppedReaderResults checks the pinned capture-reader entry
+// points: discarded errors from the strict readers and discarded
+// *salvage.Report results from the lenient readers are diagnosed,
+// while checked calls and non-reader callees in the same packages
+// pass.
+func TestDroppedReaderResults(t *testing.T) {
+	linttest.Run(t, droppederr.Analyzer, "testdata/readers", "netfail/internal/report/loaders")
+}

@@ -1,0 +1,56 @@
+// Fixture for the capture-reader entry points: the salvage-mode
+// readers added by the degraded-input resilience layer return both an
+// error and a *salvage.Report, and discarding either hides truncated
+// or mis-accounted traces. The call shapes mirror cmd/netfail-analyze
+// before the -lenient wiring.
+package readers
+
+import (
+	"io"
+
+	"netfail/internal/netsim"
+	"netfail/internal/salvage"
+	"netfail/internal/trace"
+)
+
+// load loses salvage accounting four different ways.
+func load(r io.Reader) ([]netsim.CapturedLSP, []trace.Transition) {
+	// Blank-binding the strict reader's error: a torn capture reads
+	// as a shorter capture.
+	lsps, _ := netsim.ReadLSPLog(r) // want `error returned by netsim\.ReadLSPLog is assigned to the blank identifier`
+
+	// Blank-binding the lenient reader's report: the analysis never
+	// learns records were dropped.
+	ts, _, err := trace.ReadTransitionsLenient(r) // want `salvage report returned by trace\.ReadTransitionsLenient is assigned to the blank identifier; dropped-record accounting is lost`
+	if err != nil {
+		return lsps, nil
+	}
+
+	// Blank-binding both: flagged once per discarded result.
+	fs, _, _ := trace.ReadFailuresJSONLenient(r) // want `salvage report returned by trace\.ReadFailuresJSONLenient is assigned to the blank identifier; dropped-record accounting is lost` `error returned by trace\.ReadFailuresJSONLenient is assigned to the blank identifier`
+	_ = fs
+
+	// Bare statement: everything the manifest reader found vanishes.
+	netsim.ReadManifest(r) // want `error returned by netsim\.ReadManifest is silently discarded; a swallowed parse error silently shortens the trace`
+
+	return lsps, ts
+}
+
+// handled shows the accepted shapes: checked errors, consumed
+// reports, and non-reader callees in the same packages staying out of
+// scope.
+func handled(w io.Writer, r io.Reader) (*salvage.Report, error) {
+	m, rep, err := netsim.ReadManifestLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	_ = m
+	ts, err := trace.ReadTransitions(r)
+	if err != nil {
+		return nil, err
+	}
+	// WriteTransitions is not a capture reader: only the pinned
+	// entry points are traced in this package.
+	_ = trace.WriteTransitions(w, ts)
+	return rep, nil
+}

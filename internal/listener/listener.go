@@ -289,12 +289,18 @@ type Result struct {
 	MultiLinkSkips     int
 }
 
-// Results returns a snapshot of the listener's output.
+// Results returns a snapshot of the listener's output. Every field is
+// a defensive copy — the hostname map included, so mutating a result
+// cannot corrupt the listener's OSI-ID resolution.
 func (l *Listener) Results() *Result {
+	hostnames := make(map[topo.SystemID]string, len(l.hostnames))
+	for id, h := range l.hostnames {
+		hostnames[id] = h
+	}
 	return &Result{
 		ISTransitions:      append([]trace.Transition(nil), l.isTransitions...),
 		IPTransitions:      append([]trace.Transition(nil), l.ipTransitions...),
-		Hostnames:          l.hostnames,
+		Hostnames:          hostnames,
 		LSPCount:           l.lspCount,
 		DecodeErrors:       l.decodeErrors,
 		StaleLSPs:          l.staleLSPs,

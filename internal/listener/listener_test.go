@@ -297,3 +297,24 @@ func TestNonLSPPDUsSkipped(t *testing.T) {
 		t.Errorf("decode errors = %d", res.DecodeErrors)
 	}
 }
+
+func TestResultsHostnamesIsACopy(t *testing.T) {
+	tb := newTestbed(t, false)
+	tb.sync(t)
+	res := tb.l.Results()
+	if res.Hostnames[topo.SystemIDFromIndex(1)] != "core-a" {
+		t.Fatalf("hostnames = %v", res.Hostnames)
+	}
+	// Mutating the returned map must not corrupt the listener's
+	// internal hostname table.
+	res.Hostnames[topo.SystemIDFromIndex(1)] = "mallory"
+	delete(res.Hostnames, topo.SystemIDFromIndex(2))
+
+	again := tb.l.Results()
+	if got := again.Hostnames[topo.SystemIDFromIndex(1)]; got != "core-a" {
+		t.Errorf("hostname after caller mutation = %q, want core-a", got)
+	}
+	if got := again.Hostnames[topo.SystemIDFromIndex(2)]; got != "core-b" {
+		t.Errorf("hostname after caller delete = %q, want core-b", got)
+	}
+}

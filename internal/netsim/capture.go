@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"netfail/internal/salvage"
 	"netfail/internal/trace"
 )
 
@@ -26,12 +28,38 @@ func WriteLSPLog(w io.Writer, log []CapturedLSP) error {
 	return bw.Flush()
 }
 
-// ReadLSPLog parses the WriteLSPLog format.
+// ReadLSPLog parses the WriteLSPLog format strictly: the first
+// malformed line aborts the read with a line-accurate error.
 func ReadLSPLog(r io.Reader) ([]CapturedLSP, error) {
+	out, _, err := readLSPLog(r, true)
+	return out, err
+}
+
+// ReadLSPLogLenient parses the WriteLSPLog format in salvage mode:
+// malformed lines are skipped and accounted in the report instead of
+// aborting the read. Bit-rotted payloads that still decode as hex are
+// kept — the listener's decode-error accounting quarantines them
+// downstream.
+func ReadLSPLogLenient(r io.Reader) ([]CapturedLSP, *salvage.Report, error) {
+	return readLSPLog(r, false)
+}
+
+func readLSPLog(r io.Reader, strict bool) ([]CapturedLSP, *salvage.Report, error) {
 	var out []CapturedLSP
+	rep := &salvage.Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	lineNo := 0
+	skip := func(reason string, detail error) error {
+		if strict {
+			if detail != nil {
+				return fmt.Errorf("netsim: LSP log line %d: %s: %v", lineNo, reason, detail)
+			}
+			return fmt.Errorf("netsim: LSP log line %d: %s", lineNo, reason)
+		}
+		rep.Skip(lineNo, reason)
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -40,19 +68,29 @@ func ReadLSPLog(r io.Reader) ([]CapturedLSP, error) {
 		}
 		sp := strings.IndexByte(line, ' ')
 		if sp < 0 {
-			return nil, fmt.Errorf("netsim: LSP log line %d: missing separator", lineNo)
+			if err := skip("missing separator", nil); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		ms, err := strconv.ParseInt(line[:sp], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("netsim: LSP log line %d: bad timestamp: %v", lineNo, err)
+			if err := skip("bad timestamp", err); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		data, err := hex.DecodeString(line[sp+1:])
 		if err != nil {
-			return nil, fmt.Errorf("netsim: LSP log line %d: bad payload: %v", lineNo, err)
+			if err := skip("bad payload", err); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		out = append(out, CapturedLSP{Time: time.UnixMilli(ms).UTC(), Data: data})
+		rep.Kept++
 	}
-	return out, sc.Err()
+	return out, rep, sc.Err()
 }
 
 // Manifest is the campaign metadata an analysis needs alongside the
@@ -87,13 +125,93 @@ func (c *Campaign) WriteManifest(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// ReadManifest parses a campaign manifest.
+// ReadManifest parses a campaign manifest strictly.
 func ReadManifest(r io.Reader) (*Manifest, error) {
 	var m Manifest
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("netsim: manifest: %w", err)
 	}
 	return &m, nil
+}
+
+// ReadManifestLenient parses a campaign manifest in salvage mode:
+// garbage lines interleaved before or after the JSON object are
+// skipped and accounted. The manifest itself is small and critical,
+// so corruption inside the object stays fatal even here.
+func ReadManifestLenient(r io.Reader) (*Manifest, *salvage.Report, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netsim: manifest: %w", err)
+	}
+	rep := &salvage.Report{}
+	start := bytes.IndexByte(raw, '{')
+	if start < 0 {
+		return nil, nil, fmt.Errorf("netsim: manifest: no JSON object found")
+	}
+	end := matchBrace(raw, start)
+	if end < 0 {
+		return nil, nil, fmt.Errorf("netsim: manifest: unterminated JSON object")
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw[start:end+1], &m); err != nil {
+		return nil, nil, fmt.Errorf("netsim: manifest: %w", err)
+	}
+	rep.Kept = 1
+	for _, lineNo := range garbageLines(raw, start, end) {
+		rep.Skip(lineNo, "garbage around manifest object")
+	}
+	return &m, rep, nil
+}
+
+// matchBrace returns the index of the brace closing the object opened
+// at start, honouring JSON string syntax, or -1.
+func matchBrace(data []byte, start int) int {
+	depth, inString, escaped := 0, false, false
+	for i := start; i < len(data); i++ {
+		c := data[i]
+		if inString {
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// garbageLines returns the 1-based line numbers of non-blank lines
+// falling entirely outside data[start:end+1].
+func garbageLines(data []byte, start, end int) []int {
+	var out []int
+	lineNo, lineStart := 0, 0
+	for i := 0; i <= len(data); i++ {
+		if i < len(data) && data[i] != '\n' {
+			continue
+		}
+		lineNo++
+		line := bytes.TrimSpace(data[lineStart:i])
+		if len(line) > 0 && (i <= start || lineStart > end) {
+			out = append(out, lineNo)
+		}
+		lineStart = i + 1
+	}
+	return out
 }
 
 // Offline converts the manifest spans back to intervals.

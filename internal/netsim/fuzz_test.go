@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netfail/internal/faultinject"
+)
+
+// FuzzReadLSPLog: arbitrary capture bytes must never panic either
+// reader, the salvage report must account for every kept record, and
+// salvaged records must survive a write/strict-read round trip. The
+// seed corpus is a clean capture plus deterministic faultinject
+// corruptions of it.
+func FuzzReadLSPLog(f *testing.F) {
+	var clean bytes.Buffer
+	log := make([]CapturedLSP, 0, 40)
+	for i := 0; i < 40; i++ {
+		log = append(log, CapturedLSP{
+			Time: time.UnixMilli(int64(1_300_000_000_000 + i*250)).UTC(),
+			Data: []byte{0x83, byte(i), 0xaa, 0x55},
+		})
+	}
+	if err := WriteLSPLog(&clean, log); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes())
+	for seed := int64(1); seed <= 5; seed++ {
+		corrupted, _ := faultinject.Corrupt(clean.Bytes(), faultinject.Plan{Seed: seed, Rate: 0.2})
+		f.Add(corrupted)
+	}
+	f.Add([]byte("1000 83aa\n"))
+	f.Add([]byte("1000"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rep, err := ReadLSPLogLenient(bytes.NewReader(data))
+		if err != nil {
+			return // scanner-level failure (e.g. token too long)
+		}
+		if rep.Kept != len(got) {
+			t.Fatalf("report kept %d, reader returned %d", rep.Kept, len(got))
+		}
+		if rep.Skipped > 0 && (rep.FirstBad == 0 || rep.LastBad < rep.FirstBad) {
+			t.Fatalf("inconsistent report %+v", rep)
+		}
+		var out bytes.Buffer
+		if err := WriteLSPLog(&out, got); err != nil {
+			t.Fatalf("re-serializing salvaged records: %v", err)
+		}
+		got2, err := ReadLSPLog(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("strict re-read of salvaged records: %v", err)
+		}
+		if len(got2) != len(got) {
+			t.Fatalf("round trip kept %d of %d records", len(got2), len(got))
+		}
+		for i := range got {
+			if !got2[i].Time.Equal(got[i].Time) || !bytes.Equal(got2[i].Data, got[i].Data) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

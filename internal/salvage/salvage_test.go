@@ -1,0 +1,50 @@
+package salvage
+
+import "testing"
+
+func TestReportSkipTracksRange(t *testing.T) {
+	var r Report
+	r.Kept = 3
+	r.Skip(17, "bad timestamp")
+	r.Skip(4, "bad payload")
+	r.Skip(99, "bad timestamp")
+	if r.Skipped != 3 || r.FirstBad != 4 || r.LastBad != 99 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.Reasons["bad timestamp"] != 2 || r.Reasons["bad payload"] != 1 {
+		t.Errorf("reasons = %v", r.Reasons)
+	}
+	if r.Clean() {
+		t.Error("Clean() on a report with skips")
+	}
+}
+
+func TestReportStringDeterministic(t *testing.T) {
+	var r Report
+	r.Kept = 10
+	r.Skip(2, "zeta")
+	r.Skip(5, "alpha")
+	want := "kept 10 records, skipped 2 lines (alpha: 1, zeta: 1), lines 2-5"
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestReportStringClean(t *testing.T) {
+	r := Report{Kept: 7}
+	if got := r.String(); got != "kept 7 records, skipped 0 lines" {
+		t.Errorf("String() = %q", got)
+	}
+	if !r.Clean() {
+		t.Error("Clean() = false on a clean report")
+	}
+}
+
+func TestReportStringWithoutPositions(t *testing.T) {
+	// Payload-level skips carry no line numbers; the range is omitted.
+	r := Report{Kept: 5, Skipped: 2, Reasons: map[string]int{"undecodable LSP payload": 2}}
+	want := "kept 5 records, skipped 2 lines (undecodable LSP payload: 2)"
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

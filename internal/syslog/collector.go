@@ -8,6 +8,18 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"netfail/internal/salvage"
+)
+
+// Collector read-retry policy: a persistent non-timeout socket error
+// no longer kills the capture silently — the read is retried with
+// exponential backoff, and only after readRetryMax consecutive
+// failures does the collector stop, recording the terminal error for
+// Err and Close to surface.
+const (
+	readRetryMax  = 5
+	readRetryBase = time.Millisecond
 )
 
 // Collector is the central logging facility: it receives syslog lines
@@ -20,6 +32,9 @@ type Collector struct {
 	mu       sync.Mutex
 	messages []*Message // guarded by mu
 	dropped  int        // guarded by mu
+	overflow int        // guarded by mu
+	limit    int        // guarded by mu
+	err      error      // guarded by mu
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -49,6 +64,7 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 func (c *Collector) run() {
 	defer c.wg.Done()
 	buf := make([]byte, 64*1024)
+	failures := 0
 	for {
 		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -59,15 +75,28 @@ func (c *Collector) run() {
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
+				failures = 0
 				continue
 			}
-			return
+			failures++
+			if failures > readRetryMax {
+				c.mu.Lock()
+				c.err = fmt.Errorf("syslog: capture stopped after %d consecutive read errors: %w", failures, err)
+				c.mu.Unlock()
+				return
+			}
+			time.Sleep(readRetryBase << uint(failures-1))
+			continue
 		}
+		failures = 0
 		m, err := Parse(string(buf[:n]), c.ref)
 		c.mu.Lock()
-		if err != nil {
+		switch {
+		case err != nil:
 			c.dropped++
-		} else {
+		case c.limit > 0 && len(c.messages) >= c.limit:
+			c.overflow++
+		default:
 			c.messages = append(c.messages, m)
 		}
 		c.mu.Unlock()
@@ -88,12 +117,42 @@ func (c *Collector) Dropped() int {
 	return c.dropped
 }
 
-// Close stops the collector.
+// SetLimit caps the in-memory message log at n messages (0 restores
+// unbounded capture). Parseable messages arriving past the cap are
+// dropped and accounted by Overflow, so a bounded collector degrades
+// with the same drop accounting as the unbounded one.
+func (c *Collector) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+}
+
+// Overflow returns the count of parseable messages dropped because
+// the SetLimit cap was reached.
+func (c *Collector) Overflow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overflow
+}
+
+// Err returns the terminal read error that stopped the capture, or
+// nil while the collector is healthy. A non-nil Err means the message
+// log is truncated: everything after the failure was never received.
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close stops the collector. If the capture already died on a
+// persistent read error, that terminal error is surfaced here (joined
+// with any socket-close error) so a truncated capture cannot pass for
+// a clean shutdown.
 func (c *Collector) Close() error {
 	close(c.done)
 	err := c.conn.Close()
 	c.wg.Wait()
-	return err
+	return errors.Join(c.Err(), err)
 }
 
 // Sender transmits syslog messages over UDP, as a router's syslog
@@ -145,23 +204,38 @@ func WriteLog(w io.Writer, messages []*Message) error {
 // each line against a rolling reference: the previous message's
 // resolved time (seeded by ref, the archive's start).
 func ReadLog(r io.Reader, ref time.Time) (messages []*Message, badLines int, err error) {
+	messages, rep, err := ReadLogLenient(r, ref)
+	return messages, rep.Skipped, err
+}
+
+// ReadLogLenient is ReadLog with full salvage accounting: the same
+// skip-and-count semantics, but the report also records where the bad
+// lines were. (This reader was always lenient — the archive format is
+// lossy by construction — so there is no strict variant to pair it
+// with.)
+func ReadLogLenient(r io.Reader, ref time.Time) ([]*Message, *salvage.Report, error) {
+	var messages []*Message
+	rep := &salvage.Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	rolling := ref
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Text()
 		if line == "" {
 			continue
 		}
 		m, perr := Parse(line, rolling)
 		if perr != nil {
-			badLines++
+			rep.Skip(lineNo, "unparseable line")
 			continue
 		}
 		if m.Timestamp.After(rolling) {
 			rolling = m.Timestamp
 		}
 		messages = append(messages, m)
+		rep.Kept++
 	}
-	return messages, badLines, sc.Err()
+	return messages, rep, sc.Err()
 }

@@ -66,6 +66,63 @@ func TestCollectorCountsGarbage(t *testing.T) {
 	}
 }
 
+func TestCollectorSurfacesTerminalReadError(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the socket out from under the capture loop without
+	// signalling shutdown: every subsequent read fails with a
+	// non-timeout error, so after the retry budget the collector must
+	// stop and record the terminal error.
+	if err := c.conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && c.Err() == nil {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "consecutive read errors") {
+		t.Fatalf("Err() = %v, want terminal read error", err)
+	}
+	if err := c.Close(); err == nil || !strings.Contains(err.Error(), "consecutive read errors") {
+		t.Errorf("Close() = %v, want the terminal error surfaced", err)
+	}
+}
+
+func TestCollectorLimitOverflowAccounting(t *testing.T) {
+	c, err := NewCollector("127.0.0.1:0", refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetLimit(3)
+	s, err := NewSender(c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		m := LinkUpDown("cpe-001", uint64(i), ts(time.March, 3, 1, 2, 3, i), "Gi0/0/0", i%2 == 0)
+		if err := s.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && c.Overflow() < 7 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := c.Messages(); len(got) != 3 {
+		t.Errorf("kept %d messages, want 3 (limit)", len(got))
+	}
+	if c.Overflow() != 7 {
+		t.Errorf("overflow = %d, want 7", c.Overflow())
+	}
+	if c.Err() != nil {
+		t.Errorf("overflow must not be a terminal error: %v", c.Err())
+	}
+}
+
 func TestWriteReadLogRoundTrip(t *testing.T) {
 	var messages []*Message
 	for i := 0; i < 50; i++ {

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"netfail/internal/faultinject"
+)
+
+// FuzzReadTransitions: arbitrary capture bytes must never panic
+// either reader; whatever the lenient reader keeps must re-serialize
+// and strict-read back identically. The seed corpus is a clean
+// capture plus deterministic faultinject corruptions of it — the
+// exact degradations the salvage path exists for.
+func FuzzReadTransitions(f *testing.F) {
+	var clean bytes.Buffer
+	if err := WriteTransitions(&clean, sampleTransitions(40)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean.Bytes())
+	for seed := int64(1); seed <= 5; seed++ {
+		corrupted, _ := faultinject.Corrupt(clean.Bytes(), faultinject.Plan{Seed: seed, Rate: 0.2})
+		f.Add(corrupted)
+	}
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("1000 down is-reach L r1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, rep, err := ReadTransitionsLenient(bytes.NewReader(data))
+		if err != nil {
+			return // scanner-level failure (e.g. token too long)
+		}
+		if rep.Kept != len(ts) {
+			t.Fatalf("report kept %d, reader returned %d", rep.Kept, len(ts))
+		}
+		if rep.Skipped > 0 && (rep.FirstBad == 0 || rep.LastBad < rep.FirstBad) {
+			t.Fatalf("inconsistent report %+v", rep)
+		}
+		// Strict mode must agree with a clean lenient read, and
+		// salvaged records must round-trip losslessly.
+		var out bytes.Buffer
+		if err := WriteTransitions(&out, ts); err != nil {
+			t.Fatalf("re-serializing salvaged transitions: %v", err)
+		}
+		ts2, err := ReadTransitions(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("strict re-read of salvaged transitions: %v", err)
+		}
+		if len(ts2) != len(ts) {
+			t.Fatalf("round trip kept %d of %d transitions", len(ts2), len(ts))
+		}
+		for i := range ts {
+			if !ts2[i].Time.Equal(ts[i].Time) || ts2[i].Dir != ts[i].Dir || ts2[i].Kind != ts[i].Kind ||
+				ts2[i].Link != ts[i].Link || ts2[i].Reporter != ts[i].Reporter {
+				t.Fatalf("transition %d changed in round trip: %+v vs %+v", i, ts[i], ts2[i])
+			}
+		}
+	})
+}

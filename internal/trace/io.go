@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"netfail/internal/salvage"
 	"netfail/internal/topo"
 )
 
@@ -39,26 +40,76 @@ func WriteFailuresJSON(w io.Writer, fs []Failure) error {
 	return bw.Flush()
 }
 
-// ReadFailuresJSON parses the WriteFailuresJSON format.
+// ReadFailuresJSON parses the WriteFailuresJSON format strictly: the
+// first undecodable line aborts the read with a line-accurate error.
 func ReadFailuresJSON(r io.Reader) ([]Failure, error) {
-	var out []Failure
-	dec := json.NewDecoder(r)
-	for dec.More() {
-		var f Failure
-		if err := dec.Decode(&f); err != nil {
-			return nil, fmt.Errorf("trace: failures JSON: %w", err)
-		}
-		out = append(out, f)
-	}
-	return out, nil
+	out, _, err := readFailuresJSON(r, true)
+	return out, err
 }
 
-// ReadTransitions parses the WriteTransitions format.
-func ReadTransitions(r io.Reader) ([]Transition, error) {
-	var out []Transition
+// ReadFailuresJSONLenient parses the WriteFailuresJSON format in
+// salvage mode: undecodable lines are skipped and accounted in the
+// report instead of aborting the read.
+func ReadFailuresJSONLenient(r io.Reader) ([]Failure, *salvage.Report, error) {
+	return readFailuresJSON(r, false)
+}
+
+func readFailuresJSON(r io.Reader, strict bool) ([]Failure, *salvage.Report, error) {
+	var out []Failure
+	rep := &salvage.Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f Failure
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			if strict {
+				return nil, nil, fmt.Errorf("trace: failures JSON line %d: %w", lineNo, err)
+			}
+			rep.Skip(lineNo, "bad JSON")
+			continue
+		}
+		out = append(out, f)
+		rep.Kept++
+	}
+	return out, rep, sc.Err()
+}
+
+// ReadTransitions parses the WriteTransitions format strictly: the
+// first malformed line aborts the read with a line-accurate error.
+func ReadTransitions(r io.Reader) ([]Transition, error) {
+	out, _, err := readTransitions(r, true)
+	return out, err
+}
+
+// ReadTransitionsLenient parses the WriteTransitions format in
+// salvage mode: malformed lines are skipped and accounted in the
+// report instead of aborting the read.
+func ReadTransitionsLenient(r io.Reader) ([]Transition, *salvage.Report, error) {
+	return readTransitions(r, false)
+}
+
+func readTransitions(r io.Reader, strict bool) ([]Transition, *salvage.Report, error) {
+	var out []Transition
+	rep := &salvage.Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	skip := func(reason string, detail error) error {
+		if strict {
+			if detail != nil {
+				return fmt.Errorf("trace: line %d: %s: %v", lineNo, reason, detail)
+			}
+			return fmt.Errorf("trace: line %d: %s", lineNo, reason)
+		}
+		rep.Skip(lineNo, reason)
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -67,11 +118,17 @@ func ReadTransitions(r io.Reader) ([]Transition, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+			if err := skip(fmt.Sprintf("want 5 fields, got %d", len(fields)), nil); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		ms, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineNo, err)
+			if err := skip("bad timestamp", err); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		var dir Direction
 		switch fields[1] {
@@ -80,11 +137,17 @@ func ReadTransitions(r io.Reader) ([]Transition, error) {
 		case "up":
 			dir = Up
 		default:
-			return nil, fmt.Errorf("trace: line %d: bad direction %q", lineNo, fields[1])
+			if err := skip(fmt.Sprintf("bad direction %q", fields[1]), nil); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		kind, err := ParseKind(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			if err := skip("bad kind", err); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		out = append(out, Transition{
 			Time:     time.UnixMilli(ms).UTC(),
@@ -93,6 +156,7 @@ func ReadTransitions(r io.Reader) ([]Transition, error) {
 			Link:     topo.LinkID(fields[3]),
 			Reporter: fields[4],
 		})
+		rep.Kept++
 	}
-	return out, sc.Err()
+	return out, rep, sc.Err()
 }

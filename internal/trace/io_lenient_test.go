@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"netfail/internal/faultinject"
+	"netfail/internal/topo"
+)
+
+func sampleTransitions(n int) []Transition {
+	base := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]Transition, 0, n)
+	for i := 0; i < n; i++ {
+		dir := Down
+		if i%2 == 1 {
+			dir = Up
+		}
+		out = append(out, Transition{
+			Time:     base.Add(time.Duration(i) * time.Minute),
+			Dir:      dir,
+			Kind:     KindISReach,
+			Link:     topo.LinkID("core-01:Gi0/0/0--core-02:Gi0/0/1"),
+			Reporter: "core-01",
+		})
+	}
+	return out
+}
+
+func TestReadTransitionsLenientSalvages(t *testing.T) {
+	in := strings.Join([]string{
+		"1000 down is-reach L r1",
+		"garbage line with extra fields here",
+		"2000 up is-reach L r1",
+		"ZZZZ down is-reach L r1",
+		"3000 sideways is-reach L r1",
+		"4000 down not-a-kind L r1",
+		"5000 down is-reach L r2",
+	}, "\n") + "\n"
+	got, rep, err := ReadTransitionsLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || rep.Kept != 3 {
+		t.Fatalf("kept %d (report %d), want 3", len(got), rep.Kept)
+	}
+	if rep.Skipped != 4 || rep.FirstBad != 2 || rep.LastBad != 6 {
+		t.Errorf("report = %+v", rep)
+	}
+	for _, reason := range []string{"bad timestamp", "bad kind"} {
+		if rep.Reasons[reason] != 1 {
+			t.Errorf("reason %q = %d, want 1", reason, rep.Reasons[reason])
+		}
+	}
+	if got[2].Reporter != "r2" {
+		t.Errorf("last transition = %+v", got[2])
+	}
+}
+
+func TestReadTransitionsStrictLineAccurate(t *testing.T) {
+	in := "1000 down is-reach L r1\nZZZZ down is-reach L r1\n"
+	if _, err := ReadTransitions(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("strict error = %v, want line 2", err)
+	}
+}
+
+func TestReadFailuresJSONLenientSalvages(t *testing.T) {
+	var buf bytes.Buffer
+	fs := []Failure{
+		{Link: "L1", Start: time.UnixMilli(1000).UTC(), End: time.UnixMilli(2000).UTC()},
+		{Link: "L2", Start: time.UnixMilli(3000).UTC(), End: time.UnixMilli(4000).UTC()},
+	}
+	if err := WriteFailuresJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	dirty := lines[0] + "{torn-record\n" + lines[1]
+	got, rep, err := ReadFailuresJSONLenient(strings.NewReader(dirty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || rep.Skipped != 1 || rep.FirstBad != 2 {
+		t.Fatalf("got %d failures, report %+v", len(got), rep)
+	}
+	if got[1].Link != "L2" {
+		t.Errorf("failures = %+v", got)
+	}
+}
+
+func TestReadFailuresJSONStrictLineAccurate(t *testing.T) {
+	in := "{\"link\":\"L1\"}\n{broken\n"
+	if _, err := ReadFailuresJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("strict error = %v, want line 2", err)
+	}
+}
+
+func TestReadTransitionsLenientOnInjectedCorruption(t *testing.T) {
+	var clean bytes.Buffer
+	if err := WriteTransitions(&clean, sampleTransitions(500)); err != nil {
+		t.Fatal(err)
+	}
+	corrupted, faults := faultinject.Corrupt(clean.Bytes(), faultinject.Plan{Seed: 17, Rate: 0.04})
+	if len(faults) == 0 {
+		t.Fatal("no faults injected")
+	}
+	got, rep, err := ReadTransitionsLenient(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != len(got) || rep.Skipped == 0 {
+		t.Errorf("report %+v for %d transitions", rep, len(got))
+	}
+	if _, err := ReadTransitions(bytes.NewReader(corrupted)); err == nil {
+		t.Error("strict reader accepted a corrupted capture")
+	}
+}
