@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint race verify faultinject
+.PHONY: build test lint race verify faultinject bench
 
 build:
 	go build ./...
@@ -19,6 +19,12 @@ race:
 # re-assert the paper's qualitative findings on the salvaged data.
 faultinject:
 	go test -short -run 'Corrupt' -v . ./internal/faultinject
+
+# Benchmark trajectory: run the Benchmark* suites with -benchmem and
+# emit BENCH_<PR>.json (see scripts/bench.sh for the PR/BENCHTIME/PKGS
+# knobs). CI uploads the file as an artifact.
+bench:
+	./scripts/bench.sh
 
 verify:
 	./scripts/verify.sh

@@ -186,6 +186,7 @@ func TestLSPSuppressionBlindsListener(t *testing.T) {
 
 // BenchmarkAblationLinkIDs regenerates the footnote-1 experiment.
 func BenchmarkAblationLinkIDs(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchMonthConfig(1)
 	cfg.EnableLinkIDs = true
 	for i := 0; i < b.N; i++ {
@@ -204,6 +205,7 @@ func BenchmarkAblationLinkIDs(b *testing.B) {
 // BenchmarkAblationNoBlackout measures the comparison with the
 // correlated-loss model disabled.
 func BenchmarkAblationNoBlackout(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchMonthConfig(1)
 	im := netsim.DefaultImpairments()
 	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0

@@ -48,6 +48,7 @@ func benchFullStudy(b *testing.B) *Study {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -59,6 +60,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -70,6 +72,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -81,6 +84,7 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -92,6 +96,7 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -103,6 +108,7 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -114,6 +120,7 @@ func BenchmarkTable6(b *testing.B) {
 }
 
 func BenchmarkTable7(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -125,6 +132,7 @@ func BenchmarkTable7(b *testing.B) {
 }
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -136,6 +144,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkWindowSweep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -147,6 +156,7 @@ func BenchmarkWindowSweep(b *testing.B) {
 }
 
 func BenchmarkPolicyAblation(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -158,7 +168,26 @@ func BenchmarkPolicyAblation(b *testing.B) {
 }
 
 func BenchmarkFullReport(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Report(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReportSequential pins the report fan-out (and the
+// analysis worker pool it inherits) to one worker; the delta against
+// BenchmarkFullReport is the parallel speedup scripts/bench.sh
+// records. Output is byte-identical at every worker count.
+func BenchmarkFullReportSequential(b *testing.B) {
+	b.ReportAllocs()
+	s := benchFullStudy(b)
+	saved := s.Analysis.In.Parallelism
+	s.Analysis.In.Parallelism = 1
+	defer func() { s.Analysis.In.Parallelism = saved }()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Report(io.Discard); err != nil {
@@ -179,6 +208,7 @@ func benchMonthConfig(seed int64) SimulationConfig {
 }
 
 func BenchmarkSimulateMonth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		camp, err := Simulate(benchMonthConfig(int64(i + 1)))
 		if err != nil {
@@ -191,6 +221,7 @@ func BenchmarkSimulateMonth(b *testing.B) {
 }
 
 func BenchmarkMineConfigs(b *testing.B) {
+	b.ReportAllocs()
 	camp, err := Simulate(benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
@@ -208,6 +239,7 @@ func BenchmarkMineConfigs(b *testing.B) {
 }
 
 func BenchmarkListenerReplay(b *testing.B) {
+	b.ReportAllocs()
 	camp, err := Simulate(benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
@@ -236,6 +268,7 @@ func BenchmarkListenerReplay(b *testing.B) {
 }
 
 func BenchmarkSyslogExtract(b *testing.B) {
+	b.ReportAllocs()
 	camp, err := Simulate(benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
@@ -254,6 +287,7 @@ func BenchmarkSyslogExtract(b *testing.B) {
 }
 
 func BenchmarkAnalyzeMonth(b *testing.B) {
+	b.ReportAllocs()
 	camp, err := Simulate(benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
@@ -270,7 +304,28 @@ func BenchmarkAnalyzeMonth(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeMonthSequential is the Parallelism: 1 reference for
+// BenchmarkAnalyzeMonth (which runs one worker per CPU).
+func BenchmarkAnalyzeMonthSequential(b *testing.B) {
+	b.ReportAllocs()
+	camp, err := Simulate(benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if study.Analysis == nil {
+			b.Fatal("no analysis")
+		}
+	}
+}
+
 func BenchmarkIsolationSweep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchFullStudy(b)
 	netWithCustomers := *s.Mined.Network
 	netWithCustomers.Customers = s.Campaign.Network.Customers
@@ -286,6 +341,7 @@ func BenchmarkIsolationSweep(b *testing.B) {
 }
 
 func BenchmarkCampaignGeneration(b *testing.B) {
+	b.ReportAllocs()
 	// Topology + workload generation only (no observation replay).
 	spec := topo.DefaultSpec()
 	b.ResetTimer()
@@ -301,6 +357,7 @@ func BenchmarkCampaignGeneration(b *testing.B) {
 }
 
 func BenchmarkRefreshFullDay(b *testing.B) {
+	b.ReportAllocs()
 	// One day with every periodic LSP refresh materialized: the
 	// listener-side cost of Table 1's 11M updates, scaled down.
 	cfg := benchMonthConfig(1)

@@ -11,6 +11,12 @@
 //	netfail-analyze -data ./campaign -table 4        # one table
 //	netfail-analyze -data ./campaign -figure knee    # window sweep
 //	netfail-analyze -data ./campaign -lenient        # salvage mode
+//	netfail-analyze -data ./campaign -parallelism 1  # sequential reference
+//
+// The analysis pipeline shards per link across a bounded worker pool
+// (one worker per CPU by default); -parallelism bounds it explicitly.
+// Output is byte-identical for every worker count, so -parallelism 1
+// is purely a debugging/baseline switch, not a different analysis.
 //
 // In -lenient mode malformed capture records are skipped instead of
 // aborting the analysis; a per-file salvage report goes to stderr, and
@@ -48,15 +54,16 @@ func main() {
 		multi   = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
 		md      = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
 		lenient = flag.Bool("lenient", false, "salvage malformed capture records instead of aborting; exit 3 if any were dropped")
+		par     = flag.Int("parallelism", 0, "analysis worker pool size: 0 = one worker per CPU, 1 = sequential; output is byte-identical either way")
 	)
 	flag.Parse()
 
 	var err error
 	salvaged := false
 	if *seed != 0 {
-		err = runSeed(*seed, *table, *figure, *svgDir, *export, *multi, *md)
+		err = runSeed(*seed, *table, *figure, *svgDir, *export, *multi, *md, *par)
 	} else {
-		salvaged, err = run(*data, *table, *figure, *svgDir, *export, *multi, *md, *lenient)
+		salvaged, err = run(*data, *table, *figure, *svgDir, *export, *multi, *md, *lenient, *par)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-analyze:", err)
@@ -68,7 +75,7 @@ func main() {
 }
 
 // runSeed simulates and analyzes entirely in memory.
-func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md bool) error {
+func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md bool, parallelism int) error {
 	camp, err := netsim.Run(netsim.Config{Seed: seed})
 	if err != nil {
 		return err
@@ -96,6 +103,7 @@ func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md 
 		ListenerOffline:  camp.ListenerOffline,
 		Tickets:          tickets.NewIndex(corpus),
 		IncludeMultiLink: multi,
+		Parallelism:      parallelism,
 	})
 	if err != nil {
 		return err
@@ -103,8 +111,8 @@ func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md 
 	return render(a, camp.Archive, camp.Counts, table, figure, svgDir, exportDir, md)
 }
 
-func run(dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool) (salvaged bool, err error) {
-	a, campaignCounts, archive, reports, err := loadAndAnalyze(dir, multi, lenient)
+func run(dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int) (salvaged bool, err error) {
+	a, campaignCounts, archive, reports, err := loadAndAnalyze(dir, multi, lenient, parallelism)
 	if err != nil {
 		return false, err
 	}
@@ -235,7 +243,7 @@ type salvageEntry struct {
 // In lenient mode malformed records are skipped and accounted in the
 // returned per-file salvage reports; in strict mode the first
 // malformed record aborts with a line-accurate error.
-func loadAndAnalyze(dir string, multi, lenient bool) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
+func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
 	fail := func(err error) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
 		return nil, netsim.Counts{}, nil, nil, err
 	}
@@ -354,6 +362,7 @@ func loadAndAnalyze(dir string, multi, lenient bool) (*core.Analysis, netsim.Cou
 		ListenerOffline:  manifest.Offline(),
 		Tickets:          tickets.NewIndex(corpus),
 		IncludeMultiLink: multi,
+		Parallelism:      parallelism,
 	})
 	if err != nil {
 		return fail(err)

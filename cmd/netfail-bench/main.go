@@ -1,0 +1,74 @@
+// Command netfail-bench turns `go test -bench` output into the
+// BENCH_<n>.json trajectory artifact. It reads benchmark output on
+// stdin and writes one JSON document recording ns/op, B/op, and
+// allocs/op for every benchmark, stamped with the PR number and the
+// Go environment that produced it:
+//
+//	go test -run '^$' -bench . -benchmem ./... | netfail-bench -pr 4 -o BENCH_4.json
+//
+// scripts/bench.sh (and `make bench`) is the canonical driver; CI
+// uploads the resulting file as a build artifact so the benchmark
+// trajectory across the PR stack stays diffable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"netfail/internal/benchfmt"
+)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR sequence number recorded in the report")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	entries, goos, goarch, procs, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "netfail-bench: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	if goos == "" {
+		goos = runtime.GOOS
+	}
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	rep := benchfmt.Report{
+		PR:         *pr,
+		GoVersion:  runtime.Version(),
+		GoOS:       goos,
+		GoArch:     goarch,
+		GoMaxProcs: procs,
+		Benchmarks: entries,
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.Write(w, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "netfail-bench: %d benchmarks", len(entries))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, " -> %s", *out)
+	}
+	fmt.Fprintln(os.Stderr)
+}

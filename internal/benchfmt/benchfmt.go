@@ -1,0 +1,155 @@
+// Package benchfmt parses `go test -bench` output into structured
+// records and renders them as the BENCH_<n>.json trajectory files the
+// benchmark harness (scripts/bench.sh) emits: one JSON document per
+// PR with ns/op, B/op, and allocs/op for every benchmark, so perf
+// regressions show up as a diffable artifact instead of a vibe.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix
+	// stripped (it is recorded once per file in Report.GoMaxProcs).
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in, from the
+	// preceding "pkg:" header line (empty if none was seen).
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -benchmem allocation figures;
+	// -1 when the benchmark did not report them.
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// MBPerSec is throughput for benchmarks that b.SetBytes; 0 when
+	// absent.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	// PR is the stacked-PR sequence number the measurement belongs
+	// to (the <n> of BENCH_<n>.json).
+	PR int `json:"pr"`
+	// GoVersion, GoOS, GoArch, and GoMaxProcs pin the environment
+	// that produced the numbers.
+	GoVersion  string `json:"go_version,omitempty"`
+	GoOS       string `json:"goos,omitempty"`
+	GoArch     string `json:"goarch,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark
+// entries plus the goos/goarch headers if present. Non-benchmark
+// lines (PASS, ok, log output) are ignored.
+func Parse(r io.Reader) (entries []Entry, goos, goarch string, maxProcs int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, procs, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		e.Package = pkg
+		if procs > maxProcs {
+			maxProcs = procs
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", "", 0, fmt.Errorf("benchfmt: %w", err)
+	}
+	return entries, goos, goarch, maxProcs, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123456 ns/op  789 B/op  12 allocs/op
+//
+// returning ok=false for lines that are not results (e.g. the bare
+// "BenchmarkName" echo emitted with -v).
+func parseLine(line string) (Entry, int, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, 0, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, 0, false
+	}
+	e := Entry{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, 0, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = int64(v)
+		case "allocs/op":
+			e.AllocsPerOp = int64(v)
+		case "MB/s":
+			e.MBPerSec = v
+		}
+	}
+	if e.NsPerOp == 0 && e.Iterations == 0 {
+		return Entry{}, 0, false
+	}
+	return e, procs, true
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8).
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 0
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, 0
+	}
+	return s[:i], n
+}
+
+// Write renders the report as indented JSON with a trailing newline.
+func Write(w io.Writer, rep Report) error {
+	if rep.Benchmarks == nil {
+		rep.Benchmarks = []Entry{}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,119 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netfail
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFullReport-8         	      10	 123456789 ns/op	 5242880 B/op	   40000 allocs/op
+BenchmarkWindowSweep-8        	     200	   6543210 ns/op	   12345 B/op	     678 allocs/op
+BenchmarkOldStyle             	    1000	      1500 ns/op
+BenchmarkThroughput-8         	     500	   2000000 ns/op	  52.43 MB/s	    1024 B/op	      10 allocs/op
+PASS
+ok  	netfail	12.345s
+pkg: netfail/internal/stats
+BenchmarkQuantile-8           	  100000	     10500 ns/op	    8192 B/op	       3 allocs/op
+PASS
+ok  	netfail/internal/stats	1.234s
+`
+
+func TestParse(t *testing.T) {
+	entries, goos, goarch, procs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goos != "linux" || goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q, want linux/amd64", goos, goarch)
+	}
+	if procs != 8 {
+		t.Errorf("maxprocs = %d, want 8", procs)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5: %+v", len(entries), entries)
+	}
+
+	first := entries[0]
+	if first.Name != "BenchmarkFullReport" {
+		t.Errorf("name = %q, want BenchmarkFullReport", first.Name)
+	}
+	if first.Package != "netfail" {
+		t.Errorf("package = %q, want netfail", first.Package)
+	}
+	if first.Iterations != 10 || first.NsPerOp != 123456789 ||
+		first.BytesPerOp != 5242880 || first.AllocsPerOp != 40000 {
+		t.Errorf("unexpected first entry: %+v", first)
+	}
+
+	// Without -benchmem figures the alloc fields stay -1, not 0.
+	old := entries[2]
+	if old.Name != "BenchmarkOldStyle" || old.BytesPerOp != -1 || old.AllocsPerOp != -1 {
+		t.Errorf("unexpected plain entry: %+v", old)
+	}
+
+	if tp := entries[3]; tp.MBPerSec != 52.43 {
+		t.Errorf("MB/s = %v, want 52.43", tp.MBPerSec)
+	}
+
+	if last := entries[4]; last.Package != "netfail/internal/stats" {
+		t.Errorf("package = %q, want netfail/internal/stats", last.Package)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := "BenchmarkEcho\nsome log line\nBenchmark-broken x y\n"
+	entries, _, _, _, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries from junk input, want 0", len(entries))
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	entries, goos, goarch, procs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{
+		PR:         4,
+		GoVersion:  "go1.24.0",
+		GoOS:       goos,
+		GoArch:     goarch,
+		GoMaxProcs: procs,
+		Benchmarks: entries,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("output missing trailing newline")
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.PR != 4 || len(got.Benchmarks) != len(entries) {
+		t.Errorf("round trip mismatch: pr=%d benchmarks=%d", got.PR, len(got.Benchmarks))
+	}
+	if got.Benchmarks[0].NsPerOp != entries[0].NsPerOp {
+		t.Errorf("ns/op did not survive round trip")
+	}
+}
+
+func TestWriteEmptyReportHasArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Report{PR: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"benchmarks": []`) {
+		t.Errorf("empty report should render an empty array, got:\n%s", buf.String())
+	}
+}

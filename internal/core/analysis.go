@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"netfail/internal/match"
+	"netfail/internal/pool"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
 	"netfail/internal/topo"
@@ -45,6 +46,13 @@ type Input struct {
 	// listener attribute changes to individual parallel links —
 	// otherwise those links simply contribute empty IS-IS traces.
 	IncludeMultiLink bool
+	// Parallelism bounds the worker pool the pipeline's sharded
+	// stages run on: <= 0 means one worker per CPU (GOMAXPROCS), 1
+	// forces the sequential reference path. Every worker count
+	// produces byte-identical output — shards merge in stable
+	// link-ID/time order — so this knob trades wall-clock for cores,
+	// never determinism.
+	Parallelism int
 }
 
 // Analysis is the complete comparison state: the reconstructed and
@@ -113,17 +121,26 @@ func Analyze(in Input) (*Analysis, error) {
 		}
 	}
 
-	// Syslog extraction and filtering.
-	a.Traces = ExtractSyslog(in.Network, in.Syslog, in.MergeWindow)
-	a.SyslogAdj = filterLinks(a.Traces.MergedAdj, analyzed)
-	a.SyslogPerRtr = filterLinks(a.Traces.PerRouterAdj, analyzed)
-	a.SyslogPhysical = filterLinks(a.Traces.MergedPhysical, analyzed)
-	a.ISReach = filterLinks(in.ISTransitions, analyzed)
-	a.IPReach = filterLinks(in.IPTransitions, analyzed)
+	workers := resolveParallelism(in.Parallelism)
 
-	// Reconstruction.
-	a.SyslogRec = trace.Reconstruct(a.SyslogAdj)
-	a.ISISRec = trace.Reconstruct(a.ISReach)
+	// Syslog extraction and filtering. The filters are independent
+	// order-preserving scans over disjoint outputs, so they fan out
+	// across the pool.
+	a.Traces = ExtractSyslogParallel(in.Network, in.Syslog, in.MergeWindow, workers)
+	pool.Stages(workers,
+		func() { a.SyslogAdj = filterLinks(a.Traces.MergedAdj, analyzed) },
+		func() { a.SyslogPerRtr = filterLinks(a.Traces.PerRouterAdj, analyzed) },
+		func() { a.SyslogPhysical = filterLinks(a.Traces.MergedPhysical, analyzed) },
+		func() { a.ISReach = filterLinks(in.ISTransitions, analyzed) },
+		func() { a.IPReach = filterLinks(in.IPTransitions, analyzed) },
+	)
+
+	// Reconstruction: the two sources are independent, and each one
+	// shards per link inside ReconstructParallel.
+	pool.Stages(workers,
+		func() { a.SyslogRec = trace.ReconstructParallel(a.SyslogAdj, workers) },
+		func() { a.ISISRec = trace.ReconstructParallel(a.ISReach, workers) },
+	)
 
 	// Sanitization: both sources drop failures spanning listener
 	// outages (those periods cannot be compared); syslog failures
@@ -132,22 +149,32 @@ func Analyze(in Input) (*Analysis, error) {
 	if in.Tickets != nil {
 		verify = in.Tickets.Verify
 	}
-	a.SyslogSanitize = trace.Sanitize(a.SyslogRec.Failures, in.ListenerOffline, trace.LongFailureThreshold, verify)
-	a.SyslogFailures = a.SyslogSanitize.Kept
-	a.ISISSanitize = trace.Sanitize(a.ISISRec.Failures, in.ListenerOffline, 0, nil)
-	a.ISISFailures = a.ISISSanitize.Kept
-
-	a.SyslogFlaps = trace.NewFlapIndex(a.SyslogFailures, in.FlapGap)
-	a.ISISFlaps = trace.NewFlapIndex(a.ISISFailures, in.FlapGap)
+	pool.Stages(workers,
+		func() {
+			a.SyslogSanitize = trace.Sanitize(a.SyslogRec.Failures, in.ListenerOffline, trace.LongFailureThreshold, verify)
+			a.SyslogFailures = a.SyslogSanitize.Kept
+			a.SyslogFlaps = trace.NewFlapIndex(a.SyslogFailures, in.FlapGap)
+		},
+		func() {
+			a.ISISSanitize = trace.Sanitize(a.ISISRec.Failures, in.ListenerOffline, 0, nil)
+			a.ISISFailures = a.ISISSanitize.Kept
+			a.ISISFlaps = trace.NewFlapIndex(a.ISISFailures, in.FlapGap)
+		},
+	)
 	return a, nil
 }
 
 func filterLinks(ts []trace.Transition, keep map[topo.LinkID]bool) []trace.Transition {
-	var out []trace.Transition
+	// Capacity hint: nearly every transition survives the multi-link
+	// exclusion, so size for the input.
+	out := make([]trace.Transition, 0, len(ts))
 	for _, t := range ts {
 		if keep[t.Link] {
 			out = append(out, t)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"netfail/internal/pool"
+)
+
+// extractTally accumulates the message-accounting counters that
+// ExtractSyslog's shards produce. Each worker parses a contiguous
+// chunk of the capture into shard-local state and folds its counts in
+// here as it finishes; the transition slices themselves are merged
+// index-ordered and never cross the mutex.
+type extractTally struct {
+	mu         sync.Mutex
+	unresolved int // guarded by mu
+	nonLink    int // guarded by mu
+	adj        int // guarded by mu
+	phys       int // guarded by mu
+}
+
+// add folds one shard's counters into the tally.
+func (t *extractTally) add(unresolved, nonLink, adj, phys int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.unresolved += unresolved
+	t.nonLink += nonLink
+	t.adj += adj
+	t.phys += phys
+}
+
+// snapshot reads the folded counters after the pool has drained.
+func (t *extractTally) snapshot() (unresolved, nonLink, adj, phys int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.unresolved, t.nonLink, t.adj, t.phys
+}
+
+// chunkBounds splits n items into at most workers contiguous chunks
+// and returns the chunk boundaries: chunk i is [bounds[i], bounds[i+1]).
+// Contiguous chunks let the merge concatenate shard outputs in index
+// order, reproducing the sequential iteration order exactly.
+func chunkBounds(n, workers int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := make([]int, 0, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds = append(bounds, i*n/workers)
+	}
+	return bounds
+}
+
+// resolveParallelism maps the Input.Parallelism knob to a worker
+// count (<= 0 means GOMAXPROCS).
+func resolveParallelism(n int) int { return pool.Resolve(n) }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"netfail/internal/pool"
 	"netfail/internal/syslog"
 	"netfail/internal/topo"
 	"netfail/internal/trace"
@@ -41,45 +42,78 @@ type SyslogTraces struct {
 // one transition; the paper's ten-second matching window is the
 // natural choice.
 func ExtractSyslog(net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration) *SyslogTraces {
-	st := &SyslogTraces{}
-	var adj, phys []trace.Transition
+	return ExtractSyslogParallel(net, msgs, mergeWindow, 1)
+}
 
-	for _, m := range msgs {
-		ev, err := syslog.ParseLinkEvent(m)
-		if err != nil {
-			st.NonLink++
-			continue
+// extractShard is one worker's output: the transitions and counters
+// for a contiguous chunk of the message stream.
+type extractShard struct {
+	adj, phys, perRouter []trace.Transition
+}
+
+// ExtractSyslogParallel is ExtractSyslog sharded across a bounded
+// worker pool: the capture is split into contiguous chunks parsed
+// concurrently, the shard outputs are concatenated in chunk order
+// (reproducing the sequential message order exactly), and the per-link
+// merge then fans out over links. Output is byte-identical to the
+// sequential path for any worker count.
+func ExtractSyslogParallel(net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration, workers int) *SyslogTraces {
+	st := &SyslogTraces{}
+	bounds := chunkBounds(len(msgs), workers)
+	shards := make([]extractShard, len(bounds)-1)
+	var tally extractTally
+	pool.ForEach(len(shards), workers, func(i int) {
+		var s extractShard
+		var unresolved, nonLink, adjN, physN int
+		for _, m := range msgs[bounds[i]:bounds[i+1]] {
+			ev, err := syslog.ParseLinkEvent(m)
+			if err != nil {
+				nonLink++
+				continue
+			}
+			r, ok := net.Routers[ev.Router]
+			if !ok {
+				unresolved++
+				continue
+			}
+			ifc := r.Interface(ev.Interface)
+			if ifc == nil || ifc.Link == "" {
+				unresolved++
+				continue
+			}
+			dir := trace.Down
+			if ev.Up {
+				dir = trace.Up
+			}
+			switch ev.Type {
+			case syslog.EventISISAdj:
+				adjN++
+				t := trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindISISAdj, Reporter: ev.Router}
+				s.adj = append(s.adj, t)
+				s.perRouter = append(s.perRouter, t)
+			case syslog.EventLink, syslog.EventLineProto:
+				physN++
+				s.phys = append(s.phys, trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindPhysical, Reporter: ev.Router})
+			default:
+				nonLink++
+			}
 		}
-		r, ok := net.Routers[ev.Router]
-		if !ok {
-			st.Unresolved++
-			continue
-		}
-		ifc := r.Interface(ev.Interface)
-		if ifc == nil || ifc.Link == "" {
-			st.Unresolved++
-			continue
-		}
-		dir := trace.Down
-		if ev.Up {
-			dir = trace.Up
-		}
-		switch ev.Type {
-		case syslog.EventISISAdj:
-			st.AdjMessages++
-			t := trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindISISAdj, Reporter: ev.Router}
-			adj = append(adj, t)
-			st.PerRouterAdj = append(st.PerRouterAdj, t)
-		case syslog.EventLink, syslog.EventLineProto:
-			st.PhysMessages++
-			phys = append(phys, trace.Transition{Time: ev.Time, Link: ifc.Link, Dir: dir, Kind: trace.KindPhysical, Reporter: ev.Router})
-		default:
-			st.NonLink++
-		}
+		shards[i] = s
+		tally.add(unresolved, nonLink, adjN, physN)
+	})
+	st.Unresolved, st.NonLink, st.AdjMessages, st.PhysMessages = tally.snapshot()
+
+	var adj, phys []trace.Transition
+	for _, s := range shards {
+		adj = append(adj, s.adj...)
+		phys = append(phys, s.phys...)
+		st.PerRouterAdj = append(st.PerRouterAdj, s.perRouter...)
 	}
 
-	st.MergedAdj = mergeLinkStream(adj, mergeWindow)
-	st.MergedPhysical = mergeLinkStream(phys, mergeWindow)
+	pool.Stages(workers,
+		func() { st.MergedAdj = mergeLinkStreamParallel(adj, mergeWindow, workers) },
+		func() { st.MergedPhysical = mergeLinkStreamParallel(phys, mergeWindow, workers) },
+	)
 	return st
 }
 
@@ -90,6 +124,15 @@ func ExtractSyslog(net *topo.Network, msgs []*syslog.Message, mergeWindow time.D
 // window it is a genuine repeated transition and is emitted (the
 // reconstruction records it as an ambiguity).
 func mergeLinkStream(msgs []trace.Transition, mergeWindow time.Duration) []trace.Transition {
+	return mergeLinkStreamParallel(msgs, mergeWindow, 1)
+}
+
+// mergeLinkStreamParallel shards the per-link merge across the worker
+// pool. Each link's stream merges independently; the shard outputs
+// concatenate in sorted link order — the order the sequential loop
+// visits — before the final time sort, so the result is byte-identical
+// for any worker count.
+func mergeLinkStreamParallel(msgs []trace.Transition, mergeWindow time.Duration, workers int) []trace.Transition {
 	grouped := trace.ByLink(msgs)
 	links := make([]topo.LinkID, 0, len(grouped))
 	for l := range grouped {
@@ -97,19 +140,30 @@ func mergeLinkStream(msgs []trace.Transition, mergeWindow time.Duration) []trace
 	}
 	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
 
-	var out []trace.Transition
-	for _, link := range links {
-		var lastDir trace.Direction
-		var lastEmit time.Time
-		seen := false
-		for _, m := range grouped[link] {
-			if seen && m.Dir == lastDir && m.Time.Sub(lastEmit) <= mergeWindow {
-				continue // counterpart router's duplicate
-			}
-			out = append(out, m)
-			lastDir, lastEmit, seen = m.Dir, m.Time, true
-		}
+	merged := make([][]trace.Transition, len(links))
+	pool.ForEach(len(links), workers, func(i int) {
+		merged[i] = mergeOneLink(grouped[links[i]], mergeWindow)
+	})
+	out := make([]trace.Transition, 0, len(msgs))
+	for _, m := range merged {
+		out = append(out, m...)
 	}
 	trace.SortTransitions(out)
+	return out
+}
+
+// mergeOneLink collapses one link's time-sorted message stream.
+func mergeOneLink(seq []trace.Transition, mergeWindow time.Duration) []trace.Transition {
+	var out []trace.Transition
+	var lastDir trace.Direction
+	var lastEmit time.Time
+	seen := false
+	for _, m := range seq {
+		if seen && m.Dir == lastDir && m.Time.Sub(lastEmit) <= mergeWindow {
+			continue // counterpart router's duplicate
+		}
+		out = append(out, m)
+		lastDir, lastEmit, seen = m.Dir, m.Time, true
+	}
 	return out
 }

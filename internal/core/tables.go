@@ -112,12 +112,12 @@ func (a *Analysis) Table3() Table3 {
 	var t3 Table3
 	var noneFlapDown, noneFlapUp int
 	for _, tr0 := range a.ISReach {
-		reporters := idx.Reporters(tr0.Link, tr0.Dir, tr0.Time, w)
+		reporters := idx.ReporterCount(tr0.Link, tr0.Dir, tr0.Time, w)
 		row := &t3.Down
 		if tr0.Dir == trace.Up {
 			row = &t3.Up
 		}
-		switch len(reporters) {
+		switch reporters {
 		case 0:
 			row.None++
 			if a.ISISFlaps.InFlap(tr0.Link, tr0.Time) {
@@ -148,7 +148,7 @@ func (a *Analysis) Table3() Table3 {
 			continue
 		}
 		flapTotal++
-		if len(isIdx.Within(tr0.Link, tr0.Dir, tr0.Time, w)) > 0 {
+		if isIdx.AnyWithin(tr0.Link, tr0.Dir, tr0.Time, w) {
 			flapMatched++
 		}
 	}

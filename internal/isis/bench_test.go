@@ -21,6 +21,7 @@ func benchLSP() *LSP {
 }
 
 func BenchmarkLSPEncode(b *testing.B) {
+	b.ReportAllocs()
 	l := benchLSP()
 	wire, err := l.Encode()
 	if err != nil {
@@ -36,6 +37,7 @@ func BenchmarkLSPEncode(b *testing.B) {
 }
 
 func BenchmarkLSPDecode(b *testing.B) {
+	b.ReportAllocs()
 	wire, err := benchLSP().Encode()
 	if err != nil {
 		b.Fatal(err)
@@ -51,6 +53,7 @@ func BenchmarkLSPDecode(b *testing.B) {
 }
 
 func BenchmarkFletcherChecksum(b *testing.B) {
+	b.ReportAllocs()
 	data := make([]byte, 256)
 	for i := range data {
 		data[i] = byte(i * 31)
@@ -62,6 +65,7 @@ func BenchmarkFletcherChecksum(b *testing.B) {
 }
 
 func BenchmarkDatabaseInstall(b *testing.B) {
+	b.ReportAllocs()
 	db := NewDatabase()
 	now := time.Unix(0, 0)
 	lsps := make([]*LSP, 256)

@@ -18,12 +18,22 @@
 // exactly strong enough to catch the snapshot-method-forgets-to-lock
 // defect class that corrupts a concurrently-collected trace.
 //
+// Goroutine scopes: a function literal launched with `go` runs
+// concurrently with its enclosing function, so it is analyzed as a
+// scope of its own — a lock held by the spawning code does not license
+// accesses inside the goroutine, and a lock taken inside the goroutine
+// does not license accesses outside it. This is the defect class a
+// parallel worker pool introduces: the pool body mutates shared tally
+// state while the spawner (or another worker) holds nothing.
+//
 // Exemptions, matching established codebase idioms:
 //
 //   - composite literals (&Collector{...} in a constructor) — the
 //     value is not yet shared;
-//   - accesses through a variable declared inside the function body
-//     itself (freshly constructed, not yet escaped);
+//   - accesses through a variable declared inside the scope body
+//     itself (freshly constructed, not yet escaped); note a variable
+//     declared in the enclosing function but captured by a
+//     go-closure is shared, and is not exempt inside the closure;
 //   - functions whose name ends in "Locked", the documented marker
 //     for helpers called with the lock already held.
 package lockguard
@@ -117,11 +127,23 @@ func checkFunc(pass *lint.Pass, guarded map[*types.Var]string, fn *ast.FuncDecl)
 	if strings.HasSuffix(fn.Name.Name, "Locked") {
 		return
 	}
-	accesses := collectAccesses(pass, guarded, fn)
+	checkScope(pass, guarded, fn.Body)
+}
+
+// checkScope checks one goroutine scope: a function body, or the body
+// of a go-launched closure. Nested go-closures are recursed into as
+// scopes of their own and excluded from this scope's accesses and
+// lock calls — the two run concurrently, so neither's locks license
+// the other's accesses.
+func checkScope(pass *lint.Pass, guarded map[*types.Var]string, body *ast.BlockStmt) {
+	accesses, goBodies := collectAccesses(pass, guarded, body)
+	for _, gb := range goBodies {
+		checkScope(pass, guarded, gb)
+	}
 	if len(accesses) == 0 {
 		return
 	}
-	locked, rlocked := collectLockCalls(pass, fn)
+	locked, rlocked := collectLockCalls(body)
 	for _, a := range accesses {
 		key := a.base + "." + a.mu
 		switch {
@@ -145,9 +167,37 @@ func checkFunc(pass *lint.Pass, guarded map[*types.Var]string, fn *ast.FuncDecl)
 	}
 }
 
-func collectAccesses(pass *lint.Pass, guarded map[*types.Var]string, fn *ast.FuncDecl) []access {
+// inspectScope walks root calling fn on every node, but prunes the
+// bodies of go-launched function literals — those are separate
+// goroutine scopes — and returns them. The launch call's arguments
+// still belong to the current scope (they are evaluated by the
+// spawner) and are walked normally.
+func inspectScope(root ast.Node, fn func(ast.Node) bool) (goBodies []*ast.BlockStmt) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			g, ok := m.(*ast.GoStmt)
+			if !ok {
+				return fn(m)
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			goBodies = append(goBodies, lit.Body)
+			for _, arg := range g.Call.Args {
+				walk(arg)
+			}
+			return false // the closure body is another scope
+		})
+	}
+	walk(root)
+	return goBodies
+}
+
+func collectAccesses(pass *lint.Pass, guarded map[*types.Var]string, body *ast.BlockStmt) ([]access, []*ast.BlockStmt) {
 	var accesses []access
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	goBodies := inspectScope(body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
@@ -164,7 +214,7 @@ func collectAccesses(pass *lint.Pass, guarded map[*types.Var]string, fn *ast.Fun
 		if !ok {
 			return true
 		}
-		if declaredIn(pass, sel.X, fn.Body) {
+		if declaredIn(pass, sel.X, body) {
 			// Freshly constructed local value: not yet shared.
 			return true
 		}
@@ -173,11 +223,11 @@ func collectAccesses(pass *lint.Pass, guarded map[*types.Var]string, fn *ast.Fun
 			field: field,
 			mu:    mu,
 			base:  exprString(sel.X),
-			write: isWrite(pass, fn.Body, sel),
+			write: isWrite(pass, body, sel),
 		})
 		return true
 	})
-	return accesses
+	return accesses, goBodies
 }
 
 // declaredIn reports whether the base of an access chain is a
@@ -197,10 +247,11 @@ func declaredIn(pass *lint.Pass, base ast.Expr, body *ast.BlockStmt) bool {
 }
 
 // collectLockCalls finds every <chain>.<mu>.Lock / RLock call in the
-// function and records the "<chain>.<mu>" key.
-func collectLockCalls(pass *lint.Pass, fn *ast.FuncDecl) (locked, rlocked map[string]bool) {
+// scope — go-closure bodies excluded, their locks belong to their own
+// scope — and records the "<chain>.<mu>" key.
+func collectLockCalls(body *ast.BlockStmt) (locked, rlocked map[string]bool) {
 	locked, rlocked = map[string]bool{}, map[string]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	inspectScope(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

@@ -1,0 +1,106 @@
+// Fixture derived from internal/core's parallel-pipeline tally: a
+// bounded worker pool whose goroutines fold shard-local counters into
+// shared state. Goroutine bodies are separate lock scopes — a lock
+// held by the spawner does not protect accesses inside a go-closure,
+// and a lock inside the closure does not license the spawner's own
+// accesses.
+package guard
+
+import "sync"
+
+// tally mirrors core.extractTally: the shared accumulator the
+// extraction shards fold their counters into.
+type tally struct {
+	mu    sync.Mutex
+	total int // guarded by mu
+	drops int // guarded by mu
+}
+
+// add is the correct fold: lock taken inside the method.
+func (t *tally) add(n, dropped int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total += n
+	t.drops += dropped
+}
+
+// fanOut is the correct pool shape: workers touch only shard-local
+// state and fold through the locked method; the final read happens
+// after Wait under the lock.
+func fanOut(t *tally, chunks [][]int) int {
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(chunk []int) {
+			defer wg.Done()
+			n := 0
+			for range chunk {
+				n++
+			}
+			t.add(n, 0)
+		}(chunk)
+	}
+	wg.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// fanOutRacy is the defect the scope rule exists for: the spawner
+// holds the lock while launching, but the goroutine body runs after
+// Unlock — its write is unprotected even though the enclosing
+// function "takes the lock".
+func fanOutRacy(t *tally, chunks [][]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var wg sync.WaitGroup
+	for range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.total++ // want `write to t\.total \(guarded by mu\) without holding t\.mu\.Lock`
+		}()
+	}
+	wg.Wait()
+}
+
+// drainRacy is the inverse defect: the lock lives inside the
+// goroutine, but the spawner reads the guarded field concurrently
+// with the workers.
+func drainRacy(t *tally) int {
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.drops++
+	}()
+	return t.drops // want `read of t\.drops \(guarded by mu\) without holding t\.mu\.Lock`
+}
+
+// workerLocked shows a goroutine body locking for itself: correct.
+func workerLocked(t *tally, done chan<- struct{}) {
+	go func() {
+		t.mu.Lock()
+		t.total++
+		t.mu.Unlock()
+		close(done)
+	}()
+}
+
+// localPool constructs the tally inside the function: the value is
+// function-local at spawn time, but the closure still shares it with
+// the spawner, so the unlocked read in the closure is diagnosed while
+// the constructor-style writes before the goroutine starts are not.
+func localPool(chunks [][]int) *tally {
+	t := &tally{}
+	t.total = 0 // fresh local value: exempt
+	var wg sync.WaitGroup
+	for range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.add(1, 0)
+		}()
+	}
+	wg.Wait()
+	return t
+}

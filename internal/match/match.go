@@ -30,40 +30,88 @@ type key struct {
 }
 
 // NewTransitionIndex builds the index; input order is irrelevant.
+// Per-key lists are sized exactly (one counting pass) and sorted
+// stably so equal-time entries keep their input order.
 func NewTransitionIndex(ts []trace.Transition) *TransitionIndex {
-	idx := &TransitionIndex{byKey: make(map[key][]trace.Transition)}
+	counts := make(map[key]int)
+	for _, t := range ts {
+		counts[key{t.Link, t.Dir}]++
+	}
+	idx := &TransitionIndex{byKey: make(map[key][]trace.Transition, len(counts))}
 	for _, t := range ts {
 		k := key{t.Link, t.Dir}
+		if idx.byKey[k] == nil {
+			idx.byKey[k] = make([]trace.Transition, 0, counts[k])
+		}
 		idx.byKey[k] = append(idx.byKey[k], t)
 	}
 	for _, list := range idx.byKey {
-		sort.Slice(list, func(i, j int) bool { return list[i].Time.Before(list[j].Time) })
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Time.Before(list[j].Time) })
 	}
 	return idx
 }
 
+// bounds returns the half-open index range [lo, hi) of entries on
+// (link, dir) with |time − t| ≤ w, via two binary searches.
+func (idx *TransitionIndex) bounds(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) (list []trace.Transition, lo, hi int) {
+	list = idx.byKey[key{link, dir}]
+	from := t.Add(-w)
+	lo = sort.Search(len(list), func(i int) bool { return !list[i].Time.Before(from) })
+	hi = lo + sort.Search(len(list)-lo, func(i int) bool { return list[lo+i].Time.Sub(t) > w })
+	return list, lo, hi
+}
+
 // Within returns the transitions on (link, dir) with |time − t| ≤ w.
+// The result slice is allocated exactly once at its final size.
 func (idx *TransitionIndex) Within(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) []trace.Transition {
-	list := idx.byKey[key{link, dir}]
-	lo := t.Add(-w)
-	i := sort.Search(len(list), func(i int) bool { return !list[i].Time.Before(lo) })
-	var out []trace.Transition
-	for ; i < len(list); i++ {
-		if list[i].Time.Sub(t) > w {
-			break
-		}
-		out = append(out, list[i])
+	list, lo, hi := idx.bounds(link, dir, t, w)
+	if hi <= lo {
+		return nil
 	}
+	out := make([]trace.Transition, hi-lo)
+	copy(out, list[lo:hi])
 	return out
+}
+
+// AnyWithin reports whether any transition on (link, dir) lies within
+// w of t. It is Within without materializing the result slice — the
+// allocation-free existence check the MatchedFraction hot loop needs.
+func (idx *TransitionIndex) AnyWithin(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) bool {
+	list := idx.byKey[key{link, dir}]
+	from := t.Add(-w)
+	i := sort.Search(len(list), func(i int) bool { return !list[i].Time.Before(from) })
+	return i < len(list) && list[i].Time.Sub(t) <= w
 }
 
 // Reporters returns the distinct Reporter values among matches.
 func (idx *TransitionIndex) Reporters(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) map[string]bool {
-	set := make(map[string]bool)
-	for _, m := range idx.Within(link, dir, t, w) {
-		set[m.Reporter] = true
+	list, lo, hi := idx.bounds(link, dir, t, w)
+	set := make(map[string]bool, hi-lo)
+	for i := lo; i < hi; i++ {
+		set[list[i].Reporter] = true
 	}
 	return set
+}
+
+// ReporterCount returns the number of distinct Reporter values among
+// matches without allocating: a link has two routers, so the distinct
+// scan is a tiny quadratic over an already narrow window.
+func (idx *TransitionIndex) ReporterCount(link topo.LinkID, dir trace.Direction, t time.Time, w time.Duration) int {
+	list, lo, hi := idx.bounds(link, dir, t, w)
+	n := 0
+	for i := lo; i < hi; i++ {
+		dup := false
+		for j := lo; j < i; j++ {
+			if list[j].Reporter == list[i].Reporter {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // MatchedFraction returns the fraction of src transitions that have
@@ -75,7 +123,7 @@ func MatchedFraction(src, ref []trace.Transition, w time.Duration) float64 {
 	idx := NewTransitionIndex(ref)
 	matched := 0
 	for _, t := range src {
-		if len(idx.Within(t.Link, t.Dir, t.Time, w)) > 0 {
+		if idx.AnyWithin(t.Link, t.Dir, t.Time, w) {
 			matched++
 		}
 	}
@@ -99,20 +147,10 @@ type FailureMatch struct {
 // within w, end times within w, one-to-one (greedy by start-time
 // proximity within each link).
 func Failures(a, b []trace.Failure, w time.Duration) FailureMatch {
-	byLinkB := make(map[topo.LinkID][]int)
-	for i, f := range b {
-		byLinkB[f.Link] = append(byLinkB[f.Link], i)
-	}
-	for _, list := range byLinkB {
-		sort.Slice(list, func(x, y int) bool { return b[list[x]].Start.Before(b[list[y]].Start) })
-	}
+	byLinkB := groupIndicesByLink(b)
 	usedB := make(map[int]bool)
 	var res FailureMatch
-	order := make([]int, len(a))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(x, y int) bool { return a[order[x]].Start.Before(a[order[y]].Start) })
+	order := startOrder(a)
 	for _, ai := range order {
 		fa := a[ai]
 		cands := byLinkB[fa.Link]
@@ -170,16 +208,55 @@ func Intersects(fa trace.Failure, byLink map[topo.LinkID][]trace.Failure) bool {
 	return false
 }
 
-// GroupByLink builds a per-link failure index sorted by start time.
+// GroupByLink builds a per-link failure index sorted (stably) by
+// start time. Per-link lists are sized exactly via a counting pass.
 func GroupByLink(fs []trace.Failure) map[topo.LinkID][]trace.Failure {
-	byLink := make(map[topo.LinkID][]trace.Failure)
+	counts := make(map[topo.LinkID]int)
 	for _, f := range fs {
+		counts[f.Link]++
+	}
+	byLink := make(map[topo.LinkID][]trace.Failure, len(counts))
+	for _, f := range fs {
+		if byLink[f.Link] == nil {
+			byLink[f.Link] = make([]trace.Failure, 0, counts[f.Link])
+		}
 		byLink[f.Link] = append(byLink[f.Link], f)
 	}
 	for _, list := range byLink {
-		sort.Slice(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
 	}
 	return byLink
+}
+
+// groupIndicesByLink is GroupByLink over indices into fs, sorted
+// (stably) by start time within each link.
+func groupIndicesByLink(fs []trace.Failure) map[topo.LinkID][]int {
+	counts := make(map[topo.LinkID]int)
+	for _, f := range fs {
+		counts[f.Link]++
+	}
+	byLink := make(map[topo.LinkID][]int, len(counts))
+	for i, f := range fs {
+		if byLink[f.Link] == nil {
+			byLink[f.Link] = make([]int, 0, counts[f.Link])
+		}
+		byLink[f.Link] = append(byLink[f.Link], i)
+	}
+	for _, list := range byLink {
+		sort.SliceStable(list, func(x, y int) bool { return fs[list[x]].Start.Before(fs[list[y]].Start) })
+	}
+	return byLink
+}
+
+// startOrder returns the indices of fs sorted (stably) by start time:
+// the greedy matching order.
+func startOrder(fs []trace.Failure) []int {
+	order := make([]int, len(fs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return fs[order[x]].Start.Before(fs[order[y]].Start) })
+	return order
 }
 
 // IntersectionDowntime returns the total time during which both
@@ -217,25 +294,130 @@ type WindowPoint struct {
 // WindowSweep evaluates failure matching over a range of window
 // sizes: the analysis behind the paper's choice of ten seconds (the
 // knee of this curve).
+//
+// The per-link candidate index is built once, for the largest window,
+// and every window size is then evaluated incrementally over the
+// precomputed candidate lists — O(windows × candidates) instead of
+// re-running Failures (O(windows × n log n)) from scratch. Each
+// point is exactly what Failures would report at that window: the
+// candidate enumeration order, the end-time filter, and the greedy
+// best-pair selection are identical.
 func WindowSweep(a, b []trace.Failure, windows []time.Duration) []WindowPoint {
-	var out []WindowPoint
+	if len(windows) == 0 {
+		return nil
+	}
 	totalDowntime := trace.TotalDowntime(a)
+	var maxW time.Duration
 	for _, w := range windows {
-		m := Failures(a, b, w)
-		var matchedDown time.Duration
-		for _, p := range m.Pairs {
-			matchedDown += a[p.A].Duration()
+		if w > maxW {
+			maxW = w
 		}
+	}
+	sweep := newFailureSweep(a, b, maxW)
+	out := make([]WindowPoint, 0, len(windows))
+	for _, w := range windows {
+		pairs, matchedDown := sweep.evaluate(w)
 		pt := WindowPoint{Window: w}
 		if totalDowntime > 0 {
 			pt.MatchedDowntimeFraction = float64(matchedDown) / float64(totalDowntime)
 		}
 		if len(a) > 0 {
-			pt.MatchedFailureFraction = float64(len(m.Pairs)) / float64(len(a))
+			pt.MatchedFailureFraction = float64(pairs) / float64(len(a))
 		}
 		out = append(out, pt)
 	}
 	return out
+}
+
+// sweepCandidate is one (a, b) failure pair that can match at some
+// window size ≤ the sweep's maximum: both the start and end time
+// differences are within it.
+type sweepCandidate struct {
+	bi        int
+	startDiff time.Duration // |b.Start − a.Start|
+	endDiff   time.Duration // |b.End − a.End|
+	diff      time.Duration // startDiff + endDiff, the greedy score
+}
+
+// failureSweep holds the candidate index a WindowSweep evaluates all
+// its window sizes against.
+type failureSweep struct {
+	a []trace.Failure
+	// order is the greedy matching order: a-indices by start time.
+	order []int
+	// cands[k] lists, for a-index order[k], the b-candidates in
+	// b-start order — the enumeration order Failures uses.
+	cands [][]sweepCandidate
+	// usedB/pairedA are per-evaluation scratch, reset by epoch
+	// stamping instead of reallocation.
+	usedB []int
+	epoch int
+}
+
+// newFailureSweep precomputes the candidate lists for the largest
+// window of the sweep.
+func newFailureSweep(a, b []trace.Failure, maxW time.Duration) *failureSweep {
+	s := &failureSweep{
+		a:     a,
+		order: startOrder(a),
+		cands: make([][]sweepCandidate, len(a)),
+		usedB: make([]int, len(b)),
+	}
+	for i := range s.usedB {
+		s.usedB[i] = -1
+	}
+	byLinkB := groupIndicesByLink(b)
+	for k, ai := range s.order {
+		fa := a[ai]
+		cands := byLinkB[fa.Link]
+		lo := fa.Start.Add(-maxW)
+		j := sort.Search(len(cands), func(k int) bool { return !b[cands[k]].Start.Before(lo) })
+		var list []sweepCandidate
+		for ; j < len(cands); j++ {
+			bi := cands[j]
+			fb := b[bi]
+			if fb.Start.Sub(fa.Start) > maxW {
+				break
+			}
+			endDiff := absDur(fb.End.Sub(fa.End))
+			if endDiff > maxW {
+				continue
+			}
+			list = append(list, sweepCandidate{
+				bi:        bi,
+				startDiff: absDur(fb.Start.Sub(fa.Start)),
+				endDiff:   endDiff,
+				diff:      absDur(fb.Start.Sub(fa.Start)) + endDiff,
+			})
+		}
+		s.cands[k] = list
+	}
+	return s
+}
+
+// evaluate runs the greedy one-to-one matching at window w over the
+// precomputed candidates and returns the pair count and the summed
+// duration of matched a-failures.
+func (s *failureSweep) evaluate(w time.Duration) (pairs int, matchedDown time.Duration) {
+	s.epoch++
+	for k := range s.order {
+		best := -1
+		var bestDiff time.Duration
+		for _, c := range s.cands[k] {
+			if c.startDiff > w || c.endDiff > w || s.usedB[c.bi] == s.epoch {
+				continue
+			}
+			if best < 0 || c.diff < bestDiff {
+				best, bestDiff = c.bi, c.diff
+			}
+		}
+		if best >= 0 {
+			s.usedB[best] = s.epoch
+			pairs++
+			matchedDown += s.a[s.order[k]].Duration()
+		}
+	}
+	return pairs, matchedDown
 }
 
 func absDur(d time.Duration) time.Duration {

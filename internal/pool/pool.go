@@ -1,0 +1,64 @@
+// Package pool provides the bounded worker pool behind the parallel
+// analysis pipeline. The §3.4 methodology is embarrassingly parallel —
+// every link's transition stream reconstructs independently, and the
+// report's tables are independent reductions — so every sharded stage
+// reduces to the same shape: run fn(i) for i in [0, n) across at most
+// `workers` goroutines, with each task writing only state owned by its
+// index. Determinism is preserved by construction: tasks never share
+// mutable state, and callers merge the indexed results in a fixed
+// order afterwards.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a Parallelism knob to a worker count: values <= 0 mean
+// "one worker per available CPU" (runtime.GOMAXPROCS).
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines and returns when all calls have completed. With workers
+// <= 1 (or n <= 1) it degenerates to a plain sequential loop on the
+// calling goroutine — the byte-identical reference path. fn must
+// confine its writes to state owned by index i.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+// Stages runs a set of independent pipeline stages concurrently across
+// at most workers goroutines. It is ForEach specialized to
+// heterogeneous closures: each stage owns its own result slot.
+func Stages(workers int, stages ...func()) {
+	ForEach(len(stages), workers, func(i int) { stages[i]() })
+}

@@ -1,0 +1,52 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(0, 8, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach(0, ...) invoked fn")
+	}
+}
+
+func TestStages(t *testing.T) {
+	var a, b, c int
+	Stages(4,
+		func() { a = 1 },
+		func() { b = 2 },
+		func() { c = 3 },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Errorf("stages did not all run: %d %d %d", a, b, c)
+	}
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"bytes"
+	"io"
+
+	"netfail/internal/core"
+	"netfail/internal/pool"
+)
+
+// FullReport renders every table and figure of the paper's evaluation
+// section — Tables 1–7, the false-positive and ambiguity-policy
+// breakdowns, the window-size sweep, and Figure 1 — in the canonical
+// order. The sections are independent reductions over the same
+// Analysis, so each one renders into its own buffer across a bounded
+// worker pool of the given size (<= 0 means GOMAXPROCS, 1 the
+// sequential reference path); the buffers are then written in fixed
+// order, making the output byte-identical for every worker count.
+func FullReport(w io.Writer, a *core.Analysis, configFiles, lspUpdates, parallelism int) error {
+	sections := []func(io.Writer) error{
+		func(w io.Writer) error { return RenderTable1(w, a.Table1(configFiles, lspUpdates)) },
+		func(w io.Writer) error { return RenderTable2(w, a.Table2()) },
+		func(w io.Writer) error { return RenderTable3(w, a.Table3()) },
+		func(w io.Writer) error { return RenderTable4(w, a.Table4()) },
+		func(w io.Writer) error { return RenderFalsePositives(w, a.FalsePositives()) },
+		func(w io.Writer) error { return RenderTable5(w, a.Table5()) },
+		func(w io.Writer) error { return RenderTable6(w, a.Table6()) },
+		func(w io.Writer) error { return RenderPolicies(w, a.PolicyAblation()) },
+		func(w io.Writer) error { return RenderTable7(w, a.Table7()) },
+		func(w io.Writer) error { return RenderKnee(w, a.WindowKnee(nil)) },
+		func(w io.Writer) error { return RenderFigure1(w, a.Figure1()) },
+	}
+	workers := pool.Resolve(parallelism)
+	bufs := make([]bytes.Buffer, len(sections))
+	errs := make([]error, len(sections))
+	pool.ForEach(len(sections), workers, func(i int) {
+		errs[i] = sections[i](&bufs[i])
+	})
+	for i := range sections {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ func benchSamples(n int, seed int64) []float64 {
 }
 
 func BenchmarkKSTest(b *testing.B) {
+	b.ReportAllocs()
 	a := benchSamples(10000, 1)
 	c := benchSamples(10000, 2)
 	b.ResetTimer()
@@ -26,6 +27,7 @@ func BenchmarkKSTest(b *testing.B) {
 }
 
 func BenchmarkSummarize(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSamples(10000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -36,6 +38,7 @@ func BenchmarkSummarize(b *testing.B) {
 }
 
 func BenchmarkECDF(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSamples(10000, 4)
 	e := NewECDF(s)
 	b.ResetTimer()

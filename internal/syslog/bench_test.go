@@ -6,6 +6,7 @@ import (
 )
 
 func BenchmarkRender(b *testing.B) {
+	b.ReportAllocs()
 	m := AdjChange(DialectIOSXR, "riv-core-01", 421,
 		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
 		"cpe-001", "TenGigE0/1/0/3", false, "hold time expired")
@@ -17,6 +18,7 @@ func BenchmarkRender(b *testing.B) {
 }
 
 func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
 	line := AdjChange(DialectIOSXR, "riv-core-01", 421,
 		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
 		"cpe-001", "TenGigE0/1/0/3", false, "hold time expired").Render()
@@ -31,6 +33,7 @@ func BenchmarkParse(b *testing.B) {
 }
 
 func BenchmarkParseLinkEvent(b *testing.B) {
+	b.ReportAllocs()
 	m := AdjChange(DialectIOS, "riv-core-01", 1,
 		time.Date(2011, 3, 3, 4, 5, 6, 0, time.UTC),
 		"cpe-001", "GigabitEthernet0/0/1", true, "new adjacency")

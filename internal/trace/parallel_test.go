@@ -1,0 +1,36 @@
+package trace
+
+// ReconstructParallel shards the state machine per link and merges in
+// sorted-link order; every worker count must reproduce the sequential
+// reconstruction exactly, field for field.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestReconstructParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 5, 99} {
+		// randomTransitions (property_test.go) deliberately includes
+		// the messy shapes the state machine handles: repeated downs,
+		// dangling ups, open failures, equal-time entries.
+		rng := rand.New(rand.NewSource(seed))
+		ts := randomTransitions(rng, 600)
+		want := Reconstruct(ts)
+		for _, workers := range []int{0, 2, 3, 8, 64} {
+			got := ReconstructParallel(ts, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d workers %d: parallel reconstruction diverges", seed, workers)
+			}
+		}
+	}
+}
+
+func TestReconstructParallelEmpty(t *testing.T) {
+	want := Reconstruct(nil)
+	got := ReconstructParallel(nil, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("empty input: parallel %+v, sequential %+v", got, want)
+	}
+}

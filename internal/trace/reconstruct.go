@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"netfail/internal/pool"
 	"netfail/internal/topo"
 )
 
@@ -55,6 +56,40 @@ func Reconstruct(ts []Transition) Reconstruction {
 	return ReconstructPolicy(ts, HoldPrevious)
 }
 
+// ReconstructParallel is Reconstruct sharded per link across a bounded
+// worker pool. Output is byte-identical to Reconstruct for any worker
+// count: links reconstruct independently and the shards merge in
+// sorted link order, exactly the order the sequential loop visits.
+func ReconstructParallel(ts []Transition, workers int) Reconstruction {
+	return ReconstructPolicyParallel(ts, HoldPrevious, workers)
+}
+
+// ReconstructPolicyParallel is ReconstructPolicy with per-link
+// sharding; workers <= 1 runs the sequential reference path.
+func ReconstructPolicyParallel(ts []Transition, policy AmbiguityPolicy, workers int) Reconstruction {
+	if workers <= 1 {
+		return ReconstructPolicy(ts, policy)
+	}
+	grouped := ByLink(ts)
+	links := make([]topo.LinkID, 0, len(grouped))
+	for link := range grouped {
+		links = append(links, link)
+	}
+	sortLinkIDs(links)
+	shards := make([]Reconstruction, len(links))
+	pool.ForEach(len(links), workers, func(i int) {
+		shards[i] = reconstructLink(links[i], grouped[links[i]], policy)
+	})
+	var rec Reconstruction
+	for _, s := range shards {
+		rec.Failures = append(rec.Failures, s.Failures...)
+		rec.Ambiguities = append(rec.Ambiguities, s.Ambiguities...)
+		rec.OpenAtEnd += s.OpenAtEnd
+	}
+	sortFailures(rec.Failures)
+	return rec
+}
+
 // ReconstructPolicy builds failure events from transitions, which may
 // cover many links and need not be sorted. Links are assumed up at
 // the start of the observation window. Repeated same-direction
@@ -76,48 +111,59 @@ func ReconstructPolicy(ts []Transition, policy AmbiguityPolicy) Reconstruction {
 	}
 	sortLinkIDs(links)
 	for _, link := range links {
-		seq := grouped[link]
-		down := false
-		var start time.Time
-		var lastDir Direction
-		var lastTime time.Time
-		seen := false
-		for _, t := range seq {
-			if seen && t.Dir == lastDir {
-				rec.Ambiguities = append(rec.Ambiguities, Ambiguity{
-					Link: link, Dir: t.Dir, First: lastTime, Second: t.Time,
-				})
-				switch {
-				case policy == AssumeUp && t.Dir == Down && down:
-					// The span was uptime: restart the failure here.
-					start = t.Time
-				case policy == AssumeDown && t.Dir == Up && !down:
-					// The span was downtime: record it as a failure.
-					rec.Failures = append(rec.Failures, Failure{Link: link, Start: lastTime, End: t.Time})
-				}
-				lastTime = t.Time
-				continue
-			}
-			switch t.Dir {
-			case Down:
-				down = true
-				start = t.Time
-			case Up:
-				if down {
-					rec.Failures = append(rec.Failures, Failure{Link: link, Start: start, End: t.Time})
-					down = false
-				} else if !seen {
-					// Leading Up with no preceding Down: state was
-					// already up; nothing to record.
-				}
-			}
-			lastDir, lastTime, seen = t.Dir, t.Time, true
-		}
-		if down {
-			rec.OpenAtEnd++
-		}
+		s := reconstructLink(link, grouped[link], policy)
+		rec.Failures = append(rec.Failures, s.Failures...)
+		rec.Ambiguities = append(rec.Ambiguities, s.Ambiguities...)
+		rec.OpenAtEnd += s.OpenAtEnd
 	}
 	sortFailures(rec.Failures)
+	return rec
+}
+
+// reconstructLink runs the state machine over one link's (time-sorted)
+// transition sequence. Links are independent, which is what makes the
+// pipeline shardable.
+func reconstructLink(link topo.LinkID, seq []Transition, policy AmbiguityPolicy) Reconstruction {
+	var rec Reconstruction
+	down := false
+	var start time.Time
+	var lastDir Direction
+	var lastTime time.Time
+	seen := false
+	for _, t := range seq {
+		if seen && t.Dir == lastDir {
+			rec.Ambiguities = append(rec.Ambiguities, Ambiguity{
+				Link: link, Dir: t.Dir, First: lastTime, Second: t.Time,
+			})
+			switch {
+			case policy == AssumeUp && t.Dir == Down && down:
+				// The span was uptime: restart the failure here.
+				start = t.Time
+			case policy == AssumeDown && t.Dir == Up && !down:
+				// The span was downtime: record it as a failure.
+				rec.Failures = append(rec.Failures, Failure{Link: link, Start: lastTime, End: t.Time})
+			}
+			lastTime = t.Time
+			continue
+		}
+		switch t.Dir {
+		case Down:
+			down = true
+			start = t.Time
+		case Up:
+			if down {
+				rec.Failures = append(rec.Failures, Failure{Link: link, Start: start, End: t.Time})
+				down = false
+			} else if !seen {
+				// Leading Up with no preceding Down: state was
+				// already up; nothing to record.
+			}
+		}
+		lastDir, lastTime, seen = t.Dir, t.Time, true
+	}
+	if down {
+		rec.OpenAtEnd++
+	}
 	return rec
 }
 

@@ -157,14 +157,24 @@ func SortTransitions(ts []Transition) {
 }
 
 // ByLink groups transitions per link, preserving time order within
-// each group (input need not be sorted).
+// each group (input need not be sorted). The per-group sort is stable
+// so equal-time transitions keep their input order — a requirement for
+// the parallel pipeline, whose shard merges must be byte-identical to
+// the sequential path.
 func ByLink(ts []Transition) map[topo.LinkID][]Transition {
-	grouped := make(map[topo.LinkID][]Transition)
+	counts := make(map[topo.LinkID]int)
 	for _, t := range ts {
+		counts[t.Link]++
+	}
+	grouped := make(map[topo.LinkID][]Transition, len(counts))
+	for _, t := range ts {
+		if grouped[t.Link] == nil {
+			grouped[t.Link] = make([]Transition, 0, counts[t.Link])
+		}
 		grouped[t.Link] = append(grouped[t.Link], t)
 	}
 	for _, g := range grouped {
-		sort.Slice(g, func(i, j int) bool { return g[i].Time.Before(g[j].Time) })
+		sort.SliceStable(g, func(i, j int) bool { return g[i].Time.Before(g[j].Time) })
 	}
 	return grouped
 }

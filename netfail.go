@@ -129,6 +129,10 @@ type AnalysisOptions struct {
 	// IncludeMultiLink keeps multi-link-adjacency links in the
 	// analysis; pair with SimulationConfig.EnableLinkIDs.
 	IncludeMultiLink bool
+	// Parallelism bounds the analysis worker pool: <= 0 means one
+	// worker per CPU, 1 forces the sequential reference path. Every
+	// setting produces byte-identical results.
+	Parallelism int
 }
 
 // AnalyzeCampaign runs the analysis pipeline over an existing
@@ -163,6 +167,7 @@ func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, e
 		FlapGap:          opts.FlapGap,
 		MergeWindow:      opts.MergeWindow,
 		IncludeMultiLink: opts.IncludeMultiLink,
+		Parallelism:      opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("netfail: %w", err)
@@ -177,45 +182,14 @@ func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, e
 }
 
 // Report renders every table and figure of the paper's evaluation
-// section, with the published values alongside.
+// section, with the published values alongside. The independent table
+// computations fan out across the analysis worker pool (the
+// Parallelism knob the study was analyzed with); output is
+// byte-identical for every worker count.
 func (s *Study) Report(w io.Writer) error {
-	a := s.Analysis
-	steps := []func() error{
-		func() error {
-			return report.RenderTable1(w, a.Table1(s.Campaign.Archive.FileCount(), s.Campaign.Counts.LSPUpdates))
-		},
-		func() error { return blank(w) },
-		func() error { return report.RenderTable2(w, a.Table2()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderTable3(w, a.Table3()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderTable4(w, a.Table4()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderFalsePositives(w, a.FalsePositives()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderTable5(w, a.Table5()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderTable6(w, a.Table6()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderPolicies(w, a.PolicyAblation()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderTable7(w, a.Table7()) },
-		func() error { return blank(w) },
-		func() error { return report.RenderKnee(w, a.WindowKnee(nil)) },
-		func() error { return blank(w) },
-		func() error { return report.RenderFigure1(w, a.Figure1()) },
-	}
-	for _, step := range steps {
-		if err := step(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func blank(w io.Writer) error {
-	_, err := io.WriteString(w, "\n")
-	return err
+	return report.FullReport(w, s.Analysis,
+		s.Campaign.Archive.FileCount(), s.Campaign.Counts.LSPUpdates,
+		s.Analysis.In.Parallelism)
 }
 
 // Failure re-exports the trace failure record for downstream

@@ -1,0 +1,58 @@
+package netfail
+
+// Determinism contract of the parallel pipeline: every Parallelism
+// setting must produce byte-identical reports. The shards merge in
+// stable link-ID/chunk order and every sort downstream is stable, so
+// worker count can change scheduling but never output.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParallelismIsByteIdentical(t *testing.T) {
+	camp, err := Simulate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(parallelism int) []byte {
+		t.Helper()
+		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := study.Report(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := render(1)
+	if len(sequential) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, p := range []int{0, 2, 8} {
+		got := render(p)
+		if !bytes.Equal(got, sequential) {
+			t.Errorf("Parallelism %d report differs from sequential (%d vs %d bytes)",
+				p, len(got), len(sequential))
+		}
+	}
+}
+
+// TestParallelismKnobThreaded pins the knob's plumbing: the value
+// handed to AnalyzeCampaignWithOptions must be the one the analysis
+// (and therefore Study.Report's fan-out) actually ran with.
+func TestParallelismKnobThreaded(t *testing.T) {
+	camp, err := Simulate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Analysis.In.Parallelism != 3 {
+		t.Errorf("Analysis.In.Parallelism = %d, want 3", study.Analysis.In.Parallelism)
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory harness: run the Benchmark* suites with
+# -benchmem and distill the output into BENCH_<PR>.json via
+# cmd/netfail-bench. CI uploads the file as an artifact; committing it
+# per PR records how the pipeline's cost moves across the stack.
+#
+# Environment knobs:
+#   PR        stack sequence number stamped into the report (default 4)
+#   BENCHTIME go test -benchtime (default 1x: one measured iteration,
+#             enough for trajectory tracking without minutes of CI)
+#   BENCH     -bench regexp (default ".")
+#   PKGS      packages with benchmarks (default: root + the codec and
+#             stats suites)
+#   OUT       output path (default BENCH_${PR}.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${PR:-4}"
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis}"
+OUT="${OUT:-BENCH_${PR}.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench: go test -bench '$BENCH' -benchtime $BENCHTIME ($PKGS)" >&2
+# shellcheck disable=SC2086  # PKGS is intentionally word-split
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$raw"
+
+go run ./cmd/netfail-bench -pr "$PR" -o "$OUT" < "$raw"
+echo "bench: wrote $OUT" >&2
