@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint race verify faultinject bench
+.PHONY: build test lint race verify faultinject bench obs
 
 build:
 	go build ./...
@@ -25,6 +25,11 @@ faultinject:
 # knobs). CI uploads the file as an artifact.
 bench:
 	./scripts/bench.sh
+
+# Observability smoke: run the instrumented pipeline on a one-month
+# seeded campaign; assert a non-empty span tree and zero drop counters.
+obs:
+	./scripts/obs-smoke.sh
 
 verify:
 	./scripts/verify.sh

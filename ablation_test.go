@@ -6,6 +6,7 @@ package netfail
 // the experiments behind the calibration story in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,11 +25,11 @@ func TestLinkIDExtensionRecoversMultiLinkCoverage(t *testing.T) {
 	withIDs := base
 	withIDs.EnableLinkIDs = true
 
-	campBase, err := Simulate(base)
+	campBase, err := Simulate(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	campIDs, err := Simulate(withIDs)
+	campIDs, err := Simulate(context.Background(), withIDs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +103,11 @@ func TestBlackoutModelDrivesTransitionMisses(t *testing.T) {
 	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0
 	noBlackout.Impair = &im
 
-	with, err := Run(base)
+	with, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Run(noBlackout)
+	without, err := Run(context.Background(), noBlackout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestPseudoFailuresDriveFalsePositives(t *testing.T) {
 	im.PseudoBackgroundPerYear, im.PseudoAfterFlap, im.PseudoAfterNonFlap = 0, 0, 0
 	noPseudo.Impair = &im
 
-	with, err := Run(base)
+	with, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Run(noPseudo)
+	without, err := Run(context.Background(), noPseudo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestLSPSuppressionBlindsListener(t *testing.T) {
 	im.LSPSuppressProb = 0
 	noSuppress.Impair = &im
 
-	with, err := Run(base)
+	with, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Run(noSuppress)
+	without, err := Run(context.Background(), noSuppress)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func BenchmarkAblationLinkIDs(b *testing.B) {
 	cfg := benchMonthConfig(1)
 	cfg.EnableLinkIDs = true
 	for i := 0; i < b.N; i++ {
-		camp, err := Simulate(cfg)
+		camp, err := Simulate(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func BenchmarkAblationNoBlackout(b *testing.B) {
 	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0
 	cfg.Impair = &im
 	for i := 0; i < b.N; i++ {
-		study, err := Run(cfg)
+		study, err := Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

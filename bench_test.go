@@ -16,6 +16,7 @@ package netfail
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ var (
 func benchFullStudy(b *testing.B) *Study {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchStudy, benchErr = Run(SimulationConfig{Seed: 1})
+		benchStudy, benchErr = Run(context.Background(), SimulationConfig{Seed: 1})
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -210,7 +211,7 @@ func benchMonthConfig(seed int64) SimulationConfig {
 func BenchmarkSimulateMonth(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		camp, err := Simulate(benchMonthConfig(int64(i + 1)))
+		camp, err := Simulate(context.Background(), benchMonthConfig(int64(i + 1)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func BenchmarkSimulateMonth(b *testing.B) {
 
 func BenchmarkMineConfigs(b *testing.B) {
 	b.ReportAllocs()
-	camp, err := Simulate(benchMonthConfig(1))
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func BenchmarkMineConfigs(b *testing.B) {
 
 func BenchmarkListenerReplay(b *testing.B) {
 	b.ReportAllocs()
-	camp, err := Simulate(benchMonthConfig(1))
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func BenchmarkListenerReplay(b *testing.B) {
 
 func BenchmarkSyslogExtract(b *testing.B) {
 	b.ReportAllocs()
-	camp, err := Simulate(benchMonthConfig(1))
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func BenchmarkSyslogExtract(b *testing.B) {
 
 func BenchmarkAnalyzeMonth(b *testing.B) {
 	b.ReportAllocs()
-	camp, err := Simulate(benchMonthConfig(1))
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -304,11 +305,38 @@ func BenchmarkAnalyzeMonth(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeMonthTraced is BenchmarkAnalyzeMonth with the full
+// observability stack attached: a tracer, a metrics registry, and a
+// progress stream. The ns/op delta against BenchmarkAnalyzeMonth is
+// the cost of enabling observability; scripts/bench.sh records the
+// ratio as a pair in BENCH_<PR>.json. (With no consumers attached the
+// instrumentation reduces to nil-receiver no-ops, so the plain
+// benchmark doubles as the disabled-obs baseline.)
+func BenchmarkAnalyzeMonthTraced(b *testing.B) {
+	b.ReportAllocs()
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study, err := Analyze(context.Background(), camp,
+			WithTracer(NewTracer()), WithMetrics(NewMetrics()),
+			WithProgress(func(ProgressEvent) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if study.Analysis == nil {
+			b.Fatal("no analysis")
+		}
+	}
+}
+
 // BenchmarkAnalyzeMonthSequential is the Parallelism: 1 reference for
 // BenchmarkAnalyzeMonth (which runs one worker per CPU).
 func BenchmarkAnalyzeMonthSequential(b *testing.B) {
 	b.ReportAllocs()
-	camp, err := Simulate(benchMonthConfig(1))
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -364,7 +392,7 @@ func BenchmarkRefreshFullDay(b *testing.B) {
 	cfg.End = cfg.Start.Add(24 * time.Hour)
 	cfg.RefreshMode = netsim.RefreshFull
 	for i := 0; i < b.N; i++ {
-		camp, err := Simulate(cfg)
+		camp, err := Simulate(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

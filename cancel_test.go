@@ -1,0 +1,107 @@
+package netfail
+
+// Cancellation contract of the context-first API: canceling the
+// context stops the pipeline at the next stage or shard boundary with
+// context.Canceled, and the worker pools drain rather than leak.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, smallConfig(1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := Simulate(ctx, smallConfig(1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Simulate on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	camp, err := Simulate(context.Background(), smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(ctx, camp); !errors.Is(err, context.Canceled) {
+		t.Errorf("Analyze on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := Listen(ctx, camp.Network, camp); !errors.Is(err, context.Canceled) {
+		t.Errorf("Listen on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancelMidAnalyze(t *testing.T) {
+	camp, err := Simulate(context.Background(), smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for _, stage := range []string{"listen", "extract-syslog", "reconstruct", "sanitize"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		target := stage
+		_, err := Analyze(ctx, camp, WithParallelism(4),
+			WithProgress(func(ev ProgressEvent) {
+				if ev.Kind == StageStarted && ev.Stage == target {
+					once.Do(cancel)
+				}
+			}))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancel at %q: err = %v, want context.Canceled", stage, err)
+		}
+	}
+	// The pools must have drained: give the runtime a moment, then
+	// insist the goroutine count returns to (near) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines leaked after cancellation: %d before, %d after", before, n)
+	}
+}
+
+func TestCancelMidSimulate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	_, err := Simulate(ctx, smallConfig(6), WithProgress(func(ev ProgressEvent) {
+		if ev.Kind == StageStarted && ev.Stage == "simulate" {
+			once.Do(cancel)
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Simulate canceled at start: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestListenReportsRecordIndex(t *testing.T) {
+	camp, err := Simulate(context.Background(), smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.LSPLog) < 6 {
+		t.Fatalf("campaign too small: %d LSP records", len(camp.LSPLog))
+	}
+	// Corrupt record 5 in place: a truncated PDU fails to decode.
+	orig := camp.LSPLog[5].Data
+	camp.LSPLog[5].Data = []byte{0x83, 0x01}
+	defer func() { camp.LSPLog[5].Data = orig }()
+
+	_, err = Listen(context.Background(), camp.Network, camp)
+	if err == nil {
+		t.Fatal("Listen accepted a corrupt LSP record")
+	}
+	if !strings.Contains(err.Error(), "record 5") {
+		t.Errorf("error %q does not name the failing record index", err)
+	}
+	if !strings.Contains(err.Error(), camp.LSPLog[5].Time.UTC().Format("2006")) {
+		t.Errorf("error %q does not carry the record timestamp", err)
+	}
+}

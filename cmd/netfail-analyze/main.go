@@ -12,11 +12,23 @@
 //	netfail-analyze -data ./campaign -figure knee    # window sweep
 //	netfail-analyze -data ./campaign -lenient        # salvage mode
 //	netfail-analyze -data ./campaign -parallelism 1  # sequential reference
+//	netfail-analyze -seed 1 -days 31 -trace -metrics # instrumented run
 //
 // The analysis pipeline shards per link across a bounded worker pool
 // (one worker per CPU by default); -parallelism bounds it explicitly.
 // Output is byte-identical for every worker count, so -parallelism 1
 // is purely a debugging/baseline switch, not a different analysis.
+//
+// Observability flags (none of them changes the analysis output):
+//
+//	-trace       print the hierarchical stage/worker span tree to stderr
+//	-trace-json  write the same spans as Chrome trace_event JSON
+//	             (load in chrome://tracing or Perfetto)
+//	-metrics     print the pipeline's named counters to stderr
+//	-progress    stream stage start/finish and shard events to stderr
+//
+// Interrupting the process (SIGINT) cancels the pipeline at the next
+// stage or shard boundary.
 //
 // In -lenient mode malformed capture records are skipped instead of
 // aborting the analysis; a per-file salvage report goes to stderr, and
@@ -26,15 +38,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
+	"netfail"
 	"netfail/internal/config"
 	"netfail/internal/core"
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
+	"netfail/internal/obs"
 	"netfail/internal/report"
 	"netfail/internal/salvage"
 	"netfail/internal/syslog"
@@ -45,28 +63,72 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "campaign", "campaign directory written by netfail-sim")
-		seed    = flag.Int64("seed", 0, "skip the directory: simulate+analyze in memory with this seed")
-		table   = flag.Int("table", 0, "render only this table (1-7)")
-		figure  = flag.String("figure", "", "render only this figure: 1a, 1b, 1c, knee, policies")
-		svgDir  = flag.String("svg", "", "also write figure1[abc].svg and knee.svg into this directory")
-		export  = flag.String("export", "", "also write the reconstructed transition streams into this directory")
-		multi   = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
-		md      = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
-		lenient = flag.Bool("lenient", false, "salvage malformed capture records instead of aborting; exit 3 if any were dropped")
-		par     = flag.Int("parallelism", 0, "analysis worker pool size: 0 = one worker per CPU, 1 = sequential; output is byte-identical either way")
+		data      = flag.String("data", "campaign", "campaign directory written by netfail-sim")
+		seed      = flag.Int64("seed", 0, "skip the directory: simulate+analyze in memory with this seed")
+		days      = flag.Int("days", 0, "with -seed: simulate this many days instead of the full 13-month study")
+		table     = flag.Int("table", 0, "render only this table (1-7)")
+		figure    = flag.String("figure", "", "render only this figure: 1a, 1b, 1c, knee, policies")
+		svgDir    = flag.String("svg", "", "also write figure1[abc].svg and knee.svg into this directory")
+		export    = flag.String("export", "", "also write the reconstructed transition streams into this directory")
+		multi     = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
+		md        = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
+		lenient   = flag.Bool("lenient", false, "salvage malformed capture records instead of aborting; exit 3 if any were dropped")
+		par       = flag.Int("parallelism", 0, "analysis worker pool size: 0 = one worker per CPU, 1 = sequential; output is byte-identical either way")
+		traceTree = flag.Bool("trace", false, "print the stage/worker span tree to stderr after the run")
+		traceJSON = flag.String("trace-json", "", "write the span tree as Chrome trace_event JSON to this file")
+		metrics   = flag.Bool("metrics", false, "print pipeline counters to stderr after the run")
+		progress  = flag.Bool("progress", false, "stream stage/shard progress events to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var tracer *obs.Tracer
+	if *traceTree || *traceJSON != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	ctx = obs.WithTracer(ctx, tracer)
+	ctx = obs.WithRegistry(ctx, reg)
+	if *progress {
+		ctx = obs.WithProgress(ctx, func(ev obs.Event) {
+			fmt.Fprintf(os.Stderr, "progress: %s\n", ev)
+		})
+	}
 
 	var err error
 	salvaged := false
 	if *seed != 0 {
-		err = runSeed(*seed, *table, *figure, *svgDir, *export, *multi, *md, *par)
+		err = runSeed(ctx, *seed, *days, *table, *figure, *svgDir, *export, *multi, *md, *par)
 	} else {
-		salvaged, err = run(*data, *table, *figure, *svgDir, *export, *multi, *md, *lenient, *par)
+		salvaged, err = run(ctx, *data, *table, *figure, *svgDir, *export, *multi, *md, *lenient, *par)
+	}
+	// The observability artifacts describe whatever ran, so they are
+	// written even when the pipeline was canceled midway.
+	if tracer != nil && *traceTree {
+		if werr := tracer.WriteTree(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "netfail-analyze: writing span tree:", werr)
+		}
+	}
+	if tracer != nil && *traceJSON != "" {
+		if werr := writeChrome(tracer, *traceJSON); werr != nil {
+			fmt.Fprintln(os.Stderr, "netfail-analyze: writing trace JSON:", werr)
+		}
+	}
+	if reg != nil {
+		if werr := reg.WriteText(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "netfail-analyze: writing metrics:", werr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-analyze:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if salvaged {
@@ -74,45 +136,37 @@ func main() {
 	}
 }
 
-// runSeed simulates and analyzes entirely in memory.
-func runSeed(seed int64, table int, figure, svgDir, exportDir string, multi, md bool, parallelism int) error {
-	camp, err := netsim.Run(netsim.Config{Seed: seed})
+func writeChrome(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	mined, err := config.Mine(camp.Archive)
-	if err != nil {
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
 		return err
 	}
-	l := listener.New(mined.Network)
-	for _, c := range camp.LSPLog {
-		if err := l.Process(c.Time, c.Data); err != nil {
-			return err
-		}
-	}
-	res := l.Results()
-	corpus := tickets.Generate(seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
-	a, err := core.Analyze(core.Input{
-		Network:          mined.Network,
-		Customers:        camp.Network.Customers,
-		Syslog:           camp.Syslog,
-		ISTransitions:    res.ISTransitions,
-		IPTransitions:    res.IPTransitions,
-		Start:            camp.Config.Start,
-		End:              camp.Config.End,
-		ListenerOffline:  camp.ListenerOffline,
-		Tickets:          tickets.NewIndex(corpus),
-		IncludeMultiLink: multi,
-		Parallelism:      parallelism,
-	})
-	if err != nil {
-		return err
-	}
-	return render(a, camp.Archive, camp.Counts, table, figure, svgDir, exportDir, md)
+	return f.Close()
 }
 
-func run(dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int) (salvaged bool, err error) {
-	a, campaignCounts, archive, reports, err := loadAndAnalyze(dir, multi, lenient, parallelism)
+// runSeed simulates and analyzes entirely in memory via the public
+// pipeline (the context already carries any observability consumers).
+func runSeed(ctx context.Context, seed int64, days, table int, figure, svgDir, exportDir string, multi, md bool, parallelism int) error {
+	cfg := netsim.Config{Seed: seed}
+	if days > 0 {
+		cfg.Start = netsim.StudyStart
+		cfg.End = netsim.StudyStart.Add(time.Duration(days) * 24 * time.Hour)
+	}
+	study, err := netfail.Run(ctx, cfg,
+		netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism))
+	if err != nil {
+		return err
+	}
+	return render(ctx, study.Analysis, study.Campaign.Archive, study.Campaign.Counts,
+		table, figure, svgDir, exportDir, md)
+}
+
+func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int) (salvaged bool, err error) {
+	a, campaignCounts, archive, reports, err := loadAndAnalyze(ctx, dir, multi, lenient, parallelism)
 	if err != nil {
 		return false, err
 	}
@@ -122,11 +176,11 @@ func run(dir string, table int, figure, svgDir, exportDir string, multi, md, len
 			salvaged = true
 		}
 	}
-	return salvaged, render(a, archive, campaignCounts, table, figure, svgDir, exportDir, md)
+	return salvaged, render(ctx, a, archive, campaignCounts, table, figure, svgDir, exportDir, md)
 }
 
 // render prints the requested tables/figures.
-func render(a *core.Analysis, archive *config.Archive, campaignCounts netsim.Counts, table int, figure, svgDir, exportDir string, md bool) error {
+func render(ctx context.Context, a *core.Analysis, archive *config.Archive, campaignCounts netsim.Counts, table int, figure, svgDir, exportDir string, md bool) error {
 	w := os.Stdout
 	if exportDir != "" {
 		if err := exportTransitions(a, exportDir); err != nil {
@@ -147,28 +201,8 @@ func render(a *core.Analysis, archive *config.Archive, campaignCounts netsim.Cou
 	}
 
 	if table == 0 && figure == "" {
-		// Everything.
-		for i := 1; i <= 7; i++ {
-			if err := renderTable(w, a, archive, campaignCounts, i); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-			if i == 4 {
-				if err := report.RenderFalsePositives(w, a.FalsePositives()); err != nil {
-					return err
-				}
-				fmt.Fprintln(w)
-			}
-		}
-		if err := report.RenderPolicies(w, a.PolicyAblation()); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		if err := report.RenderKnee(w, a.WindowKnee(nil)); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		return report.RenderFigure1(w, a.Figure1())
+		// Everything, through the sectioned (and span-traced) renderer.
+		return report.FullReport(ctx, w, a, archive.FileCount(), campaignCounts.LSPUpdates, a.In.Parallelism)
 	}
 	if table != 0 {
 		return renderTable(w, a, archive, campaignCounts, table)
@@ -243,14 +277,16 @@ type salvageEntry struct {
 // In lenient mode malformed records are skipped and accounted in the
 // returned per-file salvage reports; in strict mode the first
 // malformed record aborts with a line-accurate error.
-func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
+func loadAndAnalyze(ctx context.Context, dir string, multi, lenient bool, parallelism int) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
 	fail := func(err error) (*core.Analysis, netsim.Counts, *config.Archive, []salvageEntry, error) {
 		return nil, netsim.Counts{}, nil, nil, err
 	}
 	var reports []salvageEntry
 
+	lctx, loadDone := obs.Stage(ctx, "load")
 	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 	var manifest *netsim.Manifest
@@ -265,25 +301,30 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 	}
 	mf.Close()
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 
 	archive, err := config.LoadDir(filepath.Join(dir, "configs"))
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 	mined, err := config.Mine(archive)
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 
 	sf, err := os.Open(filepath.Join(dir, "syslog.log"))
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 	msgs, syslogRep, err := syslog.ReadLogLenient(sf, manifest.Start)
 	sf.Close()
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 	if lenient {
@@ -294,6 +335,7 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 
 	lf, err := os.Open(filepath.Join(dir, "lsps.log"))
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
 	var lsps []netsim.CapturedLSP
@@ -308,14 +350,26 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 	}
 	lf.Close()
 	if err != nil {
+		loadDone()
 		return fail(err)
 	}
+	obs.Add(lctx, "drops.salvage.records", int64(salvageSkips(reports)))
+	loadDone()
+
+	sctx, listenDone := obs.Stage(ctx, "listen")
 	l := listener.New(mined.Network)
 	decodeFailures := 0
-	for _, c := range lsps {
+	for i, c := range lsps {
+		if i%1024 == 0 {
+			if cerr := sctx.Err(); cerr != nil {
+				listenDone()
+				return fail(cerr)
+			}
+		}
 		if err := l.Process(c.Time, c.Data); err != nil {
 			if !lenient {
-				return fail(fmt.Errorf("LSP capture: %w", err))
+				listenDone()
+				return fail(fmt.Errorf("LSP capture: record %d at %s: %w", i, c.Time.UTC().Format(time.RFC3339), err))
 			}
 			// Salvaged-but-corrupt payloads land in the listener's
 			// decode-error accounting instead of aborting.
@@ -323,6 +377,9 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 		}
 	}
 	res := l.Results()
+	obs.Add(sctx, "listener.lsps", int64(res.LSPCount))
+	obs.Add(sctx, "drops.listener.decode_errors", int64(res.DecodeErrors+decodeFailures))
+	listenDone()
 	if lenient && decodeFailures > 0 {
 		reports = append(reports, salvageEntry{"lsps.log payloads", &salvage.Report{
 			Kept:    len(lsps) - decodeFailures,
@@ -351,7 +408,7 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 		return fail(err)
 	}
 
-	a, err := core.Analyze(core.Input{
+	a, err := core.Analyze(ctx, core.Input{
 		Network:          mined.Network,
 		Customers:        customers,
 		Syslog:           msgs,
@@ -368,4 +425,13 @@ func loadAndAnalyze(dir string, multi, lenient bool, parallelism int) (*core.Ana
 		return fail(err)
 	}
 	return a, manifest.Counts, archive, reports, nil
+}
+
+// salvageSkips totals the records dropped across the salvage reports.
+func salvageSkips(reports []salvageEntry) int {
+	n := 0
+	for _, r := range reports {
+		n += r.rep.Skipped
+	}
+	return n
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"netfail/internal/benchfmt"
 )
@@ -23,6 +24,14 @@ import (
 func main() {
 	pr := flag.Int("pr", 0, "PR sequence number recorded in the report")
 	out := flag.String("o", "", "output file (default stdout)")
+	var pairSpecs []string
+	flag.Func("pair", "record a base=variant overhead ratio (repeatable), e.g. -pair BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced", func(s string) error {
+		if !strings.Contains(s, "=") {
+			return fmt.Errorf("want base=variant, got %q", s)
+		}
+		pairSpecs = append(pairSpecs, s)
+		return nil
+	})
 	flag.Parse()
 
 	entries, goos, goarch, procs, err := benchfmt.Parse(os.Stdin)
@@ -50,6 +59,16 @@ func main() {
 		GoArch:     goarch,
 		GoMaxProcs: procs,
 		Benchmarks: entries,
+	}
+	for _, spec := range pairSpecs {
+		base, variant, _ := strings.Cut(spec, "=")
+		p, err := benchfmt.MakePair(entries, base, variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			os.Exit(1)
+		}
+		rep.Pairs = append(rep.Pairs, p)
+		fmt.Fprintf(os.Stderr, "netfail-bench: pair %s vs %s: ratio %.4f\n", variant, base, p.NsRatio)
 	}
 
 	w := os.Stdout

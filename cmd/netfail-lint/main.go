@@ -1,5 +1,5 @@
 // Command netfail-lint runs the repository's static-analysis suite —
-// the four invariant checkers under internal/lint — over the named
+// the five invariant checkers under internal/lint — over the named
 // package patterns (default ./...), printing one line per finding and
 // exiting non-zero if any invariant is violated:
 //
@@ -11,6 +11,7 @@
 //	droppederr  no silently discarded parse/decode errors
 //	lockguard   "// guarded by mu" fields accessed only under the mutex
 //	durmul      no duration×duration, no unit-less duration constants
+//	ctxfirst    context.Context first in signatures, never in structs
 //
 // netfail-lint is self-contained: it loads and type-checks packages
 // via `go list -export` export data, so it needs no network access
@@ -22,6 +23,7 @@ import (
 	"os"
 
 	"netfail/internal/lint"
+	"netfail/internal/lint/ctxfirst"
 	"netfail/internal/lint/detclock"
 	"netfail/internal/lint/droppederr"
 	"netfail/internal/lint/durmul"
@@ -35,6 +37,7 @@ var suite = []*lint.Analyzer{
 	droppederr.Analyzer,
 	lockguard.Analyzer,
 	durmul.Analyzer,
+	ctxfirst.Analyzer,
 }
 
 func main() {

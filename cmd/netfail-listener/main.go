@@ -11,6 +11,10 @@
 // Replay mode (send a captured campaign to a listener):
 //
 //	netfail-listener -replay ./campaign/lsps.log -to 127.0.0.1:9127
+//
+// With -debug-addr the receive loop also serves an HTTP debug
+// endpoint: live pipeline counters at /debug/netfail and /debug/vars
+// (expvar), and the net/http/pprof profiles under /debug/pprof/.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -26,6 +31,7 @@ import (
 	"netfail/internal/isis"
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
+	"netfail/internal/obs"
 	"netfail/internal/topo"
 )
 
@@ -45,13 +51,14 @@ func main() {
 		replay  = flag.String("replay", "", "LSP capture file to transmit (replay mode)")
 		to      = flag.String("to", "", "destination address (replay mode)")
 		limit   = flag.Int("limit", 0, "stop after this many LSPs (0 = unlimited)")
+		debug   = flag.String("debug-addr", "", "serve live counters and pprof on this HTTP address (receive mode)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *listen != "" && *configs != "":
-		err = receive(*listen, *configs, *limit, clock.System())
+		err = receive(*listen, *configs, *limit, clock.System(), *debug)
 	case *replay != "" && *to != "":
 		err = transmit(*replay, *to)
 	default:
@@ -63,7 +70,7 @@ func main() {
 	}
 }
 
-func receive(addr, configDir string, limit int, clk clock.Clock) error {
+func receive(addr, configDir string, limit int, clk clock.Clock, debugAddr string) error {
 	archive, err := config.LoadDir(configDir)
 	if err != nil {
 		return err
@@ -84,6 +91,22 @@ func receive(addr, configDir string, limit int, clk clock.Clock) error {
 	fmt.Printf("listening on %s; %d routers, %d links in namespace\n",
 		conn.LocalAddr(), len(mined.Network.Routers), len(mined.Network.Links))
 
+	// Live counters: drops must be observable while the capture runs,
+	// not just in the exit summary — a listener that silently drops
+	// LSPs for hours is the paper's syslog failure mode reproduced.
+	reg := obs.NewRegistry()
+	if debugAddr != "" {
+		obs.Publish("netfail-listener", reg)
+		srv := &http.Server{Addr: debugAddr, Handler: obs.DebugMux(reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "debug endpoint: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s/debug/netfail\n", debugAddr)
+	}
+
 	l := listener.New(mined.Network)
 	var listenerID topo.SystemID // all-zero passive system ID
 	buf := make([]byte, 64*1024)
@@ -101,6 +124,7 @@ func receive(addr, configDir string, limit int, clk clock.Clock) error {
 				continue
 			}
 			readFailures++
+			reg.Counter("listener.read_errors").Add(1)
 			if readFailures > maxReadRetries {
 				return fmt.Errorf("capture stopped after %d consecutive read errors: %w", readFailures, err)
 			}
@@ -134,11 +158,15 @@ func receive(addr, configDir string, limit int, clk clock.Clock) error {
 			continue
 		}
 
+		reg.Counter("listener.datagrams").Add(1)
 		if err := l.Process(clk.Now(), pkt); err != nil {
+			reg.Counter("drops.listener.decode_errors").Add(1)
 			fmt.Fprintf(os.Stderr, "decode error: %v\n", err)
 			continue
 		}
 		res := l.Results()
+		reg.Gauge("listener.lsps").Set(int64(res.LSPCount))
+		reg.Gauge("transitions.listener.is").Set(int64(len(res.ISTransitions)))
 		for _, tr := range res.ISTransitions[emitted:] {
 			fmt.Printf("%s %-4s %s (reported by %s)\n",
 				tr.Time.Format("15:04:05.000"), tr.Dir, tr.Link, tr.Reporter)

@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
+	"netfail"
 	"netfail/internal/netsim"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
@@ -28,16 +32,17 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "simulation seed (campaigns are deterministic in it)")
-		out     = flag.String("out", "campaign", "output directory")
-		days    = flag.Int("days", 0, "campaign length in days (0 = the paper's Oct 2010 - Nov 2011 window)")
-		core    = flag.Int("core", 0, "core router count (0 = CENIC default 60)")
-		cpe     = flag.Int("cpe", 0, "CPE router count (0 = CENIC default 175)")
-		refresh = flag.Bool("full-refresh", false, "materialize every periodic LSP refresh (large output)")
-		linkIDs = flag.Bool("linkids", false, "advertise RFC 5307 link identifiers (footnote-1 extension)")
-		inband  = flag.Bool("inband", false, "lose syslog from routers partitioned away from the collector")
-		truth   = flag.Bool("truth", false, "also export ground-truth failures (truth.log)")
-		dot     = flag.Bool("dot", false, "also export the topology as Graphviz (topology.dot)")
+		seed     = flag.Int64("seed", 1, "simulation seed (campaigns are deterministic in it)")
+		out      = flag.String("out", "campaign", "output directory")
+		days     = flag.Int("days", 0, "campaign length in days (0 = the paper's Oct 2010 - Nov 2011 window)")
+		core     = flag.Int("core", 0, "core router count (0 = CENIC default 60)")
+		cpe      = flag.Int("cpe", 0, "CPE router count (0 = CENIC default 175)")
+		refresh  = flag.Bool("full-refresh", false, "materialize every periodic LSP refresh (large output)")
+		linkIDs  = flag.Bool("linkids", false, "advertise RFC 5307 link identifiers (footnote-1 extension)")
+		inband   = flag.Bool("inband", false, "lose syslog from routers partitioned away from the collector")
+		truth    = flag.Bool("truth", false, "also export ground-truth failures (truth.log)")
+		dot      = flag.Bool("dot", false, "also export the topology as Graphviz (topology.dot)")
+		progress = flag.Bool("progress", false, "stream simulation progress events to stderr")
 	)
 	flag.Parse()
 
@@ -68,14 +73,26 @@ func main() {
 	cfg.EnableLinkIDs = *linkIDs
 	cfg.InBandSyslog = *inband
 
-	if err := run(cfg, *out, *truth, *dot); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var opts []netfail.Option
+	if *progress {
+		opts = append(opts, netfail.WithProgress(func(ev netfail.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "progress: %s\n", ev)
+		}))
+	}
+
+	if err := run(ctx, cfg, *out, *truth, *dot, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-sim:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(cfg netsim.Config, out string, exportTruth, exportDOT bool) error {
-	camp, err := netsim.Run(cfg)
+func run(ctx context.Context, cfg netsim.Config, out string, exportTruth, exportDOT bool, opts []netfail.Option) error {
+	camp, err := netfail.Simulate(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}

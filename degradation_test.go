@@ -7,6 +7,7 @@ package netfail
 // strict mode must localize the damage instead of tolerating it.
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"fmt"
@@ -48,7 +49,7 @@ func corruptRoundTrip(t *testing.T, name string, data []byte, plan faultinject.P
 func TestCorruptionSweep(t *testing.T) {
 	cfg := smallConfig(7)
 	cfg.End = cfg.Start.Add(120 * 24 * time.Hour)
-	camp, err := Simulate(cfg)
+	camp, err := Simulate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestCorruptionSweep(t *testing.T) {
 	tix := tickets.NewIndex(tickets.Generate(cfg.Seed+1, fails, tickets.DefaultParams()))
 
 	// The directional findings must survive ~1% loss on every stream.
-	analysis, err := core.Analyze(core.Input{
+	analysis, err := core.Analyze(context.Background(), core.Input{
 		Network:         mined.Network,
 		Customers:       camp.Network.Customers,
 		Syslog:          msgs,

@@ -1,6 +1,7 @@
 package netfail_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,7 +14,7 @@ import (
 // ExampleRun simulates a small six-week campaign and prints the
 // headline comparison. Identical seeds reproduce identical numbers.
 func ExampleRun() {
-	study, err := netfail.Run(netfail.SimulationConfig{
+	study, err := netfail.Run(context.Background(), netfail.SimulationConfig{
 		Seed: 42,
 		Spec: topo.Spec{
 			Seed: 42, CoreRouters: 10, CPERouters: 20, CoreChords: 2,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	study, err := netfail.Run(netfail.SimulationConfig{
+	study, err := netfail.Run(context.Background(), netfail.SimulationConfig{
 		Seed:  11,
 		Start: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
 		End:   time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC),

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	study, err := netfail.Run(netfail.SimulationConfig{
+	study, err := netfail.Run(context.Background(), netfail.SimulationConfig{
 		Seed:  19,
 		Start: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
 		End:   time.Date(2011, 4, 1, 0, 0, 0, 0, time.UTC),

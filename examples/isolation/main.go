@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	study, err := netfail.Run(netfail.SimulationConfig{
+	study, err := netfail.Run(context.Background(), netfail.SimulationConfig{
 		Seed: 7,
 		// Full CENIC scale but a shorter window keeps this example
 		// quick; remove Start/End for the paper's 13 months.

@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"netfail/internal/clock"
 	"netfail/internal/device"
 	"netfail/internal/listener"
+	"netfail/internal/obs"
 	"netfail/internal/syslog"
 	"netfail/internal/topo"
 )
@@ -65,6 +67,9 @@ func main() {
 	}
 	defer lconn.Close()
 	lsp := listener.New(network)
+	// Live counters, the same registry netfail-listener serves over
+	// -debug-addr; here they just summarize the capture at the end.
+	reg := obs.NewRegistry()
 	go func() {
 		buf := make([]byte, 64*1024)
 		for {
@@ -72,7 +77,9 @@ func main() {
 			if err != nil {
 				return
 			}
+			reg.Counter("listener.datagrams").Add(1)
 			if err := lsp.Process(clk.Now(), append([]byte(nil), buf[:n]...)); err != nil {
+				reg.Counter("drops.listener.decode_errors").Add(1)
 				fmt.Println("listener:", err)
 			}
 		}
@@ -145,5 +152,10 @@ func main() {
 	for _, tr := range res.ISTransitions {
 		fmt.Printf("  %s %-4s %s (reported by %s)\n",
 			tr.Time.Format("15:04:05.000"), tr.Dir, tr.Link, tr.Reporter)
+	}
+
+	fmt.Println("\ncapture counters:")
+	if err := reg.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"netfail"
@@ -27,7 +29,15 @@ func main() {
 		ListenerOffline: []trace.Interval{},
 	}
 
-	study, err := netfail.Run(cfg)
+	// Run is context-first: cancel the context to stop the pipeline at
+	// the next stage boundary. WithProgress streams stage events —
+	// handy feedback on the full 13-month campaign.
+	study, err := netfail.Run(context.Background(), cfg,
+		netfail.WithProgress(func(ev netfail.ProgressEvent) {
+			if ev.Kind != netfail.ShardDone {
+				fmt.Fprintf(os.Stderr, "[%s]\n", ev)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,6 +35,44 @@ type Entry struct {
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
+// Pair records a variant-vs-baseline benchmark pairing — typically an
+// instrumented run against its plain counterpart — and the ns/op
+// overhead ratio between them.
+type Pair struct {
+	// Base and Variant name the two benchmarks being compared.
+	Base    string `json:"base"`
+	Variant string `json:"variant"`
+	// NsRatio is variant ns/op divided by base ns/op: 1.00 means the
+	// variant is free, 1.02 means 2% overhead.
+	NsRatio float64 `json:"ns_ratio"`
+}
+
+// MakePair resolves base and variant against the parsed entries and
+// computes their ns/op ratio. It errors if either name is missing or
+// the base measured zero.
+func MakePair(entries []Entry, base, variant string) (Pair, error) {
+	find := func(name string) (Entry, error) {
+		for _, e := range entries {
+			if e.Name == name {
+				return e, nil
+			}
+		}
+		return Entry{}, fmt.Errorf("benchfmt: pair references unknown benchmark %q", name)
+	}
+	b, err := find(base)
+	if err != nil {
+		return Pair{}, err
+	}
+	v, err := find(variant)
+	if err != nil {
+		return Pair{}, err
+	}
+	if b.NsPerOp == 0 {
+		return Pair{}, fmt.Errorf("benchfmt: pair base %q measured 0 ns/op", base)
+	}
+	return Pair{Base: base, Variant: variant, NsRatio: v.NsPerOp / b.NsPerOp}, nil
+}
+
 // Report is the BENCH_<n>.json document.
 type Report struct {
 	// PR is the stacked-PR sequence number the measurement belongs
@@ -47,6 +85,9 @@ type Report struct {
 	GoArch     string `json:"goarch,omitempty"`
 	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
+	// Pairs holds variant-vs-baseline overhead ratios (e.g. the
+	// observability-enabled analysis against the plain one).
+	Pairs []Pair `json:"pairs,omitempty"`
 }
 
 // Parse reads `go test -bench` output and returns the benchmark

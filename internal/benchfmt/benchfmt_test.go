@@ -76,6 +76,30 @@ func TestParseIgnoresNonResultLines(t *testing.T) {
 	}
 }
 
+func TestMakePair(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkAnalyzeMonth", NsPerOp: 100e6},
+		{Name: "BenchmarkAnalyzeMonthTraced", NsPerOp: 101e6},
+	}
+	p, err := MakePair(entries, "BenchmarkAnalyzeMonth", "BenchmarkAnalyzeMonthTraced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NsRatio < 1.009 || p.NsRatio > 1.011 {
+		t.Errorf("NsRatio = %v, want 1.01", p.NsRatio)
+	}
+	if _, err := MakePair(entries, "BenchmarkMissing", "BenchmarkAnalyzeMonth"); err == nil {
+		t.Error("MakePair accepted an unknown base name")
+	}
+	if _, err := MakePair(entries, "BenchmarkAnalyzeMonth", "BenchmarkMissing"); err == nil {
+		t.Error("MakePair accepted an unknown variant name")
+	}
+	zero := []Entry{{Name: "a"}, {Name: "b", NsPerOp: 5}}
+	if _, err := MakePair(zero, "a", "b"); err == nil {
+		t.Error("MakePair accepted a zero-ns/op base")
+	}
+}
+
 func TestWriteRoundTrip(t *testing.T) {
 	entries, goos, goarch, procs, err := Parse(strings.NewReader(sample))
 	if err != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"netfail/internal/match"
+	"netfail/internal/obs"
 	"netfail/internal/pool"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
@@ -89,8 +91,17 @@ type Analysis struct {
 	ISISFlaps   *trace.FlapIndex
 }
 
-// Analyze runs the full §3.4 pipeline.
-func Analyze(in Input) (*Analysis, error) {
+// Analyze runs the full §3.4 pipeline. Cancellation is honored at
+// every stage and shard boundary: if ctx is canceled mid-run, Analyze
+// stops dispatching work and returns ctx's error (running shards
+// finish first, so no partial per-index state ever escapes).
+// Observability state attached to ctx (obs.WithTracer, obs.WithRegistry,
+// obs.WithProgress) instruments each stage; it never changes the
+// analysis itself.
+func Analyze(ctx context.Context, in Input) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if in.Network == nil {
 		return nil, fmt.Errorf("core: nil network")
 	}
@@ -106,6 +117,9 @@ func Analyze(in Input) (*Analysis, error) {
 	if in.MergeWindow == 0 {
 		in.MergeWindow = 60 * time.Second
 	}
+	ctx, done := obs.Stage(ctx, "analyze")
+	defer done()
+
 	a := &Analysis{
 		In:    in,
 		Years: in.End.Sub(in.Start).Hours() / (365.25 * 24),
@@ -126,21 +140,41 @@ func Analyze(in Input) (*Analysis, error) {
 	// Syslog extraction and filtering. The filters are independent
 	// order-preserving scans over disjoint outputs, so they fan out
 	// across the pool.
-	a.Traces = ExtractSyslogParallel(in.Network, in.Syslog, in.MergeWindow, workers)
-	pool.Stages(workers,
-		func() { a.SyslogAdj = filterLinks(a.Traces.MergedAdj, analyzed) },
-		func() { a.SyslogPerRtr = filterLinks(a.Traces.PerRouterAdj, analyzed) },
-		func() { a.SyslogPhysical = filterLinks(a.Traces.MergedPhysical, analyzed) },
-		func() { a.ISReach = filterLinks(in.ISTransitions, analyzed) },
-		func() { a.IPReach = filterLinks(in.IPTransitions, analyzed) },
+	a.Traces = ExtractSyslogParallel(ctx, in.Network, in.Syslog, in.MergeWindow, workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	obs.Add(ctx, "syslog.messages", int64(len(in.Syslog)))
+	obs.Add(ctx, "syslog.nonlink", int64(a.Traces.NonLink))
+	obs.Add(ctx, "drops.syslog.unresolved", int64(a.Traces.Unresolved))
+
+	fctx, fdone := obs.Stage(ctx, "filter")
+	err := pool.StagesCtx(fctx, workers,
+		func(context.Context) { a.SyslogAdj = filterLinks(a.Traces.MergedAdj, analyzed) },
+		func(context.Context) { a.SyslogPerRtr = filterLinks(a.Traces.PerRouterAdj, analyzed) },
+		func(context.Context) { a.SyslogPhysical = filterLinks(a.Traces.MergedPhysical, analyzed) },
+		func(context.Context) { a.ISReach = filterLinks(in.ISTransitions, analyzed) },
+		func(context.Context) { a.IPReach = filterLinks(in.IPTransitions, analyzed) },
 	)
+	fdone()
+	if err != nil {
+		return nil, err
+	}
+	obs.Add(ctx, "transitions.syslog.adj", int64(len(a.SyslogAdj)))
+	obs.Add(ctx, "transitions.syslog.physical", int64(len(a.SyslogPhysical)))
+	obs.Add(ctx, "transitions.isis", int64(len(a.ISReach)))
 
 	// Reconstruction: the two sources are independent, and each one
 	// shards per link inside ReconstructParallel.
-	pool.Stages(workers,
-		func() { a.SyslogRec = trace.ReconstructParallel(a.SyslogAdj, workers) },
-		func() { a.ISISRec = trace.ReconstructParallel(a.ISReach, workers) },
+	rctx, rdone := obs.Stage(ctx, "reconstruct")
+	err = pool.StagesCtx(rctx, workers,
+		func(sctx context.Context) { a.SyslogRec = trace.ReconstructParallel(sctx, a.SyslogAdj, workers) },
+		func(sctx context.Context) { a.ISISRec = trace.ReconstructParallel(sctx, a.ISReach, workers) },
 	)
+	rdone()
+	if err != nil {
+		return nil, err
+	}
 
 	// Sanitization: both sources drop failures spanning listener
 	// outages (those periods cannot be compared); syslog failures
@@ -149,18 +183,38 @@ func Analyze(in Input) (*Analysis, error) {
 	if in.Tickets != nil {
 		verify = in.Tickets.Verify
 	}
-	pool.Stages(workers,
-		func() {
+	sctx, sdone := obs.Stage(ctx, "sanitize")
+	err = pool.StagesCtx(sctx, workers,
+		func(context.Context) {
 			a.SyslogSanitize = trace.Sanitize(a.SyslogRec.Failures, in.ListenerOffline, trace.LongFailureThreshold, verify)
 			a.SyslogFailures = a.SyslogSanitize.Kept
 			a.SyslogFlaps = trace.NewFlapIndex(a.SyslogFailures, in.FlapGap)
 		},
-		func() {
+		func(context.Context) {
 			a.ISISSanitize = trace.Sanitize(a.ISISRec.Failures, in.ListenerOffline, 0, nil)
 			a.ISISFailures = a.ISISSanitize.Kept
 			a.ISISFlaps = trace.NewFlapIndex(a.ISISFailures, in.FlapGap)
 		},
 	)
+	sdone()
+	if err != nil {
+		return nil, err
+	}
+	obs.Add(ctx, "failures.syslog", int64(len(a.SyslogFailures)))
+	obs.Add(ctx, "failures.isis", int64(len(a.ISISFailures)))
+
+	// Matching accounting exists only to be observed — the report
+	// recomputes matches per table — so it runs only when some
+	// observability consumer is attached, and never feeds back into
+	// the Analysis.
+	if obs.Enabled(ctx) {
+		mctx, mdone := obs.Stage(ctx, "match")
+		fm := match.Failures(a.ISISFailures, a.SyslogFailures, in.Window)
+		obs.Add(mctx, "match.pairs", int64(len(fm.Pairs)))
+		obs.Add(mctx, "match.unmatched.isis", int64(len(fm.OnlyA)))
+		obs.Add(mctx, "match.unmatched.syslog", int64(len(fm.OnlyB)))
+		mdone()
+	}
 	return a, nil
 }
 

@@ -5,6 +5,7 @@ package core
 // at every worker count, counters included.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -84,9 +85,9 @@ func TestExtractSyslogParallelMatchesSequential(t *testing.T) {
 	n := meshNet(t)
 	rng := rand.New(rand.NewSource(17))
 	msgs := randomAdjStream(rng, n, 2000)
-	want := ExtractSyslogParallel(n, msgs, 60*time.Second, 1)
+	want := ExtractSyslogParallel(context.Background(), n, msgs, 60*time.Second, 1)
 	for _, workers := range []int{0, 2, 3, 8, 33} {
-		got := ExtractSyslogParallel(n, msgs, 60*time.Second, workers)
+		got := ExtractSyslogParallel(context.Background(), n, msgs, 60*time.Second, workers)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers %d: parallel extraction diverges from sequential", workers)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ import (
 // integration path every table test shares.
 func pipeline(t testing.TB, cfg netsim.Config) (*netsim.Campaign, *Analysis) {
 	t.Helper()
-	camp, err := netsim.Run(cfg)
+	camp, err := netsim.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func pipeline(t testing.TB, cfg netsim.Config) (*netsim.Campaign, *Analysis) {
 	}
 	tix := tickets.NewIndex(tickets.Generate(cfg.Seed+1, truth, tickets.DefaultParams()))
 
-	a, err := Analyze(Input{
+	a, err := Analyze(context.Background(), Input{
 		Network:         camp.Network,
 		Customers:       camp.Network.Customers,
 		Syslog:          camp.Syslog,

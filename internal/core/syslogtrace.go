@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"netfail/internal/obs"
 	"netfail/internal/pool"
 	"netfail/internal/syslog"
 	"netfail/internal/topo"
@@ -42,7 +44,7 @@ type SyslogTraces struct {
 // one transition; the paper's ten-second matching window is the
 // natural choice.
 func ExtractSyslog(net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration) *SyslogTraces {
-	return ExtractSyslogParallel(net, msgs, mergeWindow, 1)
+	return ExtractSyslogParallel(context.Background(), net, msgs, mergeWindow, 1)
 }
 
 // extractShard is one worker's output: the transitions and counters
@@ -57,12 +59,17 @@ type extractShard struct {
 // (reproducing the sequential message order exactly), and the per-link
 // merge then fans out over links. Output is byte-identical to the
 // sequential path for any worker count.
-func ExtractSyslogParallel(net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration, workers int) *SyslogTraces {
+func ExtractSyslogParallel(ctx context.Context, net *topo.Network, msgs []*syslog.Message, mergeWindow time.Duration, workers int) *SyslogTraces {
+	ctx, done := obs.Stage(ctx, "extract-syslog")
+	defer done()
 	st := &SyslogTraces{}
 	bounds := chunkBounds(len(msgs), workers)
 	shards := make([]extractShard, len(bounds)-1)
 	var tally extractTally
-	pool.ForEach(len(shards), workers, func(i int) {
+	// A cancellation here leaves st partially filled; callers observe
+	// it through ctx.Err() and discard the result, so the error is not
+	// threaded through the (pre-context) extract signature.
+	_ = pool.ForEachCtx(ctx, len(shards), workers, func(_ context.Context, i int) {
 		var s extractShard
 		var unresolved, nonLink, adjN, physN int
 		for _, m := range msgs[bounds[i]:bounds[i+1]] {
@@ -110,9 +117,9 @@ func ExtractSyslogParallel(net *topo.Network, msgs []*syslog.Message, mergeWindo
 		st.PerRouterAdj = append(st.PerRouterAdj, s.perRouter...)
 	}
 
-	pool.Stages(workers,
-		func() { st.MergedAdj = mergeLinkStreamParallel(adj, mergeWindow, workers) },
-		func() { st.MergedPhysical = mergeLinkStreamParallel(phys, mergeWindow, workers) },
+	_ = pool.StagesCtx(ctx, workers,
+		func(context.Context) { st.MergedAdj = mergeLinkStreamParallel(adj, mergeWindow, workers) },
+		func(context.Context) { st.MergedPhysical = mergeLinkStreamParallel(phys, mergeWindow, workers) },
 	)
 	return st
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -118,10 +119,10 @@ func TestExtractSyslogAlternationNotMerged(t *testing.T) {
 
 func TestAnalyzeValidation(t *testing.T) {
 	n, _ := tinyNet(t)
-	if _, err := Analyze(Input{}); err == nil {
+	if _, err := Analyze(context.Background(), Input{}); err == nil {
 		t.Error("nil network accepted")
 	}
-	if _, err := Analyze(Input{Network: n}); err == nil {
+	if _, err := Analyze(context.Background(), Input{Network: n}); err == nil {
 		t.Error("empty window accepted")
 	}
 	in := Input{
@@ -129,7 +130,7 @@ func TestAnalyzeValidation(t *testing.T) {
 		Start:   time.Unix(0, 0),
 		End:     time.Unix(1000, 0),
 	}
-	a, err := Analyze(in)
+	a, err := Analyze(context.Background(), in)
 	if err != nil {
 		t.Fatalf("minimal analyze: %v", err)
 	}
@@ -150,7 +151,7 @@ func TestAnalyzeExcludesMultiLink(t *testing.T) {
 		topo.Endpoint{Host: "cpe-1", Port: "Gi1"}, 2, 10); err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(Input{Network: n, Start: time.Unix(0, 0), End: time.Unix(1000, 0)})
+	a, err := Analyze(context.Background(), Input{Network: n, Start: time.Unix(0, 0), End: time.Unix(1000, 0)})
 	if err != nil {
 		t.Fatal(err)
 	}

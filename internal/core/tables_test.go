@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 func synthAnalysis(t *testing.T, msgs []*syslog.Message, isTr, ipTr []trace.Transition) *Analysis {
 	t.Helper()
 	n, _ := tinyNet(t)
-	a, err := Analyze(Input{
+	a, err := Analyze(context.Background(), Input{
 		Network:       n,
 		Syslog:        msgs,
 		ISTransitions: isTr,
@@ -224,7 +225,7 @@ func TestSanitizationRemovesOfflineSpanning(t *testing.T) {
 		isT(link, 100, trace.Down),
 		isT(link, 2000, trace.Up),
 	}
-	a, err := Analyze(Input{
+	a, err := Analyze(context.Background(), Input{
 		Network:         n,
 		Syslog:          msgs,
 		ISTransitions:   isTr,

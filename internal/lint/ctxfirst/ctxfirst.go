@@ -1,0 +1,99 @@
+// Package ctxfirst implements the context-placement analyzer backing
+// the pipeline's context-first API redesign.
+//
+// The observability layer and cancellation both ride the
+// context.Context threaded through every pipeline entry point, which
+// only works if the context actually flows: a context accepted in a
+// non-first parameter position drifts out of sight of callers (and of
+// this module's own wrappers), and a context stored in a struct
+// outlives the call it scoped, silently detaching cancellation and
+// spans from the work they were meant to cover. Both shapes existed
+// in pre-redesign drafts of the public API; the analyzer keeps them
+// from coming back.
+//
+// Two diagnostics, matching the standard library's own guidance
+// ("Contexts should not be stored inside a struct type, but instead
+// passed to each function that needs it", package context):
+//
+//   - a function, method, function literal, function type, or
+//     interface method that takes a context.Context anywhere but the
+//     first parameter;
+//   - a struct field (named or embedded) of type context.Context.
+//
+// Variadic and multi-context signatures are judged by the first
+// context's position: `func(a int, ctx context.Context)` is flagged
+// once, at the offending parameter.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netfail/internal/lint"
+)
+
+// Analyzer is the ctxfirst pass.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "require context.Context to be a function's first parameter and never a struct field",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkParams(pass, n)
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParams reports the first context.Context parameter that is not
+// in position zero. The receiver of a method is not a parameter, so
+// `func (s *Server) Handle(ctx context.Context)` is fine.
+func checkParams(pass *lint.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		// An unnamed parameter occupies one slot; a name list one per
+		// name.
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context should be the first parameter of a function")
+			return
+		}
+		idx += n
+	}
+}
+
+// checkFields reports struct fields of type context.Context, embedded
+// ones included.
+func checkFields(pass *lint.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContext(pass.TypesInfo.TypeOf(field.Type)) {
+			pass.Reportf(field.Pos(),
+				"do not store context.Context inside a struct; pass it to each function that needs it")
+		}
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,16 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/ctxfirst"
+	"netfail/internal/lint/linttest"
+)
+
+// TestContextPlacement checks the fixture derived from pre-redesign
+// drafts of the public API: trailing-context signatures and
+// context-carrying structs are diagnosed; context-first entry points,
+// methods, and CancelFunc fields pass.
+func TestContextPlacement(t *testing.T) {
+	linttest.Run(t, ctxfirst.Analyzer, "testdata/api", "netfail/apitest")
+}

@@ -1,0 +1,69 @@
+// Fixture derived from pre-redesign drafts of the pipeline's public
+// entry points: contexts trailing the config arguments, an options
+// struct carrying the context alongside the tracer, and a pipeline
+// state struct pinning the context for its whole lifetime. Each shape
+// compiles, works in the happy path, and silently detaches
+// cancellation from the work it was meant to scope — which is why
+// ctxfirst exists.
+package api
+
+import (
+	"context"
+	"time"
+)
+
+type campaign struct{}
+type study struct{}
+
+// Context-first entry points: correct.
+func Run(ctx context.Context, seed int64) (*study, error)          { return nil, nil }
+func Analyze(ctx context.Context, camp *campaign) (*study, error)  { return nil, nil }
+func listen(ctx context.Context, camp *campaign, limit int) error  { return nil }
+func noContext(seed int64, window time.Duration) error             { return nil }
+func onlyContext(ctx context.Context) error                        { return nil }
+
+// The pre-redesign draft appended the context after the config, where
+// wrappers kept forgetting to thread it.
+func runDraft(seed int64, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`
+
+// Trailing context after two leading args.
+func analyzeDraft(camp *campaign, window time.Duration, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`
+
+// A method receiver is not a parameter: first-position context in a
+// method is fine...
+func (s *study) report(ctx context.Context, wide bool) error { return nil }
+
+// ...but a method burying the context is still wrong.
+func (s *study) render(wide bool, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`
+
+// Function literals and function-typed fields follow the same rule.
+var renderHook = func(name string, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`
+
+type renderer interface {
+	Render(ctx context.Context, name string) error
+	Draw(name string, ctx context.Context) error // want `context\.Context should be the first parameter`
+}
+
+// The draft options struct stored the context next to the tracer —
+// the exact shape the functional-options redesign removed.
+type analysisOptions struct {
+	ctx         context.Context // want `do not store context\.Context inside a struct`
+	window      time.Duration
+	parallelism int
+}
+
+// Embedded contexts hide even better.
+type pipelineState struct {
+	context.Context // want `do not store context\.Context inside a struct`
+	camp            *campaign
+}
+
+// A context.CancelFunc field is fine — only the context itself is the
+// lifetime hazard.
+type runHandle struct {
+	cancel context.CancelFunc
+}
+
+// Multi-name parameter lists: the context is in slot 2 even though it
+// shares a field entry.
+func merge(a, b int, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,11 +28,11 @@ func inbandConfig(seed int64, inband bool) Config {
 }
 
 func TestInBandSyslogLosesIsolatedRoutersMessages(t *testing.T) {
-	without, err := Run(inbandConfig(3, false))
+	without, err := Run(context.Background(), inbandConfig(3, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	with, err := Run(inbandConfig(3, true))
+	with, err := Run(context.Background(), inbandConfig(3, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestInBandSyslogLosesIsolatedRoutersMessages(t *testing.T) {
 }
 
 func TestInBandSyslogBiasesAgainstCPEDowns(t *testing.T) {
-	with, err := Run(inbandConfig(4, true))
+	with, err := Run(context.Background(), inbandConfig(4, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestInBandSyslogBiasesAgainstCPEDowns(t *testing.T) {
 }
 
 func TestInBandDeterministic(t *testing.T) {
-	a, err := Run(inbandConfig(5, true))
+	a, err := Run(context.Background(), inbandConfig(5, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(inbandConfig(5, true))
+	b, err := Run(context.Background(), inbandConfig(5, true))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,11 +28,11 @@ func limitedConfig(seed int64, mutate func(*ImpairParams)) Config {
 }
 
 func TestRateLimitDropsBurstMessages(t *testing.T) {
-	base, err := Run(limitedConfig(8, func(im *ImpairParams) {}))
+	base, err := Run(context.Background(), limitedConfig(8, func(im *ImpairParams) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	limited, err := Run(limitedConfig(8, func(im *ImpairParams) {
+	limited, err := Run(context.Background(), limitedConfig(8, func(im *ImpairParams) {
 		im.RateLimitPerMin = 0.5
 		im.RateLimitBurst = 2
 	}))
@@ -84,7 +85,7 @@ func TestRateLimitBucketMechanics(t *testing.T) {
 }
 
 func TestNoiseMessagesFiltered(t *testing.T) {
-	camp, err := Run(limitedConfig(9, func(im *ImpairParams) {
+	camp, err := Run(context.Background(), limitedConfig(9, func(im *ImpairParams) {
 		im.NoisePerRouterDay = 2
 	}))
 	if err != nil {

@@ -1,12 +1,14 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"netfail/internal/config"
 	"netfail/internal/device"
+	"netfail/internal/obs"
 	"netfail/internal/syslog"
 	"netfail/internal/topo"
 	"netfail/internal/trace"
@@ -135,13 +137,24 @@ type Campaign struct {
 	Counts          Counts
 }
 
-// Run executes a campaign.
-func Run(cfg Config) (*Campaign, error) {
+// Run executes a campaign. Cancellation is checked between scheduler
+// events; a canceled run returns ctx's error and no campaign.
+// Observability attached to ctx (obs package) traces the simulation
+// phases without affecting the generated captures.
+func Run(ctx context.Context, cfg Config) (*Campaign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	if !cfg.Start.Before(cfg.End) {
 		return nil, fmt.Errorf("netsim: empty observation window")
 	}
+	ctx, done := obs.Stage(ctx, "simulate")
+	defer done()
+
+	_, topoSpan := obs.StartSpan(ctx, "topology")
 	net, err := topo.Generate(cfg.Spec)
+	topoSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -149,13 +162,17 @@ func Run(cfg Config) (*Campaign, error) {
 	workRNG := root.fork()
 	impairRNG := root.fork()
 
+	_, cfgSpan := obs.StartSpan(ctx, "configs")
 	camp := &Campaign{
 		Config:          cfg,
 		Network:         net,
 		Archive:         config.GenerateArchive(net, cfg.Start.Add(-24*time.Hour), cfg.End, 7*24*time.Hour),
 		ListenerOffline: cfg.ListenerOffline,
 	}
+	cfgSpan.End()
+	_, wlSpan := obs.StartSpan(ctx, "workload")
 	camp.GroundTruth = GenerateWorkload(workRNG, net, *cfg.Workload, cfg.Start, cfg.End)
+	wlSpan.End()
 	camp.Counts.GroundTruthFailures = len(camp.GroundTruth)
 
 	sim := &simulation{
@@ -201,7 +218,13 @@ func Run(cfg Config) (*Campaign, error) {
 	if cfg.RefreshMode == RefreshFull {
 		sim.scheduleRefreshes()
 	}
-	sim.sched.Run(cfg.End)
+	ectx, evSpan := obs.StartSpan(ctx, "events")
+	executed, err := sim.sched.RunCtx(ectx, cfg.End)
+	evSpan.Add("events", int64(executed))
+	evSpan.End()
+	if err != nil {
+		return nil, err
+	}
 
 	sort.SliceStable(camp.Syslog, func(i, j int) bool {
 		return camp.Syslog[i].Timestamp.Before(camp.Syslog[j].Timestamp)
@@ -212,6 +235,10 @@ func Run(cfg Config) (*Campaign, error) {
 	if cfg.RefreshMode == RefreshCounted {
 		camp.Counts.LSPUpdates = camp.Counts.ContentLSPs + sim.analyticRefreshCount()
 	}
+	obs.Add(ctx, "sim.syslog.sent", int64(camp.Counts.SyslogSent))
+	obs.Add(ctx, "sim.syslog.received", int64(camp.Counts.SyslogReceived))
+	obs.Add(ctx, "sim.lsps.content", int64(camp.Counts.ContentLSPs))
+	obs.Add(ctx, "sim.failures.injected", int64(camp.Counts.GroundTruthFailures))
 	return camp, nil
 }
 

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,7 +25,7 @@ func shortCampaign(t *testing.T, seed int64) *Campaign {
 		End:             time.Date(2011, 1, 31, 0, 0, 0, 0, time.UTC),
 		ListenerOffline: []trace.Interval{},
 	}
-	camp, err := Run(cfg)
+	camp, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestListenerOfflineWindowSuppressesCapture(t *testing.T) {
 			End:   time.Date(2011, 1, 12, 0, 0, 0, 0, time.UTC),
 		}},
 	}
-	camp, err := Run(cfg)
+	camp, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestRefreshFullMode(t *testing.T) {
 		RefreshMode:     RefreshFull,
 		RefreshInterval: time.Hour,
 	}
-	camp, err := Run(cfg)
+	camp, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestAllFeaturesCombined(t *testing.T) {
 		EnableLinkIDs:   true,
 		InBandSyslog:    true,
 	}
-	camp, err := Run(cfg)
+	camp, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestAllFeaturesCombined(t *testing.T) {
 		t.Fatal("no transitions with all features enabled")
 	}
 	// And deterministically.
-	camp2, err := Run(cfg)
+	camp2, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

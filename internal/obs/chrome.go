@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event record ("X" = complete
+// event), the format chrome://tracing and Perfetto load.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`  // microseconds since the first span
+	Dur  int64            `json:"dur"` // microseconds
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the span forest as Chrome trace_event JSON
+// (`netfail-analyze -trace-json`): one complete ("X") event per span,
+// timestamps relative to the earliest span, span counters in args.
+// Each span gets its own track (tid) in depth-first order, so
+// parallel shards render side by side instead of overlapping.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	roots := t.Snapshot()
+	var epoch time.Time
+	for _, r := range roots {
+		if epoch.IsZero() || r.Start.Before(epoch) {
+			epoch = r.Start
+		}
+	}
+	var events []chromeEvent
+	tid := 0
+	var walk func(info *SpanInfo)
+	walk = func(info *SpanInfo) {
+		tid++
+		ev := chromeEvent{
+			Name: info.Name,
+			Ph:   "X",
+			Ts:   info.Start.Sub(epoch).Microseconds(),
+			Dur:  info.Dur.Microseconds(),
+			Pid:  1,
+			Tid:  tid,
+		}
+		if len(info.Counters) > 0 {
+			ev.Args = make(map[string]int64, len(info.Counters))
+			for _, c := range info.Counters {
+				ev.Args[c.Name] = c.Value
+			}
+		}
+		events = append(events, ev)
+		for _, c := range info.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+)
+
+// The context is the carrier for the whole observability layer:
+// attaching a tracer, registry, or progress callback to the context a
+// pipeline entry point receives instruments every stage and every
+// pool shard underneath it, with no further plumbing. Absent keys
+// read back as nil, and every consumer here is nil-safe, so an
+// uninstrumented context is the fast path.
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	registryKey
+	progressKey
+	stageKey
+)
+
+// WithTracer attaches a span tracer to the context; nil t returns ctx
+// unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the attached tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRegistry attaches a metrics registry to the context; nil r
+// returns ctx unchanged.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the attached registry, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// WithProgress attaches a progress callback to the context; nil fn
+// returns ctx unchanged.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey, fn)
+}
+
+// Emit delivers ev to the attached progress callback, if any.
+func Emit(ctx context.Context, ev Event) {
+	if fn, _ := ctx.Value(progressKey).(ProgressFunc); fn != nil {
+		fn(ev)
+	}
+}
+
+// Enabled reports whether any observability consumer — tracer,
+// registry, or progress callback — is attached. Stages use it to
+// gate work that exists only to be observed (e.g. the metrics-only
+// match accounting).
+func Enabled(ctx context.Context) bool {
+	if TracerFrom(ctx) != nil || RegistryFrom(ctx) != nil {
+		return true
+	}
+	fn, _ := ctx.Value(progressKey).(ProgressFunc)
+	return fn != nil
+}
+
+// StartSpan begins a span named name under the context's current
+// span (or as a root) and returns the derived context carrying it.
+// Without a tracer attached it returns (ctx, nil) untouched.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	var s *Span
+	if parent := SpanFrom(ctx); parent != nil {
+		s = parent.Child(name)
+	} else {
+		s = t.Start(name)
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StageName returns the name of the innermost stage entered via
+// Stage, or "" outside any stage. Pool shards use it to attribute
+// their progress events.
+func StageName(ctx context.Context) string {
+	name, _ := ctx.Value(stageKey).(string)
+	return name
+}
+
+// Stage enters a named pipeline stage: it starts a span (when a
+// tracer is attached), emits a StageStarted progress event, and
+// returns the derived context plus a done func that closes the span
+// and emits StageFinished. With a registry attached, done also
+// records the stage's approximate allocation delta as the gauge
+// "stage.<name>.mallocs" (approximate because concurrent stages share
+// the process heap).
+func Stage(ctx context.Context, name string) (context.Context, func()) {
+	if !Enabled(ctx) {
+		return ctx, func() {}
+	}
+	ctx = context.WithValue(ctx, stageKey, name)
+	ctx, span := StartSpan(ctx, name)
+	Emit(ctx, Event{Kind: StageStarted, Stage: name})
+	reg := RegistryFrom(ctx)
+	var mallocs uint64
+	if reg != nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs = ms.Mallocs
+	}
+	return ctx, func() {
+		span.End()
+		if reg != nil {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			reg.Gauge("stage." + name + ".mallocs").Set(int64(ms.Mallocs - mallocs))
+		}
+		Emit(ctx, Event{Kind: StageFinished, Stage: name})
+	}
+}
+
+// Add folds n into both the current span's counter and the registry
+// counter of the same name — the one-call idiom pipeline stages use
+// for their accounting.
+func Add(ctx context.Context, name string, n int64) {
+	SpanFrom(ctx).Add(name, n)
+	RegistryFrom(ctx).Counter(name).Add(n)
+}
+
+// Shard emits a ShardDone progress event for the current stage: done
+// of total tasks have completed. Safe to call from pool workers; the
+// progress consumer synchronizes.
+func Shard(ctx context.Context, done, total int) {
+	if name := StageName(ctx); name != "" {
+		Emit(ctx, Event{Kind: ShardDone, Stage: name, Shard: done, Shards: total})
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Publish registers r with the process-global expvar namespace under
+// name, making it visible at /debug/vars. Publishing the same name
+// twice is a no-op (expvar panics on duplicates; long-running
+// binaries may re-enter their setup path).
+func Publish(name string, r *Registry) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r)
+}
+
+// DebugMux builds the debug endpoint the long-running binaries serve
+// on -debug-addr: the expvar snapshot (including any Published
+// registry) at /debug/vars, the registry alone at /debug/netfail,
+// and the net/http/pprof profiles under /debug/pprof/.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/netfail", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if _, err := w.Write([]byte(r.String())); err != nil {
+			return // client went away; nothing to clean up
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

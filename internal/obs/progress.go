@@ -1,0 +1,54 @@
+package obs
+
+import "fmt"
+
+// An EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// StageStarted marks a pipeline stage beginning.
+	StageStarted EventKind = iota
+	// StageFinished marks a pipeline stage completing.
+	StageFinished
+	// ShardDone reports fan-out progress inside a stage: Shard of
+	// Shards tasks have completed.
+	ShardDone
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case StageStarted:
+		return "started"
+	case StageFinished:
+		return "finished"
+	case ShardDone:
+		return "shard"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// An Event is one progress notification from the pipeline.
+type Event struct {
+	// Kind says what happened.
+	Kind EventKind
+	// Stage is the pipeline stage name ("simulate", "reconstruct",
+	// "report/table4", ...).
+	Stage string
+	// Shard and Shards carry fan-out progress for ShardDone events:
+	// Shard tasks of Shards have completed.
+	Shard, Shards int
+}
+
+// String renders the event as a one-line human-readable message.
+func (e Event) String() string {
+	if e.Kind == ShardDone {
+		return fmt.Sprintf("%s %d/%d", e.Stage, e.Shard, e.Shards)
+	}
+	return fmt.Sprintf("%s %s", e.Stage, e.Kind)
+}
+
+// A ProgressFunc consumes progress events. Parallel stages invoke it
+// from multiple goroutines concurrently; the consumer synchronizes.
+type ProgressFunc func(Event)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteTree renders the recorded span forest as an indented text
+// tree: one line per span with its wall duration and counters,
+// children indented two spaces under their parent. This is the
+// `netfail-analyze -trace` output.
+//
+//	analyze                 41ms
+//	  extract-syslog        12ms  syslog.messages=50687
+//	  reconstruct            9ms
+//
+// Durations come from the tracer's clock, so a clock.Fake makes the
+// output fully deterministic (the golden-file test pins it).
+func (t *Tracer) WriteTree(w io.Writer) error {
+	var lines []treeLine
+	for _, root := range t.Snapshot() {
+		collectLines(&lines, root, 0)
+	}
+	width := 0
+	for _, l := range lines {
+		if n := 2*l.depth + len(l.info.Name); n > width {
+			width = n
+		}
+	}
+	for _, l := range lines {
+		indent := strings.Repeat("  ", l.depth)
+		pad := strings.Repeat(" ", width-2*l.depth-len(l.info.Name))
+		dur := formatDur(l.info)
+		if _, err := fmt.Fprintf(w, "%s%s%s  %10s", indent, l.info.Name, pad, dur); err != nil {
+			return err
+		}
+		for _, c := range l.info.Counters {
+			if _, err := fmt.Fprintf(w, "  %s=%d", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type treeLine struct {
+	info  *SpanInfo
+	depth int
+}
+
+func collectLines(lines *[]treeLine, info *SpanInfo, depth int) {
+	*lines = append(*lines, treeLine{info: info, depth: depth})
+	for _, c := range info.Children {
+		collectLines(lines, c, depth+1)
+	}
+}
+
+// formatDur renders a span's duration, marking still-open spans.
+func formatDur(info *SpanInfo) string {
+	if !info.Ended {
+		return "open"
+	}
+	return roundDur(info.Dur).String()
+}
+
+// roundDur trims durations to a readable precision: sub-millisecond
+// spans keep microseconds, everything else rounds to 0.1ms.
+func roundDur(d time.Duration) time.Duration {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond)
+	}
+	return d.Round(100 * time.Microsecond)
+}

@@ -2,9 +2,11 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"io"
 
 	"netfail/internal/core"
+	"netfail/internal/obs"
 	"netfail/internal/pool"
 )
 
@@ -16,26 +18,37 @@ import (
 // worker pool of the given size (<= 0 means GOMAXPROCS, 1 the
 // sequential reference path); the buffers are then written in fixed
 // order, making the output byte-identical for every worker count.
-func FullReport(w io.Writer, a *core.Analysis, configFiles, lspUpdates, parallelism int) error {
-	sections := []func(io.Writer) error{
-		func(w io.Writer) error { return RenderTable1(w, a.Table1(configFiles, lspUpdates)) },
-		func(w io.Writer) error { return RenderTable2(w, a.Table2()) },
-		func(w io.Writer) error { return RenderTable3(w, a.Table3()) },
-		func(w io.Writer) error { return RenderTable4(w, a.Table4()) },
-		func(w io.Writer) error { return RenderFalsePositives(w, a.FalsePositives()) },
-		func(w io.Writer) error { return RenderTable5(w, a.Table5()) },
-		func(w io.Writer) error { return RenderTable6(w, a.Table6()) },
-		func(w io.Writer) error { return RenderPolicies(w, a.PolicyAblation()) },
-		func(w io.Writer) error { return RenderTable7(w, a.Table7()) },
-		func(w io.Writer) error { return RenderKnee(w, a.WindowKnee(nil)) },
-		func(w io.Writer) error { return RenderFigure1(w, a.Figure1()) },
+// Cancellation stops dispatching sections and returns ctx's error;
+// an attached tracer records one "report/<section>" span per section.
+func FullReport(ctx context.Context, w io.Writer, a *core.Analysis, configFiles, lspUpdates, parallelism int) error {
+	sections := []struct {
+		name   string
+		render func(io.Writer) error
+	}{
+		{"table1", func(w io.Writer) error { return RenderTable1(w, a.Table1(configFiles, lspUpdates)) }},
+		{"table2", func(w io.Writer) error { return RenderTable2(w, a.Table2()) }},
+		{"table3", func(w io.Writer) error { return RenderTable3(w, a.Table3()) }},
+		{"table4", func(w io.Writer) error { return RenderTable4(w, a.Table4()) }},
+		{"false-positives", func(w io.Writer) error { return RenderFalsePositives(w, a.FalsePositives()) }},
+		{"table5", func(w io.Writer) error { return RenderTable5(w, a.Table5()) }},
+		{"table6", func(w io.Writer) error { return RenderTable6(w, a.Table6()) }},
+		{"policies", func(w io.Writer) error { return RenderPolicies(w, a.PolicyAblation()) }},
+		{"table7", func(w io.Writer) error { return RenderTable7(w, a.Table7()) }},
+		{"knee", func(w io.Writer) error { return RenderKnee(w, a.WindowKnee(nil)) }},
+		{"figure1", func(w io.Writer) error { return RenderFigure1(w, a.Figure1()) }},
 	}
+	ctx, done := obs.Stage(ctx, "report")
+	defer done()
 	workers := pool.Resolve(parallelism)
 	bufs := make([]bytes.Buffer, len(sections))
 	errs := make([]error, len(sections))
-	pool.ForEach(len(sections), workers, func(i int) {
-		errs[i] = sections[i](&bufs[i])
-	})
+	if err := pool.ForEachCtx(ctx, len(sections), workers, func(sctx context.Context, i int) {
+		_, span := obs.StartSpan(sctx, "report/"+sections[i].name)
+		errs[i] = sections[i].render(&bufs[i])
+		span.End()
+	}); err != nil {
+		return err
+	}
 	for i := range sections {
 		if errs[i] != nil {
 			return errs[i]

@@ -5,6 +5,7 @@ package trace
 // reconstruction exactly, field for field.
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -19,7 +20,7 @@ func TestReconstructParallelMatchesSequential(t *testing.T) {
 		ts := randomTransitions(rng, 600)
 		want := Reconstruct(ts)
 		for _, workers := range []int{0, 2, 3, 8, 64} {
-			got := ReconstructParallel(ts, workers)
+			got := ReconstructParallel(context.Background(), ts, workers)
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("seed %d workers %d: parallel reconstruction diverges", seed, workers)
 			}
@@ -29,7 +30,7 @@ func TestReconstructParallelMatchesSequential(t *testing.T) {
 
 func TestReconstructParallelEmpty(t *testing.T) {
 	want := Reconstruct(nil)
-	got := ReconstructParallel(nil, 8)
+	got := ReconstructParallel(context.Background(), nil, 8)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("empty input: parallel %+v, sequential %+v", got, want)
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -60,13 +61,15 @@ func Reconstruct(ts []Transition) Reconstruction {
 // worker pool. Output is byte-identical to Reconstruct for any worker
 // count: links reconstruct independently and the shards merge in
 // sorted link order, exactly the order the sequential loop visits.
-func ReconstructParallel(ts []Transition, workers int) Reconstruction {
-	return ReconstructPolicyParallel(ts, HoldPrevious, workers)
+// Cancellation of ctx stops dispatching link shards; the partial
+// result must be discarded by the caller (check ctx.Err()).
+func ReconstructParallel(ctx context.Context, ts []Transition, workers int) Reconstruction {
+	return ReconstructPolicyParallel(ctx, ts, HoldPrevious, workers)
 }
 
 // ReconstructPolicyParallel is ReconstructPolicy with per-link
 // sharding; workers <= 1 runs the sequential reference path.
-func ReconstructPolicyParallel(ts []Transition, policy AmbiguityPolicy, workers int) Reconstruction {
+func ReconstructPolicyParallel(ctx context.Context, ts []Transition, policy AmbiguityPolicy, workers int) Reconstruction {
 	if workers <= 1 {
 		return ReconstructPolicy(ts, policy)
 	}
@@ -77,7 +80,7 @@ func ReconstructPolicyParallel(ts []Transition, policy AmbiguityPolicy, workers 
 	}
 	sortLinkIDs(links)
 	shards := make([]Reconstruction, len(links))
-	pool.ForEach(len(links), workers, func(i int) {
+	_ = pool.ForEachCtx(ctx, len(links), workers, func(_ context.Context, i int) {
 		shards[i] = reconstructLink(links[i], grouped[links[i]], policy)
 	})
 	var rec Reconstruction

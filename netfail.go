@@ -12,10 +12,22 @@
 //
 // The high-level flow:
 //
-//	study, err := netfail.Run(netfail.SimulationConfig{Seed: 1})
+//	study, err := netfail.Run(ctx, netfail.SimulationConfig{Seed: 1},
+//	    netfail.WithProgress(func(ev netfail.ProgressEvent) {
+//	        log.Println(ev) // simulate started, analyze finished, ...
+//	    }))
 //	...
 //	study.Report(os.Stdout)               // Tables 1-7, Figure 1 data
 //	t4 := study.Analysis.Table4()         // or drill into results
+//
+// Entry points are context-first: cancel the context and the pipeline
+// stops at the next stage or shard boundary, returning ctx's error.
+// Functional options attach observability — WithTracer records a
+// hierarchical span tree of every stage, WithMetrics collects named
+// counters, WithProgress streams stage events — and tune the analysis
+// (WithWindow, WithParallelism, ...). Observability never changes
+// results: a run with a tracer attached produces byte-identical
+// reports to one without.
 //
 // Each stage is also available separately: Simulate produces raw
 // captures (syslog log, LSP capture, config archive, trouble
@@ -26,6 +38,7 @@
 package netfail
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -34,6 +47,7 @@ import (
 	"netfail/internal/core"
 	"netfail/internal/listener"
 	"netfail/internal/netsim"
+	"netfail/internal/obs"
 	"netfail/internal/report"
 	"netfail/internal/tickets"
 	"netfail/internal/topo"
@@ -60,64 +74,42 @@ type (
 	// and impairment models for ablation studies.
 	WorkloadParams = netsim.WorkloadParams
 	ImpairParams   = netsim.ImpairParams
+
+	// Tracer records a hierarchical tree of timed spans — one per
+	// pipeline stage and pool worker. Attach with WithTracer; render
+	// with WriteTree (text) or WriteChromeTrace (trace_event JSON).
+	Tracer = obs.Tracer
+	// Metrics is a registry of named counters and gauges the pipeline
+	// stages populate. Attach with WithMetrics; it implements
+	// expvar.Var and renders via String, Snapshot, or WriteText.
+	Metrics = obs.Registry
+	// ProgressEvent is one entry in the progress stream: a stage
+	// starting or finishing, or a parallel shard completing.
+	ProgressEvent = obs.Event
+	// ProgressFunc consumes progress events. It may be called
+	// concurrently from pool workers; the consumer synchronizes.
+	ProgressFunc = obs.ProgressFunc
 )
 
-// Study bundles the artifacts of one end-to-end run.
-type Study struct {
-	// Campaign holds the raw captures and ground truth.
-	Campaign *Campaign
-	// Mined is the topology reconstructed from the config archive —
-	// the link namespace both pipelines share.
-	Mined *config.Mined
-	// Listener is the IS-IS reconstruction.
-	Listener *ListenerResult
-	// Tickets is the generated trouble-ticket index.
-	Tickets *tickets.Index
-	// Analysis is the full comparison.
-	Analysis *Analysis
-}
+// Progress event kinds, re-exported for ProgressFunc consumers.
+const (
+	StageStarted  = obs.StageStarted
+	StageFinished = obs.StageFinished
+	ShardDone     = obs.ShardDone
+)
 
-// Simulate runs a measurement campaign.
-func Simulate(cfg SimulationConfig) (*Campaign, error) {
-	return netsim.Run(cfg)
-}
+// NewTracer returns an empty span tracer ready for WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
-// MineConfigs reconstructs the network from a campaign's config
-// archive, exactly as the original study mined CENIC's archive.
-func MineConfigs(camp *Campaign) (*config.Mined, error) {
-	return config.Mine(camp.Archive)
-}
-
-// Listen replays a campaign's LSP capture through the passive IS-IS
-// listener, resolving against the given (typically mined) network.
-func Listen(net *topo.Network, camp *Campaign) (*ListenerResult, error) {
-	l := listener.New(net)
-	for _, c := range camp.LSPLog {
-		if err := l.Process(c.Time, c.Data); err != nil {
-			return nil, fmt.Errorf("netfail: replaying LSP capture: %w", err)
-		}
-	}
-	return l.Results(), nil
-}
-
-// GenerateTickets builds the trouble-ticket corpus from a campaign's
-// ground truth, for the long-failure verification step.
-func GenerateTickets(camp *Campaign) *tickets.Index {
-	corpus := tickets.Generate(camp.Config.Seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
-	return tickets.NewIndex(corpus)
-}
-
-// Run executes the complete pipeline: simulate, mine configs, listen,
-// generate tickets, analyze.
-func Run(cfg SimulationConfig) (*Study, error) {
-	camp, err := Simulate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return AnalyzeCampaign(camp)
-}
+// NewMetrics returns an empty metrics registry ready for WithMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // AnalysisOptions tune the comparison without changing the captures.
+//
+// This struct remains the options carrier for the deprecated
+// AnalyzeCampaignWithOptions entry point; new code passes the
+// equivalent functional options (WithWindow, WithFlapGap,
+// WithMergeWindow, WithMultiLink, WithParallelism) to Run or Analyze.
 type AnalysisOptions struct {
 	// Window is the matching window (default ten seconds).
 	Window time.Duration
@@ -135,25 +127,171 @@ type AnalysisOptions struct {
 	Parallelism int
 }
 
-// AnalyzeCampaign runs the analysis pipeline over an existing
-// campaign with the paper's default options.
-func AnalyzeCampaign(camp *Campaign) (*Study, error) {
-	return AnalyzeCampaignWithOptions(camp, AnalysisOptions{})
+// options is the resolved functional-option state.
+type options struct {
+	ao       AnalysisOptions
+	tracer   *Tracer
+	metrics  *Metrics
+	progress ProgressFunc
 }
 
-// AnalyzeCampaignWithOptions runs the analysis pipeline with custom
-// options.
-func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, error) {
+// Option configures a Run, Analyze, or Simulate call.
+type Option func(*options)
+
+// WithWindow sets the matching window (default ten seconds).
+func WithWindow(w time.Duration) Option { return func(o *options) { o.ao.Window = w } }
+
+// WithFlapGap sets the flapping rule (default ten minutes).
+func WithFlapGap(g time.Duration) Option { return func(o *options) { o.ao.FlapGap = g } }
+
+// WithMergeWindow sets the span within which the two routers' reports
+// of one event are collapsed (default sixty seconds).
+func WithMergeWindow(w time.Duration) Option { return func(o *options) { o.ao.MergeWindow = w } }
+
+// WithMultiLink keeps multi-link-adjacency links in the analysis;
+// pair with SimulationConfig.EnableLinkIDs.
+func WithMultiLink(include bool) Option { return func(o *options) { o.ao.IncludeMultiLink = include } }
+
+// WithParallelism bounds the analysis worker pool: <= 0 means one
+// worker per CPU, 1 forces the sequential reference path. Every
+// setting produces byte-identical results.
+func WithParallelism(n int) Option { return func(o *options) { o.ao.Parallelism = n } }
+
+// WithAnalysisOptions applies a whole AnalysisOptions struct at once —
+// the bridge for callers migrating off AnalyzeCampaignWithOptions.
+func WithAnalysisOptions(ao AnalysisOptions) Option { return func(o *options) { o.ao = ao } }
+
+// WithTracer records a span per pipeline stage and pool worker into t.
+func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
+
+// WithMetrics collects the pipeline's named counters and gauges into m.
+func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithProgress streams stage and shard events to fn as the pipeline
+// runs. fn may be called concurrently; it must synchronize.
+func WithProgress(fn ProgressFunc) Option { return func(o *options) { o.progress = fn } }
+
+// resolve folds opts and instruments ctx with any attached
+// observability consumers.
+func resolve(ctx context.Context, opts []Option) (context.Context, options) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ctx = obs.WithTracer(ctx, o.tracer)
+	ctx = obs.WithRegistry(ctx, o.metrics)
+	ctx = obs.WithProgress(ctx, o.progress)
+	return ctx, o
+}
+
+// Study bundles the artifacts of one end-to-end run.
+type Study struct {
+	// Campaign holds the raw captures and ground truth.
+	Campaign *Campaign
+	// Mined is the topology reconstructed from the config archive —
+	// the link namespace both pipelines share.
+	Mined *config.Mined
+	// Listener is the IS-IS reconstruction.
+	Listener *ListenerResult
+	// Tickets is the generated trouble-ticket index.
+	Tickets *tickets.Index
+	// Analysis is the full comparison.
+	Analysis *Analysis
+}
+
+// Simulate runs a measurement campaign. Cancellation is checked
+// between simulator events; observability options trace the
+// simulation phases.
+func Simulate(ctx context.Context, cfg SimulationConfig, opts ...Option) (*Campaign, error) {
+	ctx, _ = resolve(ctx, opts)
+	return netsim.Run(ctx, cfg)
+}
+
+// MineConfigs reconstructs the network from a campaign's config
+// archive, exactly as the original study mined CENIC's archive.
+func MineConfigs(camp *Campaign) (*config.Mined, error) {
+	return config.Mine(camp.Archive)
+}
+
+// listenCancelStride bounds how many capture records replay between
+// cancellation checks: captures run to millions of records, and one
+// record decodes in well under a microsecond, so 1024 keeps cancel
+// latency around a millisecond while keeping the check off the per-
+// record fast path.
+const listenCancelStride = 1024
+
+// Listen replays a campaign's LSP capture through the passive IS-IS
+// listener, resolving against the given (typically mined) network.
+// Cancellation is checked every few thousand records; a processing
+// error identifies the failing record by index and capture timestamp.
+func Listen(ctx context.Context, net *topo.Network, camp *Campaign) (*ListenerResult, error) {
+	ctx, done := obs.Stage(ctx, "listen")
+	defer done()
+	l := listener.New(net)
+	for i, c := range camp.LSPLog {
+		if i%listenCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := l.Process(c.Time, c.Data); err != nil {
+			return nil, fmt.Errorf("netfail: replaying LSP capture: record %d at %s: %w",
+				i, c.Time.UTC().Format(time.RFC3339), err)
+		}
+	}
+	res := l.Results()
+	obs.Add(ctx, "listener.lsps", int64(res.LSPCount))
+	obs.Add(ctx, "drops.listener.decode_errors", int64(res.DecodeErrors))
+	obs.Add(ctx, "listener.stale", int64(res.StaleLSPs))
+	obs.Add(ctx, "transitions.listener.is", int64(len(res.ISTransitions)))
+	obs.Add(ctx, "transitions.listener.ip", int64(len(res.IPTransitions)))
+	return res, nil
+}
+
+// GenerateTickets builds the trouble-ticket corpus from a campaign's
+// ground truth, for the long-failure verification step.
+func GenerateTickets(camp *Campaign) *tickets.Index {
+	corpus := tickets.Generate(camp.Config.Seed+1, camp.GroundTruthFailures(), tickets.DefaultParams())
+	return tickets.NewIndex(corpus)
+}
+
+// Run executes the complete pipeline: simulate, mine configs, listen,
+// generate tickets, analyze. Cancel ctx to stop at the next stage or
+// shard boundary with ctx's error.
+func Run(ctx context.Context, cfg SimulationConfig, opts ...Option) (*Study, error) {
+	ctx, o := resolve(ctx, opts)
+	camp, err := netsim.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(ctx, camp, o.ao)
+}
+
+// Analyze runs the analysis pipeline over an existing campaign:
+// mine configs, listen, generate tickets, compare.
+func Analyze(ctx context.Context, camp *Campaign, opts ...Option) (*Study, error) {
+	ctx, o := resolve(ctx, opts)
+	return analyze(ctx, camp, o.ao)
+}
+
+// analyze is the shared mine → listen → tickets → compare tail.
+func analyze(ctx context.Context, camp *Campaign, ao AnalysisOptions) (*Study, error) {
+	mctx, mdone := obs.Stage(ctx, "mine")
 	mined, err := MineConfigs(camp)
+	obs.Add(mctx, "mine.config_files", int64(camp.Archive.FileCount()))
+	mdone()
 	if err != nil {
 		return nil, fmt.Errorf("netfail: mining configs: %w", err)
 	}
-	res, err := Listen(mined.Network, camp)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := Listen(ctx, mined.Network, camp)
 	if err != nil {
 		return nil, err
 	}
 	tix := GenerateTickets(camp)
-	analysis, err := core.Analyze(core.Input{
+	analysis, err := core.Analyze(ctx, core.Input{
 		Network:          mined.Network,
 		Customers:        camp.Network.Customers,
 		Syslog:           camp.Syslog,
@@ -163,13 +301,16 @@ func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, e
 		End:              camp.Config.End,
 		ListenerOffline:  camp.ListenerOffline,
 		Tickets:          tix,
-		Window:           opts.Window,
-		FlapGap:          opts.FlapGap,
-		MergeWindow:      opts.MergeWindow,
-		IncludeMultiLink: opts.IncludeMultiLink,
-		Parallelism:      opts.Parallelism,
+		Window:           ao.Window,
+		FlapGap:          ao.FlapGap,
+		MergeWindow:      ao.MergeWindow,
+		IncludeMultiLink: ao.IncludeMultiLink,
+		Parallelism:      ao.Parallelism,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("netfail: %w", err)
 	}
 	return &Study{
@@ -181,13 +322,40 @@ func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, e
 	}, nil
 }
 
+// AnalyzeCampaign runs the analysis pipeline over an existing
+// campaign with the paper's default options.
+//
+// Deprecated: use Analyze with a context — it adds cancellation and
+// observability; behavior is otherwise identical.
+func AnalyzeCampaign(camp *Campaign) (*Study, error) {
+	return Analyze(context.Background(), camp)
+}
+
+// AnalyzeCampaignWithOptions runs the analysis pipeline with custom
+// options.
+//
+// Deprecated: use Analyze with a context and functional options
+// (or WithAnalysisOptions to carry an existing AnalysisOptions over).
+func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, error) {
+	return Analyze(context.Background(), camp, WithAnalysisOptions(opts))
+}
+
 // Report renders every table and figure of the paper's evaluation
 // section, with the published values alongside. The independent table
 // computations fan out across the analysis worker pool (the
 // Parallelism knob the study was analyzed with); output is
 // byte-identical for every worker count.
 func (s *Study) Report(w io.Writer) error {
-	return report.FullReport(w, s.Analysis,
+	return s.ReportContext(context.Background(), w)
+}
+
+// ReportContext is Report with cancellation and observability: cancel
+// ctx to stop rendering at the next section boundary; WithTracer and
+// friends instrument the per-section rendering (reuse the tracer from
+// the originating Run call to get one contiguous span tree).
+func (s *Study) ReportContext(ctx context.Context, w io.Writer, opts ...Option) error {
+	ctx, _ = resolve(ctx, opts)
+	return report.FullReport(ctx, w, s.Analysis,
 		s.Campaign.Archive.FileCount(), s.Campaign.Counts.LSPUpdates,
 		s.Analysis.In.Parallelism)
 }

@@ -1,6 +1,7 @@
 package netfail
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func smallConfig(seed int64) SimulationConfig {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	study, err := Run(smallConfig(1))
+	study, err := Run(context.Background(), smallConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestReportRendersAllSections(t *testing.T) {
-	study, err := Run(smallConfig(2))
+	study, err := Run(context.Background(), smallConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestReportRendersAllSections(t *testing.T) {
 }
 
 func TestStagesComposable(t *testing.T) {
-	camp, err := Simulate(smallConfig(3))
+	camp, err := Simulate(context.Background(), smallConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestStagesComposable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Listen(mined.Network, camp)
+	res, err := Listen(context.Background(), mined.Network, camp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func TestStagesComposable(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := Run(smallConfig(7))
+	a, err := Run(context.Background(), smallConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(smallConfig(7))
+	b, err := Run(context.Background(), smallConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestMarkdownReportEndToEnd(t *testing.T) {
-	study, err := Run(smallConfig(13))
+	study, err := Run(context.Background(), smallConfig(13))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,12 +6,13 @@ package netfail
 // worker count can change scheduling but never output.
 
 import (
+	"context"
 	"bytes"
 	"testing"
 )
 
 func TestParallelismIsByteIdentical(t *testing.T) {
-	camp, err := Simulate(smallConfig(1))
+	camp, err := Simulate(context.Background(), smallConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,13 +39,40 @@ func TestParallelismIsByteIdentical(t *testing.T) {
 				p, len(got), len(sequential))
 		}
 	}
+
+	// Observability is purely observational: the same analysis with a
+	// tracer, a metrics registry, and a progress stream attached must
+	// stay byte-identical — at every Parallelism setting.
+	for _, p := range []int{0, 1, 2, 8} {
+		tracer := NewTracer()
+		reg := NewMetrics()
+		study, err := Analyze(context.Background(), camp,
+			WithParallelism(p), WithTracer(tracer), WithMetrics(reg),
+			WithProgress(func(ProgressEvent) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := study.Report(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), sequential) {
+			t.Errorf("Parallelism %d with observability attached differs from baseline report", p)
+		}
+		if len(tracer.Snapshot()) == 0 {
+			t.Errorf("Parallelism %d: tracer recorded no spans", p)
+		}
+		if reg.Counter("syslog.messages").Value() == 0 {
+			t.Errorf("Parallelism %d: syslog.messages counter not populated", p)
+		}
+	}
 }
 
 // TestParallelismKnobThreaded pins the knob's plumbing: the value
 // handed to AnalyzeCampaignWithOptions must be the one the analysis
 // (and therefore Study.Report's fan-out) actually ran with.
 func TestParallelismKnobThreaded(t *testing.T) {
-	camp, err := Simulate(smallConfig(2))
+	camp, err := Simulate(context.Background(), smallConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}

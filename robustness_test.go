@@ -6,6 +6,7 @@ package netfail
 // networks and across seeds and assert the directional results.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -76,7 +77,7 @@ func assertQualitativeFindings(t *testing.T, name string, s *Study) {
 }
 
 func TestFindingsHoldOnDenseMesh(t *testing.T) {
-	s, err := Run(denseMeshConfig(5))
+	s, err := Run(context.Background(), denseMeshConfig(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFindingsHoldOnDenseMesh(t *testing.T) {
 }
 
 func TestFindingsHoldOnSparseTree(t *testing.T) {
-	s, err := Run(sparseTreeConfig(6))
+	s, err := Run(context.Background(), sparseTreeConfig(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFindingsHoldAcrossSeeds(t *testing.T) {
 	for _, seed := range []int64{11, 22, 33} {
 		cfg := smallConfig(seed)
 		cfg.End = cfg.Start.Add(120 * 24 * time.Hour)
-		s, err := Run(cfg)
+		s, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

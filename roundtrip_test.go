@@ -1,6 +1,7 @@
 package netfail
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ import (
 // checks the results equal the in-memory pipeline: the serialization
 // layer must be lossless where it matters.
 func TestFilePipelineMatchesInMemory(t *testing.T) {
-	camp, err := Simulate(smallConfig(21))
+	camp, err := Simulate(context.Background(), smallConfig(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFilePipelineMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromDisk, err := core.Analyze(core.Input{
+	fromDisk, err := core.Analyze(context.Background(), core.Input{
 		Network:         mined.Network,
 		Customers:       customers,
 		Syslog:          msgs,
@@ -150,7 +151,7 @@ func TestFilePipelineMatchesInMemory(t *testing.T) {
 // numbers: any change to the deterministic pipeline shows up here
 // before it silently shifts EXPERIMENTS.md.
 func TestGoldenSeed1Headline(t *testing.T) {
-	study, err := Run(smallConfig(1))
+	study, err := Run(context.Background(), smallConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestGoldenSeed1Headline(t *testing.T) {
 		t.Fatal("empty study")
 	}
 	// Re-run must give the identical report text.
-	study2, err := Run(smallConfig(1))
+	study2, err := Run(context.Background(), smallConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,20 +5,24 @@
 # per PR records how the pipeline's cost moves across the stack.
 #
 # Environment knobs:
-#   PR        stack sequence number stamped into the report (default 4)
+#   PR        stack sequence number stamped into the report (default 5)
 #   BENCHTIME go test -benchtime (default 1x: one measured iteration,
 #             enough for trajectory tracking without minutes of CI)
 #   BENCH     -bench regexp (default ".")
 #   PKGS      packages with benchmarks (default: root + the codec and
 #             stats suites)
+#   PAIRS     space-separated base=variant overhead pairs recorded in
+#             the report (default: the observability-enabled analysis
+#             against its plain baseline)
 #   OUT       output path (default BENCH_${PR}.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-4}"
+PR="${PR:-5}"
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
 PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis}"
+PAIRS="${PAIRS:-BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced}"
 OUT="${OUT:-BENCH_${PR}.json}"
 
 raw="$(mktemp)"
@@ -28,5 +32,9 @@ echo "bench: go test -bench '$BENCH' -benchtime $BENCHTIME ($PKGS)" >&2
 # shellcheck disable=SC2086  # PKGS is intentionally word-split
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$raw"
 
-go run ./cmd/netfail-bench -pr "$PR" -o "$OUT" < "$raw"
+pairargs=()
+for p in $PAIRS; do
+    pairargs+=(-pair "$p")
+done
+go run ./cmd/netfail-bench -pr "$PR" -o "$OUT" "${pairargs[@]}" < "$raw"
 echo "bench: wrote $OUT" >&2

@@ -1,0 +1,47 @@
+#!/bin/sh
+# obs-smoke.sh — end-to-end check of the observability layer: run the
+# instrumented pipeline over a one-month seeded campaign and assert
+# that (a) the analysis itself still renders, (b) the tracer produced a
+# non-empty stage/worker span tree, and (c) every drops.* counter is
+# zero — a clean seeded run must not lose a single record.
+#
+#   make obs            # or: ./scripts/obs-smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+err=$(mktemp)
+trap 'rm -f "$out" "$err"' EXIT
+
+echo "==> netfail-analyze -seed 1 -days 31 -table 4 -trace -progress -metrics"
+go run ./cmd/netfail-analyze -seed 1 -days 31 -table 4 \
+    -trace -progress -metrics >"$out" 2>"$err"
+
+grep -q 'Table 4' "$out" || {
+    echo "obs-smoke: FAIL: report missing Table 4" >&2
+    cat "$out" >&2
+    exit 1
+}
+
+# The span tree is what's left of stderr after the progress stream and
+# the metrics dump; it must contain the top-level pipeline stages.
+tree=$(grep -v '^progress:' "$err" | grep -v '^metric ' || true)
+for stage in simulate listen analyze; do
+    echo "$tree" | grep -q "^$stage " || {
+        echo "obs-smoke: FAIL: span tree missing stage '$stage'" >&2
+        echo "$tree" >&2
+        exit 1
+    }
+done
+
+drops=$(grep '^metric drops\.' "$err" || true)
+[ -n "$drops" ] || {
+    echo "obs-smoke: FAIL: no drops.* counters in metrics output" >&2
+    exit 1
+}
+echo "$drops" | awk '$3 != 0 { bad = 1; print "obs-smoke: FAIL: nonzero " $2 " = " $3 > "/dev/stderr" }
+                     END { exit bad }'
+
+echo "$drops" | sed 's/^/    /'
+echo "obs-smoke: OK ($(echo "$tree" | wc -l | tr -d ' ') spans, all drop counters zero)"

@@ -28,6 +28,9 @@ go test ./...
 if [ "$short" = 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
+
+    echo "==> obs smoke (instrumented 1-month run)"
+    ./scripts/obs-smoke.sh
 fi
 
 echo "verify: OK"
