@@ -1,0 +1,42 @@
+package netfail
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netfail/internal/core"
+)
+
+// TestSyslogExtractAllocBudget pins the full syslog extraction stage —
+// parse, link-event decode, topology attribution, merge — to its
+// amortized allocation rate per message (currently ~1.4: the parsed
+// *Message, the *LinkEvent, and slice growth). It is the end-to-end
+// companion to the per-function pins in internal/syslog and
+// internal/trace: a per-message allocation added anywhere along the
+// extraction path raises the rate by at least one and fails the pin,
+// whether or not the offending function is annotated //netfail:hotpath.
+func TestSyslogExtractAllocBudget(t *testing.T) {
+	camp, err := Simulate(context.Background(), benchMonthConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := MineConfigs(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Syslog) == 0 {
+		t.Fatal("simulation produced no syslog")
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		st := core.ExtractSyslog(mined.Network, camp.Syslog, 60*time.Second)
+		if len(st.MergedAdj) == 0 {
+			t.Fatal("no transitions")
+		}
+	})
+	perMsg := avg / float64(len(camp.Syslog))
+	if perMsg > 2.0 {
+		t.Errorf("ExtractSyslog allocates %.2f times per message (%.0f over %d messages), budget is 2.0",
+			perMsg, avg, len(camp.Syslog))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"syscall"
 	"time"
 
 	"netfail/internal/clock"
@@ -194,10 +195,21 @@ func transmit(capture, to string) error {
 		return err
 	}
 	defer conn.Close()
+	sent := 0
 	for _, c := range log {
 		if _, err := conn.Write(c.Data); err != nil {
+			// A receiver that got what it wanted (-limit) closes its
+			// socket while we still hold packets; the kernel reflects
+			// the ICMP port-unreachable onto this connected socket as
+			// ECONNREFUSED. For UDP that is "receiver done", not a
+			// transmission failure.
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				fmt.Printf("replayed %d of %d LSPs to %s (receiver closed)\n", sent, len(log), to)
+				return nil
+			}
 			return err
 		}
+		sent++
 	}
 	fmt.Printf("replayed %d LSPs to %s\n", len(log), to)
 	return nil

@@ -1,0 +1,25 @@
+package isis
+
+import "testing"
+
+// TestLSPDecodeAllocBudget pins DecodeFromBytes to its current
+// allocation count on the benchmark LSP (~8 neighbors, ~11 prefixes):
+// the TLV slice, the preallocated neighbor and prefix lists, the
+// hostname string, and per-TLV value copies. The []byte-oriented
+// decode rewrite (ROADMAP item 4) should lower the budget; nothing
+// should raise it unnoticed.
+func TestLSPDecodeAllocBudget(t *testing.T) {
+	wire, err := benchLSP().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		var l LSP
+		if err := l.DecodeFromBytes(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 7 {
+		t.Errorf("DecodeFromBytes allocates %.1f times per LSP, budget is 7", avg)
+	}
+}

@@ -44,6 +44,8 @@ func appendTLV(b []byte, typ TLVType, value []byte) []byte {
 
 // parseTLVs walks the TLV region, invoking fn for each field. It
 // returns ErrTruncated if a declared length overruns the buffer.
+//
+//netfail:hotpath
 func parseTLVs(data []byte, fn func(typ TLVType, value []byte) error) error {
 	for off := 0; off < len(data); {
 		if off+2 > len(data) {
@@ -158,8 +160,11 @@ func appendExtISReach(b []byte, neighbors []ISNeighbor) []byte {
 	return b
 }
 
+//netfail:hotpath
 func parseExtISReach(value []byte) ([]ISNeighbor, error) {
-	var out []ISNeighbor
+	// Each entry occupies at least the fixed header, which bounds the
+	// entry count and keeps the append below growth-free.
+	out := make([]ISNeighbor, 0, len(value)/isNeighborFixedLen)
 	for off := 0; off < len(value); {
 		if off+isNeighborFixedLen > len(value) {
 			return nil, ErrTruncated
@@ -247,8 +252,10 @@ func appendExtIPReach(b []byte, prefixes []IPPrefix) []byte {
 	return b
 }
 
+//netfail:hotpath
 func parseExtIPReach(value []byte) ([]IPPrefix, error) {
-	var out []IPPrefix
+	// Metric + control byte is the minimum entry, bounding the count.
+	out := make([]IPPrefix, 0, len(value)/5)
 	for off := 0; off < len(value); {
 		if off+5 > len(value) {
 			return nil, ErrTruncated

@@ -69,7 +69,16 @@ func checkParams(pass *lint.Pass, ft *ast.FuncType) {
 		if n == 0 {
 			n = 1
 		}
-		if isContext(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+			// The type of `...context.Context` is []context.Context;
+			// judge the element. A variadic context pack is suspect in
+			// any position, but position is all this pass rules on.
+			if slice, ok := t.(*types.Slice); ok {
+				t = slice.Elem()
+			}
+		}
+		if isContext(t) && idx > 0 {
 			pass.Reportf(field.Pos(),
 				"context.Context should be the first parameter of a function")
 			return
@@ -89,8 +98,11 @@ func checkFields(pass *lint.Pass, st *ast.StructType) {
 	}
 }
 
+// isContext recognizes context.Context, seen through any chain of
+// aliases (`type Ctx = context.Context` hides the name, not the
+// contract).
 func isContext(t types.Type) bool {
-	named, ok := t.(*types.Named)
+	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
 		return false
 	}

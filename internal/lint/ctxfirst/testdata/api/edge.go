@@ -1,0 +1,61 @@
+package api
+
+import "context"
+
+// Edge cases around the basic rule: variadic packs, value receivers,
+// function-typed struct fields, generics, aliases, and interfaces
+// alongside their implementations.
+
+// Variadic: the context pack occupies the position of its ellipsis.
+func variadicFirst(ctxs ...context.Context)                  {}
+func variadicTrailing(fmtStr string, ctxs ...context.Context) {} // want `context.Context should be the first parameter`
+func variadicOther(ctx context.Context, extras ...string)     {}
+
+// Value receivers are not parameters, in either direction.
+type counter int
+
+func (c counter) Tick(ctx context.Context)          {}
+func (c counter) Late(n int, ctx context.Context)   {} // want `context.Context should be the first parameter`
+func (c *counter) PtrLate(n int, ctx context.Context) {} // want `context.Context should be the first parameter`
+
+// Function-typed struct fields: the field itself is not context
+// storage, but its signature is held to the rule.
+type hooks struct {
+	OnStart func(ctx context.Context, name string) error
+	OnStop  func(name string, ctx context.Context) error // want `context.Context should be the first parameter`
+}
+
+// Generic functions: type parameters do not shift the rule.
+func mapOver[T any](ctx context.Context, in []T, f func(context.Context, T) T) []T { return in }
+func mapLate[T any](in []T, ctx context.Context) []T                               { return in } // want `context.Context should be the first parameter`
+
+// Generic struct: a context field is storage no matter the type
+// parameters around it.
+type job[T any] struct {
+	payload T
+	ctx     context.Context // want `do not store context.Context inside a struct`
+}
+
+// An alias does not launder either shape.
+type stdCtx = context.Context
+
+func aliasLate(n int, ctx stdCtx) {} // want `context.Context should be the first parameter`
+
+type aliasBox struct {
+	ctx stdCtx // want `do not store context.Context inside a struct`
+}
+
+// Interface methods are signatures too, and an implementation of a
+// compliant interface is checked on its own declaration.
+type runner interface {
+	Run(ctx context.Context, name string) error
+	Drain(name string, ctx context.Context) error // want `context.Context should be the first parameter`
+}
+
+type impl struct{}
+
+func (impl) Run(ctx context.Context, name string) error { return nil }
+
+// implLate satisfies no interface here, but the declaration itself is
+// what the rule binds.
+func (impl) Late(name string, ctx context.Context) error { return nil } // want `context.Context should be the first parameter`

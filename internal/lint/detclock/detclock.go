@@ -30,11 +30,16 @@ import (
 	"netfail/internal/lint"
 )
 
-// Analyzer is the detclock pass.
+// Analyzer is the detclock pass. It extends to _test.go files with
+// the wall-clock rule relaxed: tests may poll real time while waiting
+// on sockets and goroutines (the collector tests do), but a test that
+// draws from the process-global math/rand source produces
+// unreproducible test data, so the randomness rule binds everywhere.
 var Analyzer = &lint.Analyzer{
-	Name: "detclock",
-	Doc:  "forbid wall-clock reads and global math/rand in deterministic packages",
-	Run:  run,
+	Name:         "detclock",
+	Doc:          "forbid wall-clock reads and global math/rand in deterministic packages",
+	IncludeTests: true,
+	Run:          run,
 }
 
 // clockPackage is the only package allowed to touch the wall clock;
@@ -44,8 +49,11 @@ const clockPackage = "netfail/internal/clock"
 
 // inScope reports whether the package at path is subject to
 // determinism enforcement. The whole module is in scope except
-// internal/clock itself.
+// internal/clock itself. External test packages inherit the scope of
+// the package they test ("netfail/internal/clock_test" is exempt like
+// clock itself).
 func inScope(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
 	if path == clockPackage || strings.HasPrefix(path, clockPackage+"/") {
 		return false
 	}
@@ -92,7 +100,7 @@ func run(pass *lint.Pass) error {
 			}
 			switch fn.Pkg().Path() {
 			case "time":
-				if wallClockFuncs[fn.Name()] {
+				if wallClockFuncs[fn.Name()] && !pass.InTestFile(sel.Pos()) {
 					pass.Reportf(sel.Pos(),
 						"time.%s reads the wall clock in deterministic package %s; inject a clock.Clock (netfail/internal/clock) or pass the timestamp as a parameter",
 						fn.Name(), pass.Pkg.Path())

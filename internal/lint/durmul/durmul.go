@@ -26,11 +26,14 @@ import (
 	"netfail/internal/lint"
 )
 
-// Analyzer is the durmul pass.
+// Analyzer is the durmul pass. It extends to _test.go files in full:
+// a duration×duration slip in a test silently weakens the assertion
+// it backs, so no rule is relaxed there.
 var Analyzer = &lint.Analyzer{
-	Name: "durmul",
-	Doc:  "catch time.Duration arithmetic bugs: duration×duration and raw integers passed as durations",
-	Run:  run,
+	Name:         "durmul",
+	Doc:          "catch time.Duration arithmetic bugs: duration×duration and raw integers passed as durations",
+	IncludeTests: true,
+	Run:          run,
 }
 
 // nanosecondThreshold bounds the raw-integer heuristic: an untyped

@@ -1,0 +1,304 @@
+// Package escape implements the escape-analysis baseline gate: the
+// compiler's own escape diagnostics (`go build -gcflags=-m=1`),
+// filtered to //netfail:hotpath function bodies and diffed against a
+// committed baseline, so that a change that introduces a new heap
+// escape on a hot path fails lint even when no reviewer notices.
+//
+// hotalloc (the sibling analyzer) flags allocation-inducing syntax;
+// this gate closes the other half of the loop: escapes the syntax
+// does not reveal — a value whose address reaches the heap through a
+// chain of calls, an interface the compiler cannot devirtualize, a
+// slice the inliner stopped stack-allocating after a refactor. The
+// compiler already computes all of this on every build; the gate just
+// makes the answer diffable.
+//
+// The baseline (lint-escape-baseline.txt at the module root) holds
+// one line per distinct diagnostic,
+//
+//	<import path>.<func>: <compiler message>
+//
+// with line numbers deliberately omitted so unrelated edits do not
+// churn the file, and the sentinel "<none>" recording a hot function
+// the compiler currently keeps off the heap entirely — so the
+// baseline names every annotated function, and losing an escape-free
+// status is as loud as gaining an escape.
+package escape
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netfail/internal/lint/hotpath"
+)
+
+// None is the baseline sentinel for a hotpath function with no escape
+// diagnostics.
+const None = "<none>"
+
+// Header introduces the baseline file; lines starting with # are
+// comments.
+const Header = `# netfail escape-analysis baseline (go build -gcflags=-m=1).
+# One line per compiler heap-escape diagnostic inside a
+# //netfail:hotpath function; "<none>" records a hot function that is
+# currently escape-free. Line numbers are omitted on purpose so the
+# file survives unrelated edits. Refresh after intentional changes:
+#   make lint-baseline
+`
+
+// An Entry is one baseline line: a hotpath function and one compiler
+// escape diagnostic inside it (or None).
+type Entry struct {
+	Func string // qualified: "netfail/internal/syslog.Parse", "netfail/internal/match.(*TransitionIndex).AnyWithin"
+	Diag string // compiler message, e.g. "moved to heap: out", or None
+}
+
+func (e Entry) String() string { return e.Func + ": " + e.Diag }
+
+// A BaselineEntry is an Entry read from a baseline file, with the
+// 1-based line it came from, so stale entries can be reported at
+// their source.
+type BaselineEntry struct {
+	Entry
+	Line int
+}
+
+// region is the source extent of one annotated function.
+type region struct {
+	file       string // module-root-relative, as the compiler prints it
+	start, end int
+	fn         string
+}
+
+// Collect builds the module with escape diagnostics enabled and
+// returns the entries for every hotpath function, sorted. A function
+// with no diagnostics yields a single None entry.
+func Collect(moduleRoot string) ([]Entry, error) {
+	regions, funcs, err := hotpathRegions(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+	diags, err := buildDiagnostics(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[Entry]bool{}
+	byFunc := map[string][]string{}
+	for _, d := range diags {
+		fn, ok := enclosing(regions, d.file, d.line)
+		if !ok {
+			continue
+		}
+		e := Entry{Func: fn, Diag: d.msg}
+		if !seen[e] {
+			seen[e] = true
+			byFunc[fn] = append(byFunc[fn], d.msg)
+		}
+	}
+	var out []Entry
+	for _, fn := range funcs {
+		msgs := byFunc[fn]
+		if len(msgs) == 0 {
+			out = append(out, Entry{Func: fn, Diag: None})
+			continue
+		}
+		sort.Strings(msgs)
+		for _, m := range msgs {
+			out = append(out, Entry{Func: fn, Diag: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Diag < out[j].Diag
+	})
+	return out, nil
+}
+
+// hotpathRegions parses the module's non-test Go files and returns
+// the source regions of annotated functions plus the sorted list of
+// qualified function names (deduplicated).
+func hotpathRegions(moduleRoot string) ([]region, []string, error) {
+	cmd := exec.Command("go", "list", "-f",
+		`{{.ImportPath}} {{.Dir}}{{range .GoFiles}} {{.}}{{end}}`, "./...")
+	cmd.Dir = moduleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("escape: go list: %v\n%s", err, stderr.String())
+	}
+	var regions []region
+	nameSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue // package with no Go files
+		}
+		importPath, dir := fields[0], fields[1]
+		for _, name := range fields[2:] {
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("escape: %v", err)
+			}
+			rel, err := filepath.Rel(moduleRoot, path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("escape: %v", err)
+			}
+			for _, fn := range hotpath.Functions([]*ast.File{file}) {
+				qualified := importPath + "." + fn.Name
+				regions = append(regions, region{
+					file:  filepath.ToSlash(rel),
+					start: fset.Position(fn.Decl.Pos()).Line,
+					end:   fset.Position(fn.Decl.End()).Line,
+					fn:    qualified,
+				})
+				nameSet[qualified] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return regions, names, nil
+}
+
+// FuncDecls returns the declaration position (module-root-relative
+// file, first line) of every hotpath function, so gate findings can
+// be attributed to source rather than to the baseline file.
+func FuncDecls(moduleRoot string) (map[string]token.Position, error) {
+	regions, _, err := hotpathRegions(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]token.Position, len(regions))
+	for _, r := range regions {
+		if _, ok := out[r.fn]; !ok {
+			out[r.fn] = token.Position{Filename: r.file, Line: r.start, Column: 1}
+		}
+	}
+	return out, nil
+}
+
+// diag is one parsed compiler diagnostic.
+type diag struct {
+	file string
+	line int
+	msg  string
+}
+
+var diagRe = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// buildDiagnostics runs the compiler with -m=1 over the whole module
+// and returns the heap-escape diagnostics. The go build cache replays
+// -m output on cache hits, so this is cheap on a warm cache and needs
+// no cache-busting flags.
+func buildDiagnostics(moduleRoot string) ([]diag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", "./...")
+	cmd.Dir = moduleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags=-m=1: %v\n%s", err, stderr.String())
+	}
+	var diags []diag
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		file := strings.TrimPrefix(filepath.ToSlash(m[1]), "./")
+		diags = append(diags, diag{file: file, line: n, msg: msg})
+	}
+	return diags, nil
+}
+
+func enclosing(regions []region, file string, line int) (string, bool) {
+	for _, r := range regions {
+		if r.file == file && r.start <= line && line <= r.end {
+			return r.fn, true
+		}
+	}
+	return "", false
+}
+
+// Format renders entries as a baseline file, header included.
+func Format(entries []Entry) []byte {
+	var b strings.Builder
+	b.WriteString(Header)
+	for _, e := range entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseBaseline reads a baseline file, skipping comments and blank
+// lines, keeping source line numbers for stale-entry reporting.
+func ParseBaseline(data []byte) ([]BaselineEntry, error) {
+	var out []BaselineEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fn, msg, ok := strings.Cut(line, ": ")
+		if !ok || fn == "" || msg == "" {
+			return nil, fmt.Errorf("escape: baseline line %d: malformed entry %q (want \"func: diagnostic\")", i+1, line)
+		}
+		out = append(out, BaselineEntry{
+			Entry: Entry{Func: fn, Diag: msg},
+			Line:  i + 1,
+		})
+	}
+	return out, nil
+}
+
+// Diff compares the current entries against a baseline. added are
+// current entries the baseline does not record (new escapes — or new
+// hotpath functions not yet baselined); stale are baseline entries no
+// longer produced (fixed escapes, renamed functions), which must be
+// pruned so the baseline never pads out.
+func Diff(current []Entry, baseline []BaselineEntry) (added []Entry, stale []BaselineEntry) {
+	inBase := map[Entry]bool{}
+	for _, b := range baseline {
+		inBase[b.Entry] = true
+	}
+	inCur := map[Entry]bool{}
+	for _, c := range current {
+		inCur[c] = true
+		if !inBase[c] {
+			added = append(added, c)
+		}
+	}
+	for _, b := range baseline {
+		if !inCur[b.Entry] {
+			stale = append(stale, b)
+		}
+	}
+	return added, stale
+}

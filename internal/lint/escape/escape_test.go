@@ -1,0 +1,151 @@
+package escape_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netfail/internal/lint/escape"
+)
+
+// TestCollectSyntheticModule builds a throwaway module with one
+// escaping and one escape-free hotpath function and checks Collect
+// reads the compiler's verdicts back out, scoped to the annotated
+// bodies only.
+func TestCollectSyntheticModule(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "go.mod", "module example.com/esc\n\ngo 1.24\n")
+	write(t, dir, "esc.go", `package esc
+
+type Box struct{ V int }
+
+// Leak forces a heap escape: the address outlives the frame.
+//
+//netfail:hotpath
+func Leak() *Box {
+	b := Box{V: 1}
+	return &b
+}
+
+// Stays is escape-free.
+//
+//netfail:hotpath
+func Stays(vs []int) int {
+	n := 0
+	for _, v := range vs {
+		n += v
+	}
+	return n
+}
+
+// unannotated escapes too, but is outside the gate.
+func unannotated() *Box {
+	b := Box{V: 2}
+	return &b
+}
+`)
+
+	entries, err := escape.Collect(dir)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("Collect returned %d entries, want 2: %v", len(entries), entries)
+	}
+	if entries[0].Func != "example.com/esc.Leak" || !strings.Contains(entries[0].Diag, "moved to heap") {
+		t.Errorf("entry 0 = %v, want Leak moved-to-heap", entries[0])
+	}
+	if entries[1].Func != "example.com/esc.Stays" || entries[1].Diag != escape.None {
+		t.Errorf("entry 1 = %v, want Stays %s", entries[1], escape.None)
+	}
+}
+
+// TestCollectNoAnnotations pins the empty case: a module without
+// hotpath directives produces no entries and no error.
+func TestCollectNoAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "go.mod", "module example.com/cold\n\ngo 1.24\n")
+	write(t, dir, "cold.go", "package cold\n\nfunc F() *int { v := 3; return &v }\n")
+	entries, err := escape.Collect(dir)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("Collect returned %v, want none", entries)
+	}
+}
+
+// TestFormatParseRoundTrip checks the baseline file format survives a
+// write/read cycle, including diagnostics that themselves contain
+// colons, and that comment lines carry real line numbers through.
+func TestFormatParseRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Func: "netfail/internal/isis.(*LSP).Decode", Diag: "moved to heap: out"},
+		{Func: "netfail/internal/syslog.Parse", Diag: escape.None},
+	}
+	parsed, err := escape.ParseBaseline(escape.Format(in))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if len(parsed) != len(in) {
+		t.Fatalf("round-trip lost entries: %v", parsed)
+	}
+	headerLines := strings.Count(escape.Header, "\n")
+	for i, b := range parsed {
+		if b.Entry != in[i] {
+			t.Errorf("entry %d = %v, want %v", i, b.Entry, in[i])
+		}
+		if b.Line != headerLines+i+1 {
+			t.Errorf("entry %d line = %d, want %d", i, b.Line, headerLines+i+1)
+		}
+	}
+}
+
+type Entry = escape.Entry
+
+func TestParseBaselineMalformed(t *testing.T) {
+	if _, err := escape.ParseBaseline([]byte("# ok\nnot a baseline line\n")); err == nil {
+		t.Fatal("ParseBaseline accepted a malformed line")
+	}
+}
+
+// TestDiff covers the three gate outcomes: in sync, a new escape, and
+// a stale baseline entry.
+func TestDiff(t *testing.T) {
+	cur := []Entry{
+		{Func: "p.A", Diag: "moved to heap: x"},
+		{Func: "p.B", Diag: escape.None},
+	}
+	base, err := escape.ParseBaseline(escape.Format(cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added, stale := escape.Diff(cur, base); len(added) != 0 || len(stale) != 0 {
+		t.Fatalf("in-sync diff reported added=%v stale=%v", added, stale)
+	}
+
+	grown := append([]Entry{{Func: "p.A", Diag: "&b escapes to heap"}}, cur...)
+	added, stale := escape.Diff(grown, base)
+	if len(added) != 1 || added[0].Diag != "&b escapes to heap" {
+		t.Errorf("new escape not reported: added=%v", added)
+	}
+	if len(stale) != 0 {
+		t.Errorf("spurious stale entries: %v", stale)
+	}
+
+	added, stale = escape.Diff(cur[:1], base)
+	if len(added) != 0 {
+		t.Errorf("spurious added entries: %v", added)
+	}
+	if len(stale) != 1 || stale[0].Func != "p.B" || stale[0].Line == 0 {
+		t.Errorf("stale entry not reported with its line: %v", stale)
+	}
+}
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

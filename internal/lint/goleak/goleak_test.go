@@ -1,0 +1,21 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/goleak"
+	"netfail/internal/lint/linttest"
+)
+
+// TestGoleak runs the analyzer over the daemon fixture: leaking loop
+// and send shapes are flagged, the repo's sanctioned collector / pool
+// / guarded-send shapes stay silent.
+func TestGoleak(t *testing.T) {
+	linttest.Run(t, goleak.Analyzer, "testdata/leak", "netfail/internal/streamd")
+}
+
+// TestGoleakOutOfScope pins the module-only scope: the same leaking
+// shapes in a third-party package produce nothing.
+func TestGoleakOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, goleak.Analyzer, "testdata/leak", "example.com/external/streamd")
+}

@@ -1,0 +1,173 @@
+// Package leak is the goleak fixture: the goroutine shapes of a
+// streaming capture daemon, before and after cancellation discipline.
+// The flagged forms are the ones a long-running collector cannot
+// afford; the silent forms are the repo's sanctioned shapes
+// (collector run loop with a done channel, pool workers ranging over
+// a closed work channel).
+package leak
+
+import (
+	"context"
+	"log"
+	"sync"
+)
+
+type record struct{ seq uint64 }
+
+func work(r record)   {}
+func next() record    { return record{} }
+func degraded() bool  { return false }
+func shouldEnd() bool { return true }
+
+// spin is the canonical leak: an anonymous goroutine that polls
+// forever with no way out.
+func spin() {
+	go func() { // want `goroutine runs an unconditional loop with no reachable exit`
+		for {
+			work(next())
+		}
+	}()
+}
+
+// pump leaks twice over: its loop never exits, and its send blocks
+// forever once the consumer stops reading.
+func pump(ch chan record) {
+	for {
+		ch <- next() // want `channel send in a goroutine calling pump outside a select with a cancellation case`
+	}
+}
+
+func startPump(ch chan record) {
+	go pump(ch) // want `goroutine calling pump runs an unconditional loop with no reachable exit`
+}
+
+// collector is the sanctioned daemon shape: the run loop selects on a
+// done channel and returns.
+type collector struct {
+	done chan struct{}
+	in   chan record
+}
+
+func (c *collector) run() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case r := <-c.in:
+			work(r)
+		}
+	}
+}
+
+func (c *collector) start() {
+	go c.run()
+}
+
+// selectBreak shows why an unlabeled break is not an exit: it targets
+// the select, not the loop, so the goroutine spins on.
+func selectBreak(done chan struct{}) {
+	go func() { // want `goroutine runs an unconditional loop with no reachable exit`
+		for {
+			select {
+			case <-done:
+				break // breaks the select; the loop keeps going
+			}
+		}
+	}()
+}
+
+// labeledBreak is the corrected form: the labeled break targets the
+// loop and the goroutine ends.
+func labeledBreak(done chan struct{}) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-done:
+				break drain
+			}
+		}
+	}()
+}
+
+// fatalLoop may loop unconditionally because its only steady state
+// ends the process.
+func fatalLoop() {
+	go func() {
+		for {
+			if degraded() {
+				log.Fatal("capture degraded beyond salvage")
+			}
+			work(next())
+		}
+	}()
+}
+
+// guardedSend pairs every send with a cancellation receive in one
+// select: the sanctioned way to hand records downstream.
+func guardedSend(ctx context.Context, out chan record) {
+	go func() {
+		for {
+			select {
+			case out <- next():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// sendOnlySelect shows that a select does not guard a send unless it
+// has a receive or default case to escape through.
+func sendOnlySelect(out chan record) {
+	go func() {
+		for {
+			select {
+			case out <- next(): // want `channel send in a goroutine outside a select with a cancellation case`
+			}
+			if shouldEnd() {
+				return
+			}
+		}
+	}()
+}
+
+// droppingSend uses default to shed load instead of blocking: silent.
+func droppingSend(out chan record) {
+	go func() {
+		for {
+			select {
+			case out <- next():
+			default:
+			}
+			if shouldEnd() {
+				return
+			}
+		}
+	}()
+}
+
+// worker is the pool shape: range over a closed work channel plus
+// WaitGroup accounting. The range loop has a bound (channel close),
+// so it is not an unconditional loop.
+func worker(tasks chan record, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for r := range tasks {
+			work(r)
+		}
+	}()
+}
+
+// innerClosure defines (but may never call) a looping closure inside
+// a goroutine; the launch site is not charged for it.
+func innerClosure() {
+	go func() {
+		retry := func() {
+			for {
+				work(next())
+			}
+		}
+		_ = retry
+	}()
+}

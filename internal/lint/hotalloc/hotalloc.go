@@ -1,0 +1,502 @@
+// Package hotalloc implements the allocation-discipline analyzer for
+// //netfail:hotpath functions (see internal/lint/hotpath for the
+// annotation contract).
+//
+// ROADMAP item 4 drives the per-record pipeline — syslog tokenizing,
+// LSP/TLV decoding, the matching-window inner loops, the pool shard
+// bodies — toward amortized zero allocations (~1M syslog msgs/sec per
+// core). Allocation bugs in those paths are invisible to tests: the
+// code is correct, merely slow, and only slow enough to matter at
+// month-of-campaign scale, which is exactly when a streaming pipeline
+// starts falling behind its log source (Liang et al., PAPERS.md).
+// The analyzer makes the discipline structural: annotate a function
+// //netfail:hotpath and these constructs are flagged in its body:
+//
+//   - string([]byte) and []byte(string) conversions (each allocates
+//     and copies; hot paths stay on one representation);
+//   - calls into package fmt (every call formats through reflection
+//     and allocates);
+//   - interface boxing at call sites: a concrete value passed to an
+//     interface-typed parameter;
+//   - append to a slice declared empty in the function, growing
+//     inside a loop (size it with a counting pass and make);
+//   - map or slice composite literals inside loops, and closures
+//     created inside loops (one allocation per iteration).
+//
+// The cold-path exemption: constructs inside a return statement whose
+// final result is a non-nil error, or inside the argument of panic,
+// are not flagged. The steady-state success path must be
+// allocation-free; the failure return path may build a descriptive
+// error — that is the idiom the tokenizer and TLV walkers use.
+// Goroutine-launch closures (`go func() {...}`) inside loops are also
+// exempt: spawning a bounded worker set is structural, not
+// per-record, and is goleak's concern instead.
+//
+// What the analyzer cannot see — allocations the compiler introduces
+// because a value escapes — is covered by the companion
+// escape-analysis baseline gate (internal/lint/escape): hotalloc
+// catches the constructs that always allocate, the baseline pins the
+// set of compiler-reported escapes so it can only shrink.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netfail/internal/lint"
+	"netfail/internal/lint/hotpath"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-inducing constructs in //netfail:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, fn := range hotpath.Functions(pass.Files) {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		c := &checker{
+			pass:  pass,
+			fname: fn.Name,
+			empty: emptySliceVars(pass, fn.Decl.Body),
+		}
+		c.stmt(fn.Decl.Body, state{results: fn.Decl.Type.Results})
+	}
+	return nil
+}
+
+// state is the walk context: whether the node sits inside a loop
+// (per-iteration cost), inside a cold failure path (exempt), and the
+// result list of the enclosing function (for error-return detection).
+type state struct {
+	inLoop  bool
+	cold    bool
+	results *ast.FieldList
+}
+
+type checker struct {
+	pass  *lint.Pass
+	fname string
+	// empty holds the function's locally-declared slice variables
+	// with no capacity: the append-growth rule's subjects.
+	empty map[types.Object]bool
+}
+
+// stmt walks one statement.
+func (c *checker) stmt(n ast.Stmt, st state) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			c.stmt(s, st)
+		}
+	case *ast.ForStmt:
+		c.stmt(n.Init, st)
+		loop := st
+		loop.inLoop = true
+		c.expr(n.Cond, loop)
+		c.stmt(n.Post, loop)
+		c.stmt(n.Body, loop)
+	case *ast.RangeStmt:
+		c.expr(n.X, st) // evaluated once
+		loop := st
+		loop.inLoop = true
+		c.stmt(n.Body, loop)
+	case *ast.ReturnStmt:
+		rst := st
+		rst.cold = rst.cold || c.errorReturn(n, st)
+		for _, e := range n.Results {
+			c.expr(e, rst)
+		}
+	case *ast.IfStmt:
+		c.stmt(n.Init, st)
+		c.expr(n.Cond, st)
+		c.stmt(n.Body, st)
+		c.stmt(n.Else, st)
+	case *ast.SwitchStmt:
+		c.stmt(n.Init, st)
+		c.expr(n.Tag, st)
+		c.stmt(n.Body, st)
+	case *ast.TypeSwitchStmt:
+		c.stmt(n.Init, st)
+		c.stmt(n.Assign, st)
+		c.stmt(n.Body, st)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			c.expr(e, st)
+		}
+		for _, s := range n.Body {
+			c.stmt(s, st)
+		}
+	case *ast.SelectStmt:
+		c.stmt(n.Body, st)
+	case *ast.CommClause:
+		c.stmt(n.Comm, st)
+		for _, s := range n.Body {
+			c.stmt(s, st)
+		}
+	case *ast.GoStmt:
+		// The launched closure is structural (worker spawn), not a
+		// per-record allocation: exempt from the closure rule, body
+		// checked as a fresh function.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			c.stmt(lit.Body, state{results: lit.Type.Results})
+		} else {
+			c.expr(n.Call.Fun, st)
+		}
+		for _, a := range n.Call.Args {
+			c.expr(a, st)
+		}
+	case *ast.DeferStmt:
+		c.expr(n.Call, st)
+	case *ast.ExprStmt:
+		c.expr(n.X, st)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			c.expr(e, st)
+		}
+		for _, e := range n.Lhs {
+			c.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(n.X, st)
+	case *ast.SendStmt:
+		c.expr(n.Chan, st)
+		c.expr(n.Value, st)
+	case *ast.LabeledStmt:
+		c.stmt(n.Stmt, st)
+	}
+}
+
+// expr walks one expression.
+func (c *checker) expr(n ast.Expr, st state) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.CallExpr:
+		c.call(n, st)
+	case *ast.FuncLit:
+		if st.inLoop && !st.cold {
+			c.pass.Reportf(n.Pos(),
+				"hot path %s allocates a closure per loop iteration; hoist the function value out of the loop", c.fname)
+		}
+		// The closure body is still hot code, but a fresh function:
+		// loop and cold context do not carry in.
+		c.stmt(n.Body, state{results: n.Type.Results})
+	case *ast.CompositeLit:
+		if st.inLoop && !st.cold {
+			switch c.pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				c.pass.Reportf(n.Pos(),
+					"hot path %s allocates a map literal per loop iteration; hoist or reuse it", c.fname)
+			case *types.Slice:
+				c.pass.Reportf(n.Pos(),
+					"hot path %s allocates a slice literal per loop iteration; hoist or reuse it", c.fname)
+			}
+		}
+		for _, e := range n.Elts {
+			c.expr(e, st)
+		}
+	case *ast.KeyValueExpr:
+		c.expr(n.Value, st)
+	case *ast.ParenExpr:
+		c.expr(n.X, st)
+	case *ast.UnaryExpr:
+		c.expr(n.X, st)
+	case *ast.BinaryExpr:
+		c.expr(n.X, st)
+		c.expr(n.Y, st)
+	case *ast.StarExpr:
+		c.expr(n.X, st)
+	case *ast.SelectorExpr:
+		c.expr(n.X, st)
+	case *ast.IndexExpr:
+		c.expr(n.X, st)
+		c.expr(n.Index, st)
+	case *ast.SliceExpr:
+		c.expr(n.X, st)
+		c.expr(n.Low, st)
+		c.expr(n.High, st)
+		c.expr(n.Max, st)
+	case *ast.TypeAssertExpr:
+		c.expr(n.X, st)
+	}
+}
+
+// call applies the conversion, fmt, boxing, and append rules to one
+// call expression, then descends into its arguments.
+func (c *checker) call(call *ast.CallExpr, st state) {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type, st)
+		for _, a := range call.Args {
+			c.expr(a, st)
+		}
+		return
+	}
+	if name, ok := builtinOf(c.pass, call.Fun); ok {
+		if name == "append" {
+			c.append(call, st)
+		}
+		cold := st
+		if name == "panic" {
+			cold.cold = true // a panicking hot path is already off the rails
+		}
+		for _, a := range call.Args {
+			c.expr(a, cold)
+		}
+		return
+	}
+	if c.fmtCall(call, st) {
+		// One diagnostic for the call; its arguments box into ...any
+		// but reporting each would drown the signal.
+		return
+	}
+	c.boxing(call, st)
+	c.expr(call.Fun, st)
+	for _, a := range call.Args {
+		c.expr(a, st)
+	}
+}
+
+// conversion flags string<->[]byte conversions, each an allocate-
+// and-copy.
+func (c *checker) conversion(call *ast.CallExpr, to types.Type, st state) {
+	if st.cold || len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	switch {
+	case isString(to) && isByteSlice(from):
+		c.pass.Reportf(call.Pos(),
+			"hot path %s converts []byte to string, allocating and copying; keep the []byte representation or intern", c.fname)
+	case isByteSlice(to) && isString(from):
+		c.pass.Reportf(call.Pos(),
+			"hot path %s converts string to []byte, allocating and copying; keep one representation end to end", c.fname)
+	}
+}
+
+// fmtCall flags calls into package fmt and reports whether it
+// consumed the node.
+func (c *checker) fmtCall(call *ast.CallExpr, st state) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // a method named like a fmt function
+	}
+	if !st.cold {
+		c.pass.Reportf(call.Pos(),
+			"hot path %s calls fmt.%s, which formats through reflection and allocates; precompute the string or move the call to the failure return path", c.fname, fn.Name())
+	}
+	return true
+}
+
+// boxing flags concrete values passed to interface-typed parameters:
+// each such argument is wrapped in an interface header and usually
+// forces the value to the heap.
+func (c *checker) boxing(call *ast.CallExpr, st state) {
+	if st.cold || call.Ellipsis.IsValid() {
+		return
+	}
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramType(sig, i)
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(c.pass, arg) {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(),
+			"hot path %s boxes %s into interface %s at this call; take a concrete parameter or move the call off the hot path",
+			c.fname, at.String(), param.String())
+	}
+}
+
+// append flags growth of a function-local, capacity-less slice inside
+// a loop: the classic reallocate-per-batch pattern a counting pass
+// and make(len 0, cap n) removes.
+func (c *checker) append(call *ast.CallExpr, st state) {
+	if !st.inLoop || st.cold || len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil || !c.empty[obj] {
+		return
+	}
+	c.pass.Reportf(call.Pos(),
+		"hot path %s grows %s inside a loop without preallocated capacity; count first and make(%s, 0, n)",
+		c.fname, id.Name, types.TypeString(obj.Type(), types.RelativeTo(c.pass.Pkg)))
+}
+
+// errorReturn reports whether ret's final result is a non-nil error —
+// the failure path the exemption covers.
+func (c *checker) errorReturn(ret *ast.ReturnStmt, st state) bool {
+	if len(ret.Results) == 0 || st.results == nil {
+		return false
+	}
+	// Resolve the enclosing function's final result type.
+	var last ast.Expr
+	for _, f := range st.results.List {
+		last = f.Type
+	}
+	if last == nil || !isErrorType(c.pass.TypesInfo.TypeOf(last)) {
+		return false
+	}
+	final := ret.Results[len(ret.Results)-1]
+	return !isUntypedNil(c.pass, final)
+}
+
+// emptySliceVars collects the function's slice variables declared
+// with no backing capacity: `var x []T`, `x := []T{}`, `x := []T(nil)`,
+// and `x := make([]T, 0)` (no capacity argument). make with a length
+// or capacity argument counts as preallocated.
+func emptySliceVars(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	record := func(name *ast.Ident) {
+		obj := pass.TypesInfo.Defs[name]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+			vars[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if len(vs.Values) == 0 || isEmptySliceExpr(pass, vs.Values[i]) {
+						record(name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				name, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isEmptySliceExpr(pass, n.Rhs[i]) {
+					record(name)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isEmptySliceExpr matches the no-capacity initializers: empty
+// composite literal, nil conversion, make with zero length and no
+// capacity.
+func isEmptySliceExpr(pass *lint.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		_, isSlice := pass.TypesInfo.TypeOf(e).Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			_, isSlice := tv.Type.Underlying().(*types.Slice)
+			return isSlice && len(e.Args) == 1 && isUntypedNil(pass, e.Args[0])
+		}
+		if name, _ := builtinOf(pass, e.Fun); name == "make" && len(e.Args) == 2 {
+			tv, ok := pass.TypesInfo.Types[e.Args[1]]
+			return ok && tv.Value != nil && tv.Value.String() == "0"
+		}
+	}
+	return false
+}
+
+func builtinOf(pass *lint.Pass, fun ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return slice.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isUntypedNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

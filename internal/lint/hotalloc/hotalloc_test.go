@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"netfail/internal/lint/hotalloc"
+	"netfail/internal/lint/linttest"
+)
+
+// TestHotalloc runs the analyzer over the fixture: a condensed copy
+// of the per-record pipeline paths, including the seeded regression
+// from the acceptance criteria (a tokenizer reintroducing a
+// string([]byte) conversion) and the sanctioned preallocated shapes
+// that must stay silent.
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "testdata/hot", "netfail/internal/syslog")
+}

@@ -1,0 +1,132 @@
+// Package hot is the hotalloc fixture: a condensed copy of the
+// pipeline's per-record paths with the allocation mistakes the
+// analyzer exists to catch. The first function is the seeded
+// regression from the acceptance criteria — the syslog tokenizer
+// converting its input []byte to string per record, the exact shape
+// the []byte-oriented rewrite (ROADMAP item 4) must never regress to.
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+type message struct {
+	host string
+	text string
+	seq  uint64
+}
+
+var errMalformed = errors.New("malformed")
+
+// tokenize is the regression case: a tokenizer that round-trips its
+// input through string.
+//
+//netfail:hotpath
+func tokenize(line []byte, out *message) error {
+	s := string(line) // want `converts \[\]byte to string`
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			out.host = s[:i]
+			out.text = s[i+1:]
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: no separator in %q", errMalformed, line) // error return path: exempt
+}
+
+// render allocates on the success path in every way the analyzer
+// tracks.
+//
+//netfail:hotpath
+func render(msgs []message) []string {
+	var lines []string
+	for _, m := range msgs {
+		lines = append(lines, m.host+m.text) // want `grows lines inside a loop without preallocated capacity`
+	}
+	for _, m := range msgs {
+		_ = fmt.Sprintf("%s: %s", m.host, m.text) // want `calls fmt.Sprintf`
+		_ = []byte(m.text)                        // want `converts string to \[\]byte`
+		kv := map[string]string{m.host: m.text}   // want `allocates a map literal per loop iteration`
+		pair := []string{m.host, m.text}          // want `allocates a slice literal per loop iteration`
+		_ = func() int { return len(kv) }         // want `allocates a closure per loop iteration`
+		_ = pair
+	}
+	return lines
+}
+
+// sink has an interface parameter; calling it with a concrete value
+// boxes per record.
+func sink(v any) { _ = v }
+
+//netfail:hotpath
+func box(msgs []message) {
+	for _, m := range msgs {
+		sink(m.seq) // want `boxes uint64 into interface`
+	}
+}
+
+// preallocated is the sanctioned shape of the same loops: counting
+// pass + make with capacity, errors built only on the failure return,
+// worker spawn via go.
+//
+//netfail:hotpath
+func preallocated(msgs []message) ([]string, error) {
+	lines := make([]string, 0, len(msgs))
+	for _, m := range msgs {
+		if m.host == "" {
+			return nil, fmt.Errorf("%w: empty host at seq %d", errMalformed, m.seq)
+		}
+		lines = append(lines, m.host)
+	}
+	sort.Strings(lines)
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() { // goroutine spawn in a loop is structural, not per-record
+			<-done
+		}()
+	}
+	close(done)
+	return lines, nil
+}
+
+// scaled keeps duration arithmetic and non-slice literals unflagged.
+//
+//netfail:hotpath
+func scaled(msgs []message, w time.Duration) int {
+	n := 0
+	for _, m := range msgs {
+		v := message{host: m.host} // struct literal: a value, not a heap allocation
+		if time.Duration(len(v.host))*time.Millisecond < w {
+			n++
+		}
+	}
+	return n
+}
+
+// unannotated proves the analyzer is opt-in: the same constructs
+// outside a //netfail:hotpath function are silent.
+func unannotated(msgs []message) []string {
+	var lines []string
+	for _, m := range msgs {
+		_ = fmt.Sprintf("%s", m.host)
+		_ = []byte(m.text)
+		sink(m.seq)
+		lines = append(lines, string([]byte(m.host)))
+	}
+	return lines
+}
+
+// panicking exercises the panic exemption: a hot path that dies may
+// format its last words.
+//
+//netfail:hotpath
+func panicking(msgs []message) {
+	for _, m := range msgs {
+		if m.seq == 0 {
+			panic(fmt.Sprintf("zero seq on %s", m.host))
+		}
+	}
+}

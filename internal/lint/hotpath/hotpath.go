@@ -1,0 +1,103 @@
+// Package hotpath locates functions annotated with the
+// //netfail:hotpath directive — the annotation contract behind the
+// hotalloc analyzer and the escape-analysis baseline gate
+// (internal/lint/escape).
+//
+// The directive is a standard Go directive comment (no space after
+// //, so godoc hides it) placed in the doc-comment block of a
+// function or method declaration:
+//
+//	//netfail:hotpath
+//	func Parse(line string, ref time.Time) (*Message, error) { ... }
+//
+// Annotating a function declares it part of the steady-state
+// per-record path of the pipeline (syslog tokenizing, LSP/TLV
+// decoding, matching-window inner loops, pool shard bodies) and opts
+// it into two machine-checked invariants:
+//
+//   - hotalloc flags allocation-inducing constructs in its body;
+//   - every heap escape the compiler reports inside its body must be
+//     recorded in lint-escape-baseline.txt, so new escapes fail CI.
+package hotpath
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive is the annotation comment, byte-exact.
+const Directive = "//netfail:hotpath"
+
+// A Func is one annotated function declaration.
+type Func struct {
+	Decl *ast.FuncDecl
+	// Name is the qualified name within its package, matching the
+	// compiler's diagnostic naming: "Parse" for functions,
+	// "(*TransitionIndex).AnyWithin" / "ISNeighbor.Key" for methods.
+	Name string
+}
+
+// Functions returns the annotated declarations in files, in source
+// order.
+func Functions(files []*ast.File) []Func {
+	var out []Func
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !Annotated(fd) {
+				continue
+			}
+			out = append(out, Func{Decl: fd, Name: FuncName(fd)})
+		}
+	}
+	return out
+}
+
+// Annotated reports whether the declaration carries the directive.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncName returns the qualified name of a declaration:
+// "Func" for package-level functions, "(*T).Method" or "T.Method"
+// for methods (type parameters elided).
+func FuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := receiverTypeName(fd.Recv.List[0].Type)
+	return recv + "." + fd.Name.Name
+}
+
+// receiverTypeName renders a receiver type expression: *T becomes
+// (*T), generic instantiations T[P] reduce to T.
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + baseTypeName(e.X) + ")"
+	default:
+		return baseTypeName(e)
+	}
+}
+
+func baseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return baseTypeName(e.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(e.X)
+	case *ast.ParenExpr:
+		return baseTypeName(e.X)
+	}
+	return "?"
+}

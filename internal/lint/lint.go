@@ -33,6 +33,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // An Analyzer describes one static-analysis pass.
@@ -41,6 +42,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer checks.
 	Doc string
+	// IncludeTests extends the pass to _test.go files: the analyzer
+	// also runs over the test-augmented and external-test variants of
+	// each package, with findings restricted to positions inside test
+	// files (the non-test files were already analyzed in the base
+	// pass). Analyzers whose invariants do not bind tests leave this
+	// false and never see test code.
+	IncludeTests bool
 	// Run applies the analyzer to a single package and reports
 	// findings via pass.Reportf.
 	Run func(*Pass) error
@@ -69,6 +77,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// InTestFile reports whether pos lies in a _test.go file. Analyzers
+// with IncludeTests set use it to relax rules that only bind
+// production code (e.g. detclock permits wall-clock deadlines in
+// tests but still forbids the process-global random source).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
 // A Finding is a diagnostic resolved to a file position, tagged with
 // the analyzer and package that produced it.
 type Finding struct {
@@ -83,11 +99,18 @@ func (f Finding) String() string {
 }
 
 // Run applies each analyzer to each package and returns the combined
-// findings sorted by position.
+// findings sorted by position. Test-scoped packages (the variants the
+// loader emits for _test.go files) are analyzed only by IncludeTests
+// analyzers, and only their test-file diagnostics are kept: the
+// non-test files in a test-augmented package were already covered by
+// the base pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if pkg.TestScope && !a.IncludeTests {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -99,10 +122,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			for _, d := range pass.diagnostics {
+				pos := pkg.Fset.Position(d.Pos)
+				if pkg.TestScope && !strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
 				findings = append(findings, Finding{
 					Analyzer: a.Name,
 					Pkg:      pkg.ImportPath,
-					Pos:      pkg.Fset.Position(d.Pos),
+					Pos:      pos,
 					Message:  d.Message,
 				})
 			}

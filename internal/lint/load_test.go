@@ -16,21 +16,32 @@ func TestLoadTypeChecksModulePackages(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(pkgs) != 2 {
-		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
-	}
-	byPath := map[string]*lint.Package{}
+	base := map[string]*lint.Package{}
+	tests := map[string]int{}
 	for _, p := range pkgs {
-		byPath[p.ImportPath] = p
 		if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
 			t.Fatalf("%s: incomplete package: %+v", p.ImportPath, p)
 		}
 		if len(p.TypesInfo.Uses) == 0 {
 			t.Fatalf("%s: type info has no uses; type-checking did not run", p.ImportPath)
 		}
+		if p.TestScope {
+			tests[p.ImportPath]++
+			continue
+		}
+		base[p.ImportPath] = p
 	}
-	if byPath["netfail/internal/match"] == nil || byPath["netfail/internal/clock"] == nil {
-		t.Fatalf("unexpected package set: %v", byPath)
+	if len(base) != 2 || base["netfail/internal/match"] == nil || base["netfail/internal/clock"] == nil {
+		t.Fatalf("unexpected base package set: %v", base)
+	}
+	// match has in-package tests (match_test.go, sweep_test.go) and an
+	// external example_test.go; clock's tests are all external. Both
+	// shapes must surface as TestScope variants.
+	if tests["netfail/internal/match"] == 0 || tests["netfail/internal/match_test"] == 0 {
+		t.Fatalf("missing test variants for match: %v", tests)
+	}
+	if tests["netfail/internal/clock_test"] == 0 {
+		t.Fatalf("missing external test variant for clock: %v", tests)
 	}
 
 	// A trivial analyzer: count function declarations, prove Run

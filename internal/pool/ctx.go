@@ -23,6 +23,8 @@ import (
 // out, each worker goroutine runs under its own "worker[w]" child
 // span; per-task completion is reported as ShardDone progress events
 // and counted in the pool.tasks.ran counter.
+//
+//netfail:hotpath
 func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int)) error {
 	if workers > n {
 		workers = n

@@ -28,6 +28,8 @@ func Resolve(n int) int {
 // <= 1 (or n <= 1) it degenerates to a plain sequential loop on the
 // calling goroutine — the byte-identical reference path. fn must
 // confine its writes to state owned by index i.
+//
+//netfail:hotpath
 func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n

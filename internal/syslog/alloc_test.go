@@ -1,0 +1,42 @@
+package syslog
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation pins companion to the benchmarks: ReportAllocs shows a
+// regression only to someone reading benchmark output, while these
+// fail `go test` outright. The budgets are the current exact counts —
+// one allocation each, the returned struct itself — so any new
+// allocation on the parse path is a test failure, the same invariant
+// the hotalloc analyzer and the escape baseline enforce statically.
+
+func TestParseAllocBudget(t *testing.T) {
+	line := AdjChange(DialectIOSXR, "riv-core-01", 421,
+		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
+		"cpe-001", "TenGigE0/1/0/3", false, "hold time expired").Render()
+	ref := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := Parse(line, ref); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("Parse allocates %.1f times per message, budget is 1 (the *Message)", avg)
+	}
+}
+
+func TestParseLinkEventAllocBudget(t *testing.T) {
+	m := AdjChange(DialectIOS, "riv-core-01", 1,
+		time.Date(2011, 3, 3, 4, 5, 6, 0, time.UTC),
+		"cpe-001", "GigabitEthernet0/0/1", true, "new adjacency")
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := ParseLinkEvent(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("ParseLinkEvent allocates %.1f times per message, budget is 1 (the *LinkEvent)", avg)
+	}
+}

@@ -18,6 +18,8 @@ var (
 // year, so ref supplies one: the parsed timestamp is placed in the
 // year that puts it closest to ref, which handles logs spanning a
 // year boundary (the study period Oct 2010 – Nov 2011 does).
+//
+//netfail:hotpath
 func Parse(line string, ref time.Time) (*Message, error) {
 	var m Message
 
@@ -92,6 +94,8 @@ func Parse(line string, ref time.Time) (*Message, error) {
 
 // parseServiceStamp parses the Cisco "service timestamps" form
 // "Mmm dd hh:mm:ss.mmm UTC".
+//
+//netfail:hotpath
 func parseServiceStamp(s string, ref time.Time) (time.Time, bool) {
 	s = strings.TrimSuffix(s, " UTC")
 	t, err := time.Parse(stampLayout+".000", s)
@@ -103,6 +107,8 @@ func parseServiceStamp(s string, ref time.Time) (time.Time, bool) {
 
 // resolveYear places a year-less timestamp in the year (of ref's
 // location) that brings it closest to ref.
+//
+//netfail:hotpath
 func resolveYear(t, ref time.Time) time.Time {
 	best := t.AddDate(ref.Year(), 0, 0)
 	bestDiff := absDuration(best.Sub(ref))
@@ -125,6 +131,8 @@ func absDuration(d time.Duration) time.Duration {
 // ParseLinkEvent extracts the structured link event from a message,
 // returning ErrNotLink for mnemonics outside the three families the
 // analysis consumes.
+//
+//netfail:hotpath
 func ParseLinkEvent(m *Message) (*LinkEvent, error) {
 	ev := &LinkEvent{Router: m.Hostname, Time: m.Timestamp, Seq: m.Seq}
 	switch m.Mnemonic {
@@ -147,6 +155,8 @@ func ParseLinkEvent(m *Message) (*LinkEvent, error) {
 }
 
 // parseAdjText handles "Adjacency to NEIGHBOR (IFACE) [\(L2\) ]DIR, reason".
+//
+//netfail:hotpath
 func parseAdjText(ev *LinkEvent, text string) (*LinkEvent, error) {
 	const prefix = "Adjacency to "
 	if !strings.HasPrefix(text, prefix) {
@@ -184,6 +194,8 @@ func parseAdjText(ev *LinkEvent, text string) (*LinkEvent, error) {
 }
 
 // parseIfaceText handles "... IFACE, changed state to DIR".
+//
+//netfail:hotpath
 func parseIfaceText(ev *LinkEvent, text, prefix string) (*LinkEvent, error) {
 	if !strings.HasPrefix(text, prefix) {
 		return nil, fmt.Errorf("%w: %q", ErrMalformed, text)

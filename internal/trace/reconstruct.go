@@ -126,6 +126,8 @@ func ReconstructPolicy(ts []Transition, policy AmbiguityPolicy) Reconstruction {
 // reconstructLink runs the state machine over one link's (time-sorted)
 // transition sequence. Links are independent, which is what makes the
 // pipeline shardable.
+//
+//netfail:hotpath
 func reconstructLink(link topo.LinkID, seq []Transition, policy AmbiguityPolicy) Reconstruction {
 	var rec Reconstruction
 	down := false

@@ -19,7 +19,7 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> netfail-lint ./..."
+echo "==> netfail-lint ./... (analyzers + escape baseline gate)"
 go run ./cmd/netfail-lint ./...
 
 echo "==> go test ./..."
