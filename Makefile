@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint lint-baseline race verify faultinject bench obs
+.PHONY: build test lint lint-baseline race verify faultinject bench obs chaos
 
 build:
 	go build ./...
@@ -39,6 +39,12 @@ bench:
 # seeded campaign; assert a non-empty span tree and zero drop counters.
 obs:
 	./scripts/obs-smoke.sh
+
+# Crash-safety gate: SIGKILL netfail-serve mid-ingest and assert the
+# resumed report is byte-identical, plus the overload soak and drain
+# deadline, all under the race detector.
+chaos:
+	./scripts/chaos.sh
 
 verify:
 	./scripts/verify.sh

@@ -172,6 +172,7 @@ func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir s
 	}
 	for _, r := range reports {
 		fmt.Fprintf(os.Stderr, "netfail-analyze: salvage %s: %s\n", r.name, r.rep)
+		obs.AddSalvage(obs.RegistryFrom(ctx), "salvage."+r.name, r.rep)
 		if !r.rep.Clean() {
 			salvaged = true
 		}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"netfail/internal/backoff"
 	"netfail/internal/clock"
 	"netfail/internal/config"
 	"netfail/internal/isis"
@@ -34,15 +35,6 @@ import (
 	"netfail/internal/netsim"
 	"netfail/internal/obs"
 	"netfail/internal/topo"
-)
-
-// Read-retry policy for the live UDP capture path, mirroring
-// syslog.Collector: transient socket errors are retried with
-// exponential backoff; only persistent ones end the capture, and then
-// with an explicit error rather than a silent truncation.
-const (
-	maxReadRetries = 5
-	readRetryBase  = time.Millisecond
 )
 
 func main() {
@@ -112,28 +104,29 @@ func receive(addr, configDir string, limit int, clk clock.Clock, debugAddr strin
 	var listenerID topo.SystemID // all-zero passive system ID
 	buf := make([]byte, 64*1024)
 	emitted := 0
-	readFailures := 0
+	// A persistent socket error must not silently end the capture
+	// mid-campaign: retry transient failures on the shared
+	// backoff.Default schedule (the same one syslog.Collector walks),
+	// give up loudly only when the budget is spent.
+	retry := backoff.Default.New()
 	for limit == 0 || l.Results().LSPCount < limit {
 		n, from, err := conn.ReadFromUDP(buf)
 		if err != nil {
-			// A persistent socket error must not silently end the
-			// capture mid-campaign: retry transient failures with
-			// backoff, give up loudly only when they persist.
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				readFailures = 0
+				retry.Reset()
 				continue
 			}
-			readFailures++
 			reg.Counter("listener.read_errors").Add(1)
-			if readFailures > maxReadRetries {
-				return fmt.Errorf("capture stopped after %d consecutive read errors: %w", readFailures, err)
+			d, ok := retry.Next()
+			if !ok {
+				return fmt.Errorf("capture stopped after %d consecutive read errors: %w", retry.Attempts(), err)
 			}
-			fmt.Fprintf(os.Stderr, "read error (retry %d/%d): %v\n", readFailures, maxReadRetries, err)
-			time.Sleep(readRetryBase << uint(readFailures-1))
+			fmt.Fprintf(os.Stderr, "read error (retry %d/%d): %v\n", retry.Attempts(), backoff.Default.Retries, err)
+			time.Sleep(d)
 			continue
 		}
-		readFailures = 0
+		retry.Reset()
 		// Copy: Process retains no reference, but the decode reads
 		// beyond this iteration via the LSP database.
 		pkt := append([]byte(nil), buf[:n]...)
@@ -196,20 +189,31 @@ func transmit(capture, to string) error {
 	}
 	defer conn.Close()
 	sent := 0
-	for _, c := range log {
-		if _, err := conn.Write(c.Data); err != nil {
+	// Transient send failures walk the shared backoff schedule instead
+	// of aborting the replay on the first hiccup; only a persistent
+	// error (budget spent) is terminal.
+	retry := backoff.Default.New()
+	for i := 0; i < len(log); {
+		if _, err := conn.Write(log[i].Data); err != nil {
 			// A receiver that got what it wanted (-limit) closes its
 			// socket while we still hold packets; the kernel reflects
 			// the ICMP port-unreachable onto this connected socket as
 			// ECONNREFUSED. For UDP that is "receiver done", not a
-			// transmission failure.
+			// transmission failure — exit clean, no retrying.
 			if errors.Is(err, syscall.ECONNREFUSED) {
 				fmt.Printf("replayed %d of %d LSPs to %s (receiver closed)\n", sent, len(log), to)
 				return nil
 			}
-			return err
+			d, ok := retry.Next()
+			if !ok {
+				return fmt.Errorf("replay stopped after %d consecutive send errors: %w", retry.Attempts(), err)
+			}
+			time.Sleep(d)
+			continue
 		}
+		retry.Reset()
 		sent++
+		i++
 	}
 	fmt.Printf("replayed %d LSPs to %s\n", len(log), to)
 	return nil

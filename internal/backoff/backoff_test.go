@@ -1,0 +1,165 @@
+package backoff_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"netfail/internal/backoff"
+	"netfail/internal/clock"
+)
+
+// TestDefaultscheduleIsPinned pins the exact delay sequence the
+// capture paths retried with before the dedup onto this package:
+// 1, 2, 4, 8, 16 ms, then exhaustion. Any change to this schedule is
+// a behaviour change in both syslog.Collector and netfail-listener
+// and must show up here first.
+func TestDefaultScheduleIsPinned(t *testing.T) {
+	b := backoff.Default.New()
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		16 * time.Millisecond,
+	}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("Next() exhausted at attempt %d, want %d retries", i+1, len(want))
+		}
+		if d != w {
+			t.Errorf("attempt %d: delay = %v, want %v", i+1, d, w)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Error("Next() after the retry budget must report exhaustion")
+	}
+	if got := b.Attempts(); got != 6 {
+		t.Errorf("Attempts() = %d, want 6", got)
+	}
+}
+
+// TestJitterIsSeeded pins that identical seeds produce identical
+// jittered schedules, different seeds different ones, and every
+// jittered delay stays within (d - Jitter*d, d].
+func TestJitterIsSeeded(t *testing.T) {
+	p := backoff.Policy{Base: 100 * time.Millisecond, Factor: 2, Retries: 6, Jitter: 0.5, Seed: 42}
+	run := func(p backoff.Policy) []time.Duration {
+		b := p.New()
+		var out []time.Duration
+		for {
+			d, ok := b.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+	a, bs := run(p), run(p)
+	for i := range a {
+		if a[i] != bs[i] {
+			t.Fatalf("same seed, attempt %d: %v vs %v", i+1, a[i], bs[i])
+		}
+	}
+	exact := p
+	exact.Jitter = 0
+	full := run(exact)
+	for i := range a {
+		lo := full[i] - time.Duration(0.5*float64(full[i]))
+		if a[i] <= lo || a[i] > full[i] {
+			t.Errorf("attempt %d: jittered delay %v outside (%v, %v]", i+1, a[i], lo, full[i])
+		}
+	}
+	p.Seed = 43
+	other := run(p)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+}
+
+// TestMaxCapsDelays pins the cap: growth stops at Max.
+func TestMaxCapsDelays(t *testing.T) {
+	b := backoff.Policy{Base: time.Millisecond, Factor: 2, Max: 5 * time.Millisecond, Retries: 5}.New()
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok || d != w {
+			t.Errorf("attempt %d: (%v, %v), want (%v, true)", i+1, d, ok, w)
+		}
+	}
+}
+
+// TestResetRestartsSchedule pins that a success mid-stream restarts
+// the schedule from Base — the collector's failures=0 reset.
+func TestResetRestartsSchedule(t *testing.T) {
+	b := backoff.Default.New()
+	b.Next()
+	b.Next()
+	b.Reset()
+	d, ok := b.Next()
+	if !ok || d != time.Millisecond {
+		t.Fatalf("after Reset: Next() = (%v, %v), want (1ms, true)", d, ok)
+	}
+}
+
+// TestRetryStopsOnBudget drives Retry against a fake clock: the op
+// fails forever while the fake advances, and the clock-measured
+// budget — not wall time — ends the retrying.
+func TestRetryStopsOnBudget(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	boom := errors.New("boom")
+	calls := 0
+	p := backoff.Policy{Base: time.Microsecond, Factor: 2, Budget: 10 * time.Minute}
+	err := backoff.Retry(context.Background(), fake, p, func() error {
+		calls++
+		fake.Advance(4 * time.Minute)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry = %v, want the op's terminal error", err)
+	}
+	// Budget 10m, op advances 4m per call: attempts at elapsed 4m and
+	// 8m retry, the attempt at 12m overruns and stops — 3 calls.
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3 (clock budget must bound retries)", calls)
+	}
+}
+
+// TestRetryHonorsCancellation pins that a canceled context ends a
+// retry loop mid-backoff with ctx's error.
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := backoff.Policy{Base: time.Hour} // would sleep an hour without cancellation
+	err := backoff.Retry(ctx, clock.NewFake(time.Unix(0, 0)), p, func() error {
+		return errors.New("always")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+}
+
+// TestRetrySucceedsAfterFailures pins the success path: op's eventual
+// nil is returned and no further attempts run.
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	p := backoff.Policy{Base: time.Microsecond, Retries: 5}
+	err := backoff.Retry(context.Background(), clock.NewFake(time.Unix(0, 0)), p, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+}

@@ -1,0 +1,603 @@
+// Package checkpoint gives the serving path crash-safe state: an
+// atomic snapshot file plus a length-prefixed, CRC-framed append WAL
+// for the records that arrive between snapshots.
+//
+// The paper's listener ran unattended for 13 months and its own
+// outages had to be sanitized out of the trace after the fact (§3.3);
+// the availability literature (Simache & Kaâniche, PAPERS.md) shows
+// reboot windows are exactly the intervals a log-based monitor must
+// not silently lose. The discipline here is the classic one:
+//
+//   - every ingested record is appended to the WAL and flushed to the
+//     kernel before it is acknowledged, so a SIGKILL loses nothing
+//     that was acked (fsync-per-append upgrades that to power-loss
+//     safety);
+//   - snapshots are written to a temp file, fsynced, and renamed into
+//     place, so a crash mid-snapshot leaves the previous snapshot
+//     intact and a torn temp file is ignored at recovery;
+//   - recovery loads the newest intact snapshot and replays WAL
+//     records with later sequence numbers, deduplicating by sequence,
+//     so the crash window between "snapshot renamed" and "old WAL
+//     deleted" double-counts nothing.
+//
+// Frames are self-checking (sync marker, length prefix, CRC-32 over
+// the payload), and the reader comes in the repo's usual strict /
+// lenient pair: strict recovery errors record-accurately on the first
+// damaged frame, lenient recovery salvages every decodable frame and
+// accounts the rest in a salvage.Report — the same machinery the
+// line-oriented capture readers use.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netfail/internal/salvage"
+)
+
+// On-disk format constants. Frame layout, after the per-file header:
+//
+//	sync[2] = A5 5A | len u32le | crc u32le | payload[len]
+//	payload = seq u64le | data
+//
+// crc is CRC-32 (IEEE) over the payload. len covers the payload only.
+const (
+	walHeader  = "NFWAL1\n"
+	snapHeader = "NFSNAP1\n"
+
+	sync0, sync1  = 0xA5, 0x5A
+	frameOverhead = 2 + 4 + 4
+
+	// maxFrameLen guards the reader against a corrupt length prefix
+	// demanding a multi-gigabyte allocation.
+	maxFrameLen = 64 << 20
+)
+
+// A Record is one durably logged payload with its sequence number.
+// Sequences are contiguous from 1 in a healthy store; recovery after
+// salvage may expose gaps, which the Report accounts.
+type Record struct {
+	Seq  uint64
+	Data []byte
+}
+
+// options carries Open's configuration.
+type options struct {
+	strict    bool
+	fsyncEach bool
+	tap       func(io.Writer) io.Writer
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// Strict makes recovery fail record-accurately on the first damaged
+// frame instead of salvaging around it.
+func Strict() Option { return func(o *options) { o.strict = true } }
+
+// FsyncEach upgrades Append durability from kill-safe (flushed to the
+// kernel) to power-loss-safe (fsynced) at a per-record fsync cost.
+func FsyncEach() Option { return func(o *options) { o.fsyncEach = true } }
+
+// SnapshotTap wraps the snapshot writer — the fault-injection hook
+// the chaos harness uses to tear a checkpoint write mid-stream.
+func SnapshotTap(fn func(io.Writer) io.Writer) Option {
+	return func(o *options) { o.tap = fn }
+}
+
+// Recovery describes what Open reconstructed from disk.
+type Recovery struct {
+	// Records is the full recovered history in sequence order:
+	// snapshot records first, then WAL records with later sequences.
+	Records []Record
+	// SnapshotSeq is the highest sequence the loaded snapshot covers
+	// (0 when no snapshot was usable).
+	SnapshotSeq uint64
+	// WALRecords is how many of Records came from WAL replay.
+	WALRecords int
+	// Report accounts every frame lenient recovery had to skip —
+	// torn tails, CRC mismatches, damaged snapshots. Clean() means
+	// the store was intact.
+	Report *salvage.Report
+}
+
+// LastSeq returns the highest recovered sequence number.
+func (r *Recovery) LastSeq() uint64 {
+	if n := len(r.Records); n > 0 {
+		return r.Records[n-1].Seq
+	}
+	return r.SnapshotSeq
+}
+
+// A Store is an open checkpoint directory: one active WAL segment
+// plus the snapshot/segment files recovery reads. Store methods are
+// not safe for concurrent use; the serving layer serializes appends.
+type Store struct {
+	dir string
+	opt options
+
+	wal *os.File
+	seq uint64 // last appended (or recovered) sequence
+}
+
+// Open recovers the checkpoint directory (creating it if needed) and
+// returns a store ready to append, plus what was recovered. A new WAL
+// segment is always started, so a torn tail in the previous segment
+// is never appended to.
+func Open(dir string, opts ...Option) (*Store, *Recovery, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	rec, err := recoverDir(dir, o.strict)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{dir: dir, opt: o, seq: rec.LastSeq()}
+	if err := s.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+// Dir returns the checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+// LastSeq returns the last sequence number appended or recovered.
+func (s *Store) LastSeq() uint64 { return s.seq }
+
+// openSegment starts a fresh WAL segment named for the next sequence.
+func (s *Store) openSegment() error {
+	name := filepath.Join(s.dir, fmt.Sprintf("wal-%016x.log", s.seq+1))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.WriteString(walHeader); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.wal = f
+	return nil
+}
+
+// Append logs one record and returns its sequence number. On return
+// the record has reached the kernel (surviving SIGKILL); with
+// FsyncEach it has reached the disk (surviving power loss).
+func (s *Store) Append(data []byte) (uint64, error) {
+	if s.wal == nil {
+		return 0, fmt.Errorf("checkpoint: store is closed")
+	}
+	seq := s.seq + 1
+	if _, err := s.wal.Write(encodeFrame(seq, data)); err != nil {
+		return 0, fmt.Errorf("checkpoint: append seq %d: %w", seq, err)
+	}
+	if s.opt.fsyncEach {
+		if err := s.wal.Sync(); err != nil {
+			return 0, fmt.Errorf("checkpoint: append seq %d: %w", seq, err)
+		}
+	}
+	s.seq = seq
+	return seq, nil
+}
+
+// Snapshot atomically persists the full history (sequence order,
+// normally 1..LastSeq) and retires the WAL segments it covers. After
+// a successful snapshot, recovery needs only this file plus whatever
+// arrives later.
+func (s *Store) Snapshot(records []Record) error {
+	if s.wal == nil {
+		return fmt.Errorf("checkpoint: store is closed")
+	}
+	covered := s.seq
+	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	var w io.Writer = tmp
+	if s.opt.tap != nil {
+		w = s.opt.tap(tmp)
+	}
+	err = writeSnapshot(w, covered, records)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	final := filepath.Join(s.dir, fmt.Sprintf("snap-%016x.ckpt", covered))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+
+	// The snapshot is durable; everything it covers is redundant.
+	// Rotate to a fresh WAL segment and delete retired files. A crash
+	// anywhere in here is safe: recovery deduplicates by sequence.
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	s.wal = nil
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	s.retire(covered)
+	return nil
+}
+
+// retire removes snapshots older than the one covering `covered` and
+// WAL segments that start at or before it (their records are all
+// covered: segments are rotated at every snapshot, so a segment
+// starting at seq <= covered holds only seqs <= covered). Removal
+// failures are ignored: stale files only cost recovery time, and the
+// next snapshot retries.
+func (s *Store) retire(covered uint64) {
+	snaps, wals, _ := scanDir(s.dir)
+	for _, sn := range snaps {
+		if sn.seq < covered {
+			os.Remove(sn.path)
+		}
+	}
+	for _, w := range wals {
+		if w.seq <= covered {
+			os.Remove(w.path)
+		}
+	}
+}
+
+// Sync fsyncs the active WAL segment.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Close syncs and closes the active WAL segment.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed snapshot's directory
+// entry is durable too.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// encodeFrame renders one record's on-disk frame.
+func encodeFrame(seq uint64, data []byte) []byte {
+	payloadLen := 8 + len(data)
+	buf := make([]byte, frameOverhead+payloadLen)
+	buf[0], buf[1] = sync0, sync1
+	binary.LittleEndian.PutUint32(buf[2:], uint32(payloadLen))
+	payload := buf[frameOverhead:]
+	binary.LittleEndian.PutUint64(payload, seq)
+	copy(payload[8:], data)
+	binary.LittleEndian.PutUint32(buf[6:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// writeSnapshot writes the snapshot stream: header, a meta frame
+// (seq = covered, data = record count), then every record frame.
+func writeSnapshot(w io.Writer, covered uint64, records []Record) error {
+	if _, err := io.WriteString(w, snapHeader); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(records)))
+	if _, err := w.Write(encodeFrame(covered, count[:])); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := w.Write(encodeFrame(r.Seq, r.Data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirEntry is one scanned snapshot or WAL file.
+type dirEntry struct {
+	seq  uint64
+	path string
+}
+
+// scanDir inventories the checkpoint directory. Temp files from torn
+// snapshot attempts are deleted on sight — the rename never happened,
+// so they are garbage by construction.
+func scanDir(dir string) (snaps, wals []dirEntry, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(path)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".ckpt"):
+			if seq, ok := parseSeq(name, "snap-", ".ckpt"); ok {
+				snaps = append(snaps, dirEntry{seq, path})
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+				wals = append(wals, dirEntry{seq, path})
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq }) // newest first
+	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })    // oldest first
+	return snaps, wals, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseUint(hexpart, 16, 64)
+	return seq, err == nil
+}
+
+// recoverDir reconstructs the durable history: newest intact
+// snapshot, then WAL replay of later sequences.
+func recoverDir(dir string, strict bool) (*Recovery, error) {
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{Report: &salvage.Report{}}
+
+	// Newest snapshot that loads intact wins; older ones are the
+	// fallback when a torn or bit-rotted write damaged the newest.
+	for _, sn := range snaps {
+		records, covered, err := readSnapshot(sn.path)
+		if err != nil {
+			if strict {
+				return nil, err
+			}
+			rec.Report.Skip(0, fmt.Sprintf("damaged snapshot %s", filepath.Base(sn.path)))
+			continue
+		}
+		rec.Records = records
+		rec.SnapshotSeq = covered
+		break
+	}
+
+	// Replay WAL segments in start order, keeping only sequences
+	// beyond what the snapshot covers (and beyond each other:
+	// overlapping segments from a crash between rename and retire
+	// deduplicate here).
+	last := rec.LastSeq()
+	for _, w := range wals {
+		records, err := readWALFile(w.path, strict, rec.Report)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range records {
+			if r.Seq <= last {
+				continue
+			}
+			rec.Records = append(rec.Records, r)
+			rec.WALRecords++
+			last = r.Seq
+		}
+	}
+	return rec, nil
+}
+
+// readSnapshot loads one snapshot file. Any damage fails the whole
+// load — the caller falls back to an older snapshot (lenient) or
+// errors (strict): a partial history behind a healthy-looking
+// snapshot would silently un-ack records, which is the one
+// unforgivable outcome, so there is deliberately no salvaging inside
+// a snapshot.
+func readSnapshot(path string) ([]Record, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	name := filepath.Base(path)
+	if !bytes.HasPrefix(data, []byte(snapHeader)) {
+		return nil, 0, fmt.Errorf("checkpoint: %s: bad header", name)
+	}
+	frames, err := decodeFramesStrict(data[len(snapHeader):], name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(frames) == 0 {
+		return nil, 0, fmt.Errorf("checkpoint: %s: missing meta frame", name)
+	}
+	meta := frames[0]
+	if len(meta.Data) != 8 {
+		return nil, 0, fmt.Errorf("checkpoint: %s: bad meta frame", name)
+	}
+	count := binary.LittleEndian.Uint64(meta.Data)
+	records := frames[1:]
+	if uint64(len(records)) != count {
+		return nil, 0, fmt.Errorf("checkpoint: %s: snapshot holds %d records, meta declares %d", name, len(records), count)
+	}
+	return records, meta.Seq, nil
+}
+
+// readWALFile loads one WAL segment. Strict mode errors on the first
+// damaged frame; lenient mode salvages and accounts into rep.
+func readWALFile(path string, strict bool, rep *salvage.Report) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if strict {
+		return ReadWAL(f)
+	}
+	records, frep, err := ReadWALLenient(f)
+	if err != nil {
+		return nil, err
+	}
+	mergeReport(rep, frep)
+	return records, nil
+}
+
+// ReadWAL parses one WAL segment stream strictly: the first damaged
+// frame aborts with a record- and offset-accurate error. It is the
+// strict half of the reader pair; ReadWALLenient is the salvage half.
+func ReadWAL(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if !bytes.HasPrefix(data, []byte(walHeader)) {
+		return nil, fmt.Errorf("checkpoint: WAL: bad header")
+	}
+	return decodeFramesStrict(data[len(walHeader):], "WAL")
+}
+
+// ReadWALLenient parses one WAL segment stream in salvage mode:
+// damaged frames are skipped — the reader resynchronizes on the next
+// sync marker — and accounted in the report instead of aborting.
+func ReadWALLenient(r io.Reader) ([]Record, *salvage.Report, error) {
+	rep := &salvage.Report{}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if !bytes.HasPrefix(data, []byte(walHeader)) {
+		rep.Skip(0, "bad WAL header")
+		return nil, rep, nil
+	}
+	records := decodeFramesLenient(data[len(walHeader):], rep)
+	return records, rep, nil
+}
+
+// decodeFramesStrict walks the frame stream, aborting on the first
+// damaged frame with a record- and offset-accurate error.
+func decodeFramesStrict(data []byte, name string) ([]Record, error) {
+	var out []Record
+	off, frameNo := 0, 0
+	for off < len(data) {
+		frameNo++
+		rec, n, reason := decodeFrame(data[off:])
+		if reason != "" {
+			return nil, fmt.Errorf("checkpoint: %s: record %d at offset %d: %s", name, frameNo, off, reason)
+		}
+		out = append(out, rec)
+		off += n
+	}
+	return out, nil
+}
+
+// decodeFramesLenient walks the frame stream, resynchronizing on the
+// next sync marker after each damaged frame and accounting the skip.
+func decodeFramesLenient(data []byte, rep *salvage.Report) []Record {
+	var out []Record
+	off, frameNo := 0, 0
+	for off < len(data) {
+		frameNo++
+		rec, n, reason := decodeFrame(data[off:])
+		if reason == "" {
+			out = append(out, rec)
+			rep.Kept++
+			off += n
+			continue
+		}
+		rep.Skip(frameNo, reason)
+		// Resynchronize: scan past this offset for the next sync
+		// marker that opens a decodable frame.
+		next := resync(data, off+1)
+		if next < 0 {
+			break
+		}
+		off = next
+	}
+	return out
+}
+
+// decodeFrame decodes one frame at the head of data, returning the
+// consumed byte count, or a non-empty reason on damage.
+func decodeFrame(data []byte) (rec Record, n int, reason string) {
+	if len(data) < frameOverhead {
+		return Record{}, 0, "torn frame header"
+	}
+	if data[0] != sync0 || data[1] != sync1 {
+		return Record{}, 0, "bad sync marker"
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[2:]))
+	if payloadLen < 8 || payloadLen > maxFrameLen {
+		return Record{}, 0, "bad length prefix"
+	}
+	if len(data) < frameOverhead+payloadLen {
+		return Record{}, 0, "torn frame payload"
+	}
+	payload := data[frameOverhead : frameOverhead+payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[6:]) {
+		return Record{}, 0, "crc mismatch"
+	}
+	return Record{
+		Seq:  binary.LittleEndian.Uint64(payload),
+		Data: append([]byte(nil), payload[8:]...),
+	}, frameOverhead + payloadLen, ""
+}
+
+// resync returns the offset of the next decodable frame at or after
+// from, or -1.
+func resync(data []byte, from int) int {
+	for i := from; i+1 < len(data); i++ {
+		if data[i] != sync0 || data[i+1] != sync1 {
+			continue
+		}
+		if _, _, reason := decodeFrame(data[i:]); reason == "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergeReport folds src into dst, preserving line attribution.
+func mergeReport(dst, src *salvage.Report) {
+	dst.Kept += src.Kept
+	for reason, n := range src.Reasons {
+		for i := 0; i < n; i++ {
+			dst.Skip(src.FirstBad, reason)
+		}
+	}
+	if src.LastBad > dst.LastBad {
+		dst.LastBad = src.LastBad
+	}
+}

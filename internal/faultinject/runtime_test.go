@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTornWriterCutsAtExactOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := TornWriter(&buf, 10)
+	n, err := w.Write([]byte("0123456"))
+	if n != 7 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("789abcdef"))
+	if n != 3 || !errors.Is(err, ErrTorn) {
+		t.Fatalf("tearing write: n=%d err=%v, want 3, ErrTorn", n, err)
+	}
+	if got := buf.String(); got != "0123456789" {
+		t.Errorf("torn prefix = %q, want the first 10 bytes exactly", got)
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrTorn) {
+		t.Errorf("post-tear write: n=%d err=%v, want 0, ErrTorn", n, err)
+	}
+}
+
+func TestStallReaderBlocksUntilReleased(t *testing.T) {
+	release := make(chan struct{})
+	r := StallReader(strings.NewReader("hello world"), 5, release)
+
+	// The pre-stall bytes must read through normally.
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(r, head); err != nil || string(head) != "hello" {
+		t.Fatalf("pre-stall read: %q, %v", head, err)
+	}
+
+	// The next read stalls; run it in a goroutine and observe that it
+	// only completes once release is closed.
+	got := make(chan string, 1)
+	go func() {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		got <- string(rest)
+	}()
+	select {
+	case s := <-got:
+		t.Fatalf("read completed before release: %q", s)
+	default:
+	}
+	close(release)
+	if s := <-got; s != " world" {
+		t.Errorf("post-release read = %q, want %q", s, " world")
+	}
+}
+
+func TestFlapperIsSeeded(t *testing.T) {
+	run := func(seed int64) []int {
+		f := NewFlapper(seed, 0.3)
+		var flapsAt []int
+		for i := 1; i <= 100; i++ {
+			if f.Tick() != nil {
+				flapsAt = append(flapsAt, i)
+			}
+		}
+		return flapsAt
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 100 ticks injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different flap counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different flap ticks: %v vs %v", a, b)
+		}
+	}
+	if c := run(8); len(c) == len(a) && func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds produced an identical flap storm")
+	}
+	f := NewFlapper(7, 0.3)
+	for i := 0; i < 100; i++ {
+		f.Tick()
+	}
+	if f.Flaps() != len(a) {
+		t.Errorf("Flaps() = %d, want %d", f.Flaps(), len(a))
+	}
+}
+
+func TestKillAfterIsSeededAndInterior(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := RuntimePlan{Seed: seed}
+		k := p.KillAfter(100)
+		if k < 1 || k >= 100 {
+			t.Fatalf("seed %d: KillAfter(100) = %d, want interior [1,100)", seed, k)
+		}
+		if k2 := p.KillAfter(100); k2 != k {
+			t.Fatalf("seed %d: KillAfter not deterministic: %d then %d", seed, k, k2)
+		}
+	}
+	if k := (RuntimePlan{Seed: 1}).KillAfter(1); k != 1 {
+		t.Errorf("KillAfter(1) = %d, want 1", k)
+	}
+}
+
+func TestCorruptBytesIsDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte{0xA5, 0x5A, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06}, 64)
+	p := Plan{Seed: 42, Rate: 0.2}
+	out1, faults1 := CorruptBytes(data, p)
+	out2, faults2 := CorruptBytes(data, p)
+	if !bytes.Equal(out1, out2) {
+		t.Error("same (input, Plan) produced different corrupted bytes")
+	}
+	if len(faults1) != len(faults2) {
+		t.Errorf("same (input, Plan) produced %d vs %d faults", len(faults1), len(faults2))
+	}
+	if len(faults1) == 0 {
+		t.Error("rate 0.2 over 512 bytes injected nothing")
+	}
+	if bytes.Equal(out1, data) && len(faults1) > 0 {
+		t.Error("faults reported but output identical to input")
+	}
+}
+
+func TestCorruptBytesTruncateFinalCutsTheTail(t *testing.T) {
+	data := bytes.Repeat([]byte{0xEE}, 256)
+	out, faults := CorruptBytes(data, Plan{Seed: 3, Modes: []Mode{TruncateFinal}})
+	if len(out) >= len(data) {
+		t.Fatalf("output %d bytes, want a truncation below %d", len(out), len(data))
+	}
+	if len(out) < len(data)-65 {
+		t.Errorf("cut at %d, want inside the final 64-byte window", len(out))
+	}
+	if len(faults) != 1 || faults[0].Mode != TruncateFinal || faults[0].Offset != len(out) {
+		t.Errorf("faults = %+v, want one TruncateFinal at offset %d", faults, len(out))
+	}
+}
+
+func TestCorruptBytesTornWriteTruncatesInterior(t *testing.T) {
+	data := bytes.Repeat([]byte{0xCC}, 256)
+	// Rate*8 is the application probability for TornWrite; rate 0.5
+	// makes it fire for most seeds — find one deterministically.
+	for seed := int64(0); seed < 20; seed++ {
+		out, faults := CorruptBytes(data, Plan{Seed: seed, Rate: 0.5, Modes: []Mode{TornWrite}})
+		if len(faults) == 1 {
+			if faults[0].Mode != TornWrite {
+				t.Fatalf("fault mode = %v", faults[0].Mode)
+			}
+			if len(out) != faults[0].Offset || len(out) >= len(data) {
+				t.Fatalf("cut %d bytes with fault offset %d", len(out), faults[0].Offset)
+			}
+			return
+		}
+	}
+	t.Fatal("TornWrite never fired across 20 seeds at rate 0.5")
+}

@@ -171,3 +171,38 @@ func innerClosure() {
 		_ = retry
 	}()
 }
+
+func runSource(ctx context.Context) error { return nil }
+func sleepCtx(ctx context.Context) error  { return ctx.Err() }
+
+// naiveSupervisor is the flagged restart shape: it resurrects the
+// source forever, with no exhaustion, cancellation, or budget path
+// out — the daemon can never drain.
+func naiveSupervisor(ctx context.Context) {
+	go func() { // want `goroutine runs an unconditional loop with no reachable exit`
+		for {
+			_ = runSource(ctx)
+		}
+	}()
+}
+
+// supervisor is the sanctioned restart-with-backoff shape
+// (internal/serve): every outcome of one source run either returns —
+// exhausted source, dead context, spent backoff budget — or sleeps
+// under the context before the next restart.
+func supervisor(ctx context.Context) {
+	go func() {
+		for {
+			err := runSource(ctx)
+			if err == nil || ctx.Err() != nil {
+				return
+			}
+			if !degraded() {
+				return // restart budget spent: the source is down
+			}
+			if sleepCtx(ctx) != nil {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "netfail/internal/salvage"
+
+// AddSalvage folds a lenient reader's salvage accounting into the
+// registry under the given prefix, so torn captures and damaged
+// checkpoints are visible on the debug endpoint, not just in exit
+// summaries:
+//
+//	<prefix>.kept             records parsed
+//	<prefix>.skipped          lines/frames discarded
+//	<prefix>.skipped.<reason> discards by reason
+//
+// Both the prefix and the reasons are free text (file names, parser
+// messages); anything outside [a-zA-Z0-9.-_] becomes _. Counters
+// accumulate across calls, matching how an ingest path reads many
+// files through the same registry. A nil registry or nil report is a
+// no-op.
+func AddSalvage(r *Registry, prefix string, rep *salvage.Report) {
+	if r == nil || rep == nil {
+		return
+	}
+	prefix = metricName(prefix)
+	r.Counter(prefix + ".kept").Add(int64(rep.Kept))
+	if rep.Skipped == 0 {
+		return
+	}
+	r.Counter(prefix + ".skipped").Add(int64(rep.Skipped))
+	for reason, n := range rep.Reasons {
+		r.Counter(prefix + ".skipped." + metricName(reason)).Add(int64(n))
+	}
+}
+
+// metricName makes a free-text skip reason safe as a metric suffix.
+func metricName(reason string) string {
+	out := []byte(reason)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a source's health as the supervisor sees it.
+type State int
+
+const (
+	// Up: the source is producing (or has not failed since it last
+	// produced).
+	Up State = iota
+	// Degraded: the source failed and is being restarted with backoff;
+	// records may be delayed but the source is not written off.
+	Degraded
+	// Down: the source failed DownAfter consecutive times (or spent
+	// its restart budget) without producing a single record in
+	// between. Operators alert on Down, not Degraded — the paper's
+	// listener outages (§3.3) are exactly multi-hour Downs that went
+	// unnoticed.
+	Down
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// health is one source's failure state machine: consecutive failures
+// move Up → Degraded → Down; any successfully produced record snaps
+// back to Up. Times come from the injected clock, so transitions are
+// testable without wall time.
+type health struct {
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive
+	downAfter int
+	since     time.Time // when the current state was entered
+}
+
+func newHealth(downAfter int) *health {
+	if downAfter < 1 {
+		downAfter = 1
+	}
+	return &health{downAfter: downAfter}
+}
+
+// ok records a produced record: whatever the history, the source is
+// Up and its failure streak is over.
+func (h *health) ok(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failures = 0
+	if h.state != Up {
+		h.state = Up
+		h.since = now
+	}
+}
+
+// fail records one source failure and returns the resulting state.
+func (h *health) fail(now time.Time) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failures++
+	next := Degraded
+	if h.failures >= h.downAfter {
+		next = Down
+	}
+	if h.state != next {
+		h.state = next
+		h.since = now
+	}
+	return h.state
+}
+
+// down forces the terminal state (restart budget spent).
+func (h *health) down(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != Down {
+		h.state = Down
+		h.since = now
+	}
+}
+
+// get returns the current state and when it was entered.
+func (h *health) get() (State, time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.since
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"netfail/internal/clock"
+)
+
+func TestHealthTransitions(t *testing.T) {
+	clk := clock.NewFake(time.Date(2026, time.January, 1, 0, 0, 0, 0, time.UTC))
+	h := newHealth(3)
+	if st, _ := h.get(); st != Up {
+		t.Fatalf("initial state = %v", st)
+	}
+	if st := h.fail(clk.Now()); st != Degraded {
+		t.Errorf("after 1 failure: %v, want degraded", st)
+	}
+	if st := h.fail(clk.Advance(time.Second)); st != Degraded {
+		t.Errorf("after 2 failures: %v, want degraded", st)
+	}
+	downAt := clk.Advance(time.Second)
+	if st := h.fail(downAt); st != Down {
+		t.Errorf("after 3 failures: %v, want down", st)
+	}
+	if st, since := h.get(); st != Down || !since.Equal(downAt) {
+		t.Errorf("get = %v since %v, want down since %v", st, since, downAt)
+	}
+	// One produced record snaps back to Up and resets the streak.
+	upAt := clk.Advance(time.Second)
+	h.ok(upAt)
+	if st, since := h.get(); st != Up || !since.Equal(upAt) {
+		t.Errorf("after ok: %v since %v", st, since)
+	}
+	if st := h.fail(clk.Advance(time.Second)); st != Degraded {
+		t.Errorf("failure streak not reset by ok: %v", st)
+	}
+}
+
+func TestHealthSinceOnlyMovesOnTransition(t *testing.T) {
+	clk := clock.NewFake(time.Date(2026, time.January, 1, 0, 0, 0, 0, time.UTC))
+	h := newHealth(10)
+	first := clk.Now()
+	h.fail(first)
+	h.fail(clk.Advance(time.Minute))
+	if _, since := h.get(); !since.Equal(first) {
+		t.Errorf("since = %v, want the first degraded instant %v", since, first)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Up: "up", Degraded: "degraded", Down: "down"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}

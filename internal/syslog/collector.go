@@ -9,25 +9,24 @@ import (
 	"sync"
 	"time"
 
+	"netfail/internal/backoff"
 	"netfail/internal/salvage"
-)
-
-// Collector read-retry policy: a persistent non-timeout socket error
-// no longer kills the capture silently — the read is retried with
-// exponential backoff, and only after readRetryMax consecutive
-// failures does the collector stop, recording the terminal error for
-// Err and Close to surface.
-const (
-	readRetryMax  = 5
-	readRetryBase = time.Millisecond
 )
 
 // Collector is the central logging facility: it receives syslog lines
 // over UDP and appends the parsed messages to an in-memory log. Every
 // router in the network is configured to send to one collector.
+//
+// Read-retry policy: a persistent non-timeout socket error does not
+// kill the capture silently — the read is retried on the shared
+// backoff.Default schedule, and only when its retry budget is
+// exhausted does the collector stop, recording the terminal error for
+// Err and Close to surface.
 type Collector struct {
-	conn *net.UDPConn
-	ref  time.Time
+	conn  *net.UDPConn
+	ref   time.Time
+	retry backoff.Policy
+	sleep func(time.Duration) // injected in tests to pin the schedule
 
 	mu       sync.Mutex
 	messages []*Message // guarded by mu
@@ -52,10 +51,22 @@ func NewCollector(addr string, ref time.Time) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("syslog: listen: %w", err)
 	}
-	c := &Collector{conn: conn, ref: ref, done: make(chan struct{})}
+	c := newCollector(conn, ref)
+	c.start()
+	return c, nil
+}
+
+// newCollector wires a collector without starting its capture loop,
+// so tests can swap the sleeper (and pin the retry schedule) before
+// any goroutine reads the fields.
+func newCollector(conn *net.UDPConn, ref time.Time) *Collector {
+	return &Collector{conn: conn, ref: ref, retry: backoff.Default, sleep: time.Sleep, done: make(chan struct{})}
+}
+
+// start launches the capture loop.
+func (c *Collector) start() {
 	c.wg.Add(1)
 	go c.run()
-	return c, nil
 }
 
 // Addr returns the address the collector is listening on.
@@ -64,7 +75,7 @@ func (c *Collector) Addr() net.Addr { return c.conn.LocalAddr() }
 func (c *Collector) run() {
 	defer c.wg.Done()
 	buf := make([]byte, 64*1024)
-	failures := 0
+	retry := c.retry.New()
 	for {
 		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -75,20 +86,20 @@ func (c *Collector) run() {
 			}
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				failures = 0
+				retry.Reset()
 				continue
 			}
-			failures++
-			if failures > readRetryMax {
+			d, ok := retry.Next()
+			if !ok {
 				c.mu.Lock()
-				c.err = fmt.Errorf("syslog: capture stopped after %d consecutive read errors: %w", failures, err)
+				c.err = fmt.Errorf("syslog: capture stopped after %d consecutive read errors: %w", retry.Attempts(), err)
 				c.mu.Unlock()
 				return
 			}
-			time.Sleep(readRetryBase << uint(failures-1))
+			c.sleep(d)
 			continue
 		}
-		failures = 0
+		retry.Reset()
 		m, err := Parse(string(buf[:n]), c.ref)
 		c.mu.Lock()
 		switch {

@@ -2,7 +2,9 @@ package syslog
 
 import (
 	"bytes"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -87,6 +89,61 @@ func TestCollectorSurfacesTerminalReadError(t *testing.T) {
 	}
 	if err := c.Close(); err == nil || !strings.Contains(err.Error(), "consecutive read errors") {
 		t.Errorf("Close() = %v, want the terminal error surfaced", err)
+	}
+}
+
+// TestCollectorRetryScheduleIsPinned pins the exact backoff schedule
+// the capture loop sleeps through before giving up: the shared
+// backoff.Default sequence (1, 2, 4, 8, 16 ms), not a hand-rolled
+// variant. The sleeper is injected before the loop starts, so the
+// recorded delays are the loop's real decisions with no wall time
+// involved.
+func TestCollectorRetryScheduleIsPinned(t *testing.T) {
+	udpAddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector(conn, refTime)
+	var mu sync.Mutex
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+	}
+	c.start()
+	// Kill the socket out from under the loop: every read now fails
+	// with a non-timeout error and the loop walks the whole schedule.
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && c.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Err() == nil {
+		t.Fatal("collector never surfaced the terminal read error")
+	}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		16 * time.Millisecond,
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want the pinned schedule %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("retry %d slept %v, want %v", i+1, slept[i], want[i])
+		}
 	}
 }
 

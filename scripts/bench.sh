@@ -9,8 +9,8 @@
 #   BENCHTIME go test -benchtime (default 1x: one measured iteration,
 #             enough for trajectory tracking without minutes of CI)
 #   BENCH     -bench regexp (default ".")
-#   PKGS      packages with benchmarks (default: root + the codec and
-#             stats suites)
+#   PKGS      packages with benchmarks (default: root + the codec,
+#             stats, and checkpoint suites)
 #   PAIRS     space-separated base=variant overhead pairs recorded in
 #             the report (default: the observability-enabled analysis
 #             against its plain baseline)
@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 PR="${PR:-5}"
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
-PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis}"
+PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis ./internal/checkpoint}"
 PAIRS="${PAIRS:-BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced}"
 OUT="${OUT:-BENCH_${PR}.json}"
 

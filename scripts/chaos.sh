@@ -1,0 +1,29 @@
+#!/bin/sh
+# chaos.sh — the crash-safety gate `make chaos` runs (and CI enforces):
+#
+#   1. kill/restart: netfail-serve is SIGKILLed at a seeded point
+#      mid-ingest, restarted on the same state directory, and must
+#      produce a final report byte-identical to an uninterrupted run
+#      (TestChaosKillRestartReportIsByteIdentical, plus the in-process
+#      twin TestKillResumeMatchesUninterrupted);
+#   2. overload soak: each shed policy is driven at 10x queue capacity
+#      and must account every record as ingested or shed, with bounded
+#      queue depth (TestOverloadSoakShedsPerPolicyWithExactAccounting);
+#   3. drain: a SIGTERM-style cancellation with a backlog must respect
+#      its drain deadline and account the discarded backlog as shed.
+#
+# Everything runs under the race detector: crash-safety claims are
+# worthless if the ingest path races.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> chaos: kill/restart report identity (SIGKILL mid-ingest)"
+go test -race -count=1 -run 'TestChaosKillRestart' .
+
+echo "==> chaos: supervisor kill/resume, overload soak, drain deadline"
+go test -race -count=1 \
+    -run 'TestKillResumeMatchesUninterrupted|TestOverloadSoakShedsPerPolicyWithExactAccounting|TestDrainTimeoutBoundsShutdown' \
+    ./internal/serve
+
+echo "chaos: OK"

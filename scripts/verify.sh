@@ -31,6 +31,9 @@ if [ "$short" = 0 ]; then
 
     echo "==> obs smoke (instrumented 1-month run)"
     ./scripts/obs-smoke.sh
+
+    echo "==> chaos (kill/restart identity, overload soak, drain)"
+    ./scripts/chaos.sh
 fi
 
 echo "verify: OK"
