@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint lint-baseline race verify faultinject bench obs chaos
+.PHONY: build test lint lint-baseline race verify faultinject bench bench-compare obs chaos
 
 build:
 	go build ./...
@@ -34,6 +34,11 @@ faultinject:
 # knobs). CI uploads the file as an artifact.
 bench:
 	./scripts/bench.sh
+
+# Alloc-regression gate: run the pinned zero-allocation benchmarks and
+# fail if any hot path exceeds its allocs/op budget. Part of verify.
+bench-compare:
+	./scripts/bench-compare.sh
 
 # Observability smoke: run the instrumented pipeline on a one-month
 # seeded campaign; assert a non-empty span tree and zero drop counters.

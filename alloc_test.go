@@ -8,14 +8,17 @@ import (
 	"netfail/internal/core"
 )
 
-// TestSyslogExtractAllocBudget pins the full syslog extraction stage —
-// parse, link-event decode, topology attribution, merge — to its
-// amortized allocation rate per message (currently ~1.4: the parsed
-// *Message, the *LinkEvent, and slice growth). It is the end-to-end
-// companion to the per-function pins in internal/syslog and
-// internal/trace: a per-message allocation added anywhere along the
-// extraction path raises the rate by at least one and fails the pin,
-// whether or not the offending function is annotated //netfail:hotpath.
+// TestSyslogExtractAllocBudget pins the full steady-state syslog
+// extraction stage — link-event decode, topology attribution, merge —
+// to amortized zero allocations per message. A long-lived (Extractor,
+// result) pair is warmed once; after that every capture must reuse
+// the grown scratch and result slices. It is the end-to-end companion
+// to the per-function pins in internal/syslog and internal/trace: a
+// per-message allocation added anywhere along the extraction path
+// raises the rate by ~1.0 against a 0.01 budget, whether or not the
+// offending function is annotated //netfail:hotpath. (The observability
+// stage span costs a handful of fixed allocations per call, which the
+// per-message budget absorbs at any realistic capture size.)
 func TestSyslogExtractAllocBudget(t *testing.T) {
 	camp, err := Simulate(context.Background(), benchMonthConfig(1))
 	if err != nil {
@@ -28,15 +31,18 @@ func TestSyslogExtractAllocBudget(t *testing.T) {
 	if len(camp.Syslog) == 0 {
 		t.Fatal("simulation produced no syslog")
 	}
+	ex := core.NewExtractor(mined.Network)
+	var st core.SyslogTraces
+	ex.ExtractInto(context.Background(), camp.Syslog, 60*time.Second, 1, &st)
 	avg := testing.AllocsPerRun(3, func() {
-		st := core.ExtractSyslog(mined.Network, camp.Syslog, 60*time.Second)
+		ex.ExtractInto(context.Background(), camp.Syslog, 60*time.Second, 1, &st)
 		if len(st.MergedAdj) == 0 {
 			t.Fatal("no transitions")
 		}
 	})
 	perMsg := avg / float64(len(camp.Syslog))
-	if perMsg > 2.0 {
-		t.Errorf("ExtractSyslog allocates %.2f times per message (%.0f over %d messages), budget is 2.0",
+	if perMsg > 0.01 {
+		t.Errorf("steady-state ExtractInto allocates %.4f times per message (%.0f over %d messages), budget is 0.01",
 			perMsg, avg, len(camp.Syslog))
 	}
 }

@@ -6,6 +6,11 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | netfail-bench -pr 4 -o BENCH_4.json
 //
+// With -prev BENCH_3.json it also prints a cur-vs-prev ratio table to
+// stderr, and -max-allocs Benchmark=N (repeatable) turns the run into
+// a gate that fails when a pinned hot path regresses past its
+// allocs/op budget — `make bench-compare` drives that mode.
+//
 // scripts/bench.sh (and `make bench`) is the canonical driver; CI
 // uploads the resulting file as a build artifact so the benchmark
 // trajectory across the PR stack stays diffable.
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"netfail/internal/benchfmt"
@@ -24,12 +30,30 @@ import (
 func main() {
 	pr := flag.Int("pr", 0, "PR sequence number recorded in the report")
 	out := flag.String("o", "", "output file (default stdout)")
+	prev := flag.String("prev", "", "previous BENCH_<n>.json to print a cur-vs-prev ratio table against")
 	var pairSpecs []string
 	flag.Func("pair", "record a base=variant overhead ratio (repeatable), e.g. -pair BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced", func(s string) error {
 		if !strings.Contains(s, "=") {
 			return fmt.Errorf("want base=variant, got %q", s)
 		}
 		pairSpecs = append(pairSpecs, s)
+		return nil
+	})
+	type allocPin struct {
+		name string
+		max  int64
+	}
+	var pins []allocPin
+	flag.Func("max-allocs", "fail unless the named benchmark reported at most N allocs/op (repeatable), e.g. -max-allocs BenchmarkSyslogExtract=8", func(s string) error {
+		name, limit, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=N, got %q", s)
+		}
+		max, err := strconv.ParseInt(limit, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad alloc limit %q: %v", limit, err)
+		}
+		pins = append(pins, allocPin{name, max})
 		return nil
 	})
 	flag.Parse()
@@ -69,6 +93,36 @@ func main() {
 		}
 		rep.Pairs = append(rep.Pairs, p)
 		fmt.Fprintf(os.Stderr, "netfail-bench: pair %s vs %s: ratio %.4f\n", variant, base, p.NsRatio)
+	}
+
+	failed := false
+	for _, pin := range pins {
+		if err := benchfmt.AssertAllocs(entries, pin.name, pin.max); err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "netfail-bench: alloc pin %s <= %d: ok\n", pin.name, pin.max)
+		}
+	}
+
+	if *prev != "" {
+		f, err := os.Open(*prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			os.Exit(1)
+		}
+		prevRep, err := benchfmt.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "netfail-bench: vs %s (PR %d):\n", *prev, prevRep.PR)
+		benchfmt.WriteDeltaTable(os.Stderr, benchfmt.Compare(prevRep.Benchmarks, entries))
+	}
+
+	if failed {
+		os.Exit(1)
 	}
 
 	w := os.Stdout

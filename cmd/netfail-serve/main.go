@@ -162,6 +162,7 @@ func serveDebug(addr string, reg *obs.Registry, sup *serve.Supervisor) func() {
 type campaignHandler struct {
 	mu        sync.Mutex
 	l         *listener.Listener
+	tok       *syslog.Tokenizer
 	msgs      []*syslog.Message
 	badSyslog int
 	rolling   time.Time
@@ -169,7 +170,7 @@ type campaignHandler struct {
 }
 
 func newCampaignHandler(network *topo.Network, start time.Time, reg *obs.Registry) *campaignHandler {
-	return &campaignHandler{l: listener.New(network), rolling: start, reg: reg}
+	return &campaignHandler{l: listener.New(network), tok: syslog.NewTokenizer(), rolling: start, reg: reg}
 }
 
 func (h *campaignHandler) Apply(rec serve.Record) error {
@@ -177,8 +178,8 @@ func (h *campaignHandler) Apply(rec serve.Record) error {
 	defer h.mu.Unlock()
 	switch rec.Source {
 	case "syslog":
-		m, err := syslog.Parse(string(rec.Data), h.rolling)
-		if err != nil {
+		m := new(syslog.Message)
+		if err := h.tok.ParseBytes(rec.Data, h.rolling, m); err != nil {
 			h.badSyslog++
 			h.reg.Counter("drops.serve.syslog_parse").Add(1)
 			return err

@@ -33,6 +33,15 @@ type Entry struct {
 	// MBPerSec is throughput for benchmarks that b.SetBytes; 0 when
 	// absent.
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// MsgsPerOp and RecordsPerOp mirror the custom b.ReportMetric
+	// units the parse and decode benchmarks emit; 0 when absent.
+	MsgsPerOp    float64 `json:"msgs_per_op,omitempty"`
+	RecordsPerOp float64 `json:"records_per_op,omitempty"`
+	// MsgsPerSec and RecordsPerSec are the derived throughput figures
+	// (unit count × 1e9 / ns per op) — the headline numbers the
+	// performance docs quote; 0 when underived.
+	MsgsPerSec    float64 `json:"msgs_per_sec,omitempty"`
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
 }
 
 // Pair records a variant-vs-baseline benchmark pairing — typically an
@@ -80,10 +89,10 @@ type Report struct {
 	PR int `json:"pr"`
 	// GoVersion, GoOS, GoArch, and GoMaxProcs pin the environment
 	// that produced the numbers.
-	GoVersion  string `json:"go_version,omitempty"`
-	GoOS       string `json:"goos,omitempty"`
-	GoArch     string `json:"goarch,omitempty"`
-	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	GoVersion  string  `json:"go_version,omitempty"`
+	GoOS       string  `json:"goos,omitempty"`
+	GoArch     string  `json:"goarch,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 	// Pairs holds variant-vs-baseline overhead ratios (e.g. the
 	// observability-enabled analysis against the plain one).
@@ -160,10 +169,22 @@ func parseLine(line string) (Entry, int, bool) {
 			e.AllocsPerOp = int64(v)
 		case "MB/s":
 			e.MBPerSec = v
+		case "msgs/op":
+			e.MsgsPerOp = v
+		case "records/op":
+			e.RecordsPerOp = v
 		}
 	}
 	if e.NsPerOp == 0 && e.Iterations == 0 {
 		return Entry{}, 0, false
+	}
+	if e.NsPerOp > 0 {
+		if e.MsgsPerOp > 0 {
+			e.MsgsPerSec = e.MsgsPerOp * 1e9 / e.NsPerOp
+		}
+		if e.RecordsPerOp > 0 {
+			e.RecordsPerSec = e.RecordsPerOp * 1e9 / e.NsPerOp
+		}
 	}
 	return e, procs, true
 }
@@ -179,6 +200,82 @@ func splitProcs(s string) (string, int) {
 		return s, 0
 	}
 	return s[:i], n
+}
+
+// Read loads a previously written BENCH_<n>.json report.
+func Read(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: %w", err)
+	}
+	return rep, nil
+}
+
+// Delta is one benchmark's movement between two reports.
+type Delta struct {
+	Name string
+	// PrevNs and CurNs are ns/op in the two reports; NsRatio is
+	// cur/prev (0.5 means the benchmark got twice as fast).
+	PrevNs, CurNs float64
+	NsRatio       float64
+	// PrevAllocs and CurAllocs are allocs/op (-1 when unreported).
+	PrevAllocs, CurAllocs int64
+}
+
+// Compare pairs cur's entries with prev's by name and returns the
+// deltas in cur's order, skipping benchmarks absent from prev or with
+// an unmeasured previous time.
+func Compare(prev, cur []Entry) []Delta {
+	prevBy := make(map[string]Entry, len(prev))
+	for _, e := range prev {
+		prevBy[e.Name] = e
+	}
+	var out []Delta
+	for _, e := range cur {
+		p, ok := prevBy[e.Name]
+		if !ok || p.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Delta{
+			Name:   e.Name,
+			PrevNs: p.NsPerOp, CurNs: e.NsPerOp,
+			NsRatio:    e.NsPerOp / p.NsPerOp,
+			PrevAllocs: p.AllocsPerOp, CurAllocs: e.AllocsPerOp,
+		})
+	}
+	return out
+}
+
+// WriteDeltaTable renders the cur-vs-prev ratio table the bench
+// harness prints: one row per benchmark present in both reports.
+func WriteDeltaTable(w io.Writer, deltas []Delta) {
+	fmt.Fprintf(w, "%-34s %14s %14s %7s %9s\n", "benchmark", "prev ns/op", "cur ns/op", "ratio", "allocs")
+	for _, d := range deltas {
+		allocs := fmt.Sprintf("%d→%d", d.PrevAllocs, d.CurAllocs)
+		if d.PrevAllocs < 0 || d.CurAllocs < 0 {
+			allocs = "-"
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %7.2f %9s\n", d.Name, d.PrevNs, d.CurNs, d.NsRatio, allocs)
+	}
+}
+
+// AssertAllocs checks that the named benchmark reported at most max
+// allocs/op — the alloc-regression gate `make bench-compare` enforces
+// on the zero-allocation hot paths.
+func AssertAllocs(entries []Entry, name string, max int64) error {
+	for _, e := range entries {
+		if e.Name != name {
+			continue
+		}
+		if e.AllocsPerOp < 0 {
+			return fmt.Errorf("benchfmt: %s did not report allocs/op (run with -benchmem)", name)
+		}
+		if e.AllocsPerOp > max {
+			return fmt.Errorf("benchfmt: %s allocates %d per op, pinned at %d", name, e.AllocsPerOp, max)
+		}
+		return nil
+	}
+	return fmt.Errorf("benchfmt: alloc pin references unknown benchmark %q", name)
 }
 
 // Write renders the report as indented JSON with a trailing newline.

@@ -132,6 +132,97 @@ func TestWriteRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseDerivesThroughput(t *testing.T) {
+	in := "BenchmarkSyslogExtract-8 \t 100 \t 500000 ns/op \t 6162 msgs/op \t 0 B/op \t 0 allocs/op\n" +
+		"BenchmarkLSPDecode-8 \t 100 \t 4000 ns/op \t 1 records/op \t 0 B/op \t 0 allocs/op\n"
+	entries, _, _, _, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	ex := entries[0]
+	if ex.MsgsPerOp != 6162 {
+		t.Errorf("msgs/op = %v, want 6162", ex.MsgsPerOp)
+	}
+	// 6162 msgs per 500 µs is 12.324 M msgs/s.
+	if ex.MsgsPerSec < 12.3e6 || ex.MsgsPerSec > 12.4e6 {
+		t.Errorf("msgs/sec = %v, want ~12.324e6", ex.MsgsPerSec)
+	}
+	dec := entries[1]
+	if dec.RecordsPerOp != 1 {
+		t.Errorf("records/op = %v, want 1", dec.RecordsPerOp)
+	}
+	if dec.RecordsPerSec < 249e3 || dec.RecordsPerSec > 251e3 {
+		t.Errorf("records/sec = %v, want ~250e3", dec.RecordsPerSec)
+	}
+}
+
+func TestReadCompareAndDeltaTable(t *testing.T) {
+	prevRep := Report{PR: 7, Benchmarks: []Entry{
+		{Name: "BenchmarkSyslogExtract", NsPerOp: 3455436, AllocsPerOp: 8736},
+		{Name: "BenchmarkRetired", NsPerOp: 10},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, prevRep); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PR != 7 || len(loaded.Benchmarks) != 2 {
+		t.Fatalf("round trip mismatch: %+v", loaded)
+	}
+
+	cur := []Entry{
+		{Name: "BenchmarkSyslogExtract", NsPerOp: 583617, AllocsPerOp: 6},
+		{Name: "BenchmarkBrandNew", NsPerOp: 42, AllocsPerOp: 0},
+	}
+	deltas := Compare(loaded.Benchmarks, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1 (new benchmarks have no baseline): %+v", len(deltas), deltas)
+	}
+	d := deltas[0]
+	if d.Name != "BenchmarkSyslogExtract" || d.PrevAllocs != 8736 || d.CurAllocs != 6 {
+		t.Errorf("unexpected delta: %+v", d)
+	}
+	if d.NsRatio > 0.2 {
+		t.Errorf("ratio = %v, want ~0.17 (a ~5.9x speedup)", d.NsRatio)
+	}
+
+	var tbl bytes.Buffer
+	WriteDeltaTable(&tbl, deltas)
+	out := tbl.String()
+	if !strings.Contains(out, "BenchmarkSyslogExtract") || !strings.Contains(out, "8736→6") {
+		t.Errorf("delta table missing expected row:\n%s", out)
+	}
+}
+
+func TestAssertAllocs(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkZero", AllocsPerOp: 0},
+		{Name: "BenchmarkSix", AllocsPerOp: 6},
+		{Name: "BenchmarkUnreported", AllocsPerOp: -1},
+	}
+	if err := AssertAllocs(entries, "BenchmarkZero", 0); err != nil {
+		t.Errorf("zero-alloc pin failed: %v", err)
+	}
+	if err := AssertAllocs(entries, "BenchmarkSix", 6); err != nil {
+		t.Errorf("at-budget pin failed: %v", err)
+	}
+	if err := AssertAllocs(entries, "BenchmarkSix", 5); err == nil {
+		t.Error("over-budget benchmark passed the pin")
+	}
+	if err := AssertAllocs(entries, "BenchmarkUnreported", 0); err == nil {
+		t.Error("unreported allocs passed the pin")
+	}
+	if err := AssertAllocs(entries, "BenchmarkMissing", 0); err == nil {
+		t.Error("unknown benchmark passed the pin")
+	}
+}
+
 func TestWriteEmptyReportHasArray(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, Report{PR: 1}); err != nil {

@@ -1,0 +1,28 @@
+package checkpoint
+
+import "testing"
+
+// TestAppendAllocBudget pins the kernel-durable append path to zero
+// steady-state allocations: after the first append grows the store's
+// frame buffer, every subsequent record encodes into it in place. A
+// regression to a per-append frame allocation raises the rate to one
+// and fails the pin.
+func TestAppendAllocBudget(t *testing.T) {
+	st, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	data := []byte("alloc budget record payload: sixty-four bytes of syslog-ish tex")
+	if _, err := st.Append(data); err != nil { // grow the frame buffer
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := st.Append(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Append allocates %.2f times per record, budget is 0", avg)
+	}
+}

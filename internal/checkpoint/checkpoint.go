@@ -124,8 +124,9 @@ type Store struct {
 	dir string
 	opt options
 
-	wal *os.File
-	seq uint64 // last appended (or recovered) sequence
+	wal      *os.File
+	seq      uint64 // last appended (or recovered) sequence
+	frameBuf []byte // reused frame encoding buffer; grows to the largest record
 }
 
 // Open recovers the checkpoint directory (creating it if needed) and
@@ -174,13 +175,18 @@ func (s *Store) openSegment() error {
 
 // Append logs one record and returns its sequence number. On return
 // the record has reached the kernel (surviving SIGKILL); with
-// FsyncEach it has reached the disk (surviving power loss).
+// FsyncEach it has reached the disk (surviving power loss). The frame
+// is encoded into a buffer the store reuses across appends, so the
+// steady-state ingest path allocates nothing per record.
+//
+//netfail:hotpath
 func (s *Store) Append(data []byte) (uint64, error) {
 	if s.wal == nil {
 		return 0, fmt.Errorf("checkpoint: store is closed")
 	}
 	seq := s.seq + 1
-	if _, err := s.wal.Write(encodeFrame(seq, data)); err != nil {
+	s.frameBuf = appendFrame(s.frameBuf[:0], seq, data)
+	if _, err := s.wal.Write(s.frameBuf); err != nil {
 		return 0, fmt.Errorf("checkpoint: append seq %d: %w", seq, err)
 	}
 	if s.opt.fsyncEach {
@@ -302,32 +308,45 @@ func syncDir(dir string) error {
 	return err
 }
 
-// encodeFrame renders one record's on-disk frame.
-func encodeFrame(seq uint64, data []byte) []byte {
+// appendFrame appends one record's on-disk frame to dst, growing it
+// as needed — the append-style encoder both the WAL and the snapshot
+// writer run through one reused buffer.
+//
+//netfail:hotpath
+func appendFrame(dst []byte, seq uint64, data []byte) []byte {
 	payloadLen := 8 + len(data)
-	buf := make([]byte, frameOverhead+payloadLen)
+	start := len(dst)
+	if need := start + frameOverhead + payloadLen; cap(dst) < need {
+		grown := make([]byte, start, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[start : start+frameOverhead+payloadLen]
 	buf[0], buf[1] = sync0, sync1
 	binary.LittleEndian.PutUint32(buf[2:], uint32(payloadLen))
 	payload := buf[frameOverhead:]
 	binary.LittleEndian.PutUint64(payload, seq)
 	copy(payload[8:], data)
 	binary.LittleEndian.PutUint32(buf[6:], crc32.ChecksumIEEE(payload))
-	return buf
+	return dst[:start+frameOverhead+payloadLen]
 }
 
 // writeSnapshot writes the snapshot stream: header, a meta frame
-// (seq = covered, data = record count), then every record frame.
+// (seq = covered, data = record count), then every record frame, all
+// encoded through one buffer that grows to the largest record.
 func writeSnapshot(w io.Writer, covered uint64, records []Record) error {
 	if _, err := io.WriteString(w, snapHeader); err != nil {
 		return err
 	}
 	var count [8]byte
 	binary.LittleEndian.PutUint64(count[:], uint64(len(records)))
-	if _, err := w.Write(encodeFrame(covered, count[:])); err != nil {
+	buf := appendFrame(nil, covered, count[:])
+	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 	for _, r := range records {
-		if _, err := w.Write(encodeFrame(r.Seq, r.Data)); err != nil {
+		buf = appendFrame(buf[:0], r.Seq, r.Data)
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

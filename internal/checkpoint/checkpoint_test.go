@@ -339,9 +339,9 @@ func TestMidSegmentCorruptionResynchronizes(t *testing.T) {
 func TestStrictReaderErrorsRecordAccurately(t *testing.T) {
 	var buf bytes.Buffer
 	buf.WriteString(walHeader)
-	buf.Write(encodeFrame(1, []byte("alpha")))
-	buf.Write(encodeFrame(2, []byte("beta")))
-	frame3 := encodeFrame(3, []byte("gamma"))
+	buf.Write(appendFrame(nil, 1, []byte("alpha")))
+	buf.Write(appendFrame(nil, 2, []byte("beta")))
+	frame3 := appendFrame(nil, 3, []byte("gamma"))
 	frame3[len(frame3)-1] ^= 0xFF // corrupt record 3's payload
 	offset3 := buf.Len() - len(walHeader)
 	buf.Write(frame3)

@@ -1,40 +1,8 @@
 package core
 
 import (
-	"sync"
-
 	"netfail/internal/pool"
 )
-
-// extractTally accumulates the message-accounting counters that
-// ExtractSyslog's shards produce. Each worker parses a contiguous
-// chunk of the capture into shard-local state and folds its counts in
-// here as it finishes; the transition slices themselves are merged
-// index-ordered and never cross the mutex.
-type extractTally struct {
-	mu         sync.Mutex
-	unresolved int // guarded by mu
-	nonLink    int // guarded by mu
-	adj        int // guarded by mu
-	phys       int // guarded by mu
-}
-
-// add folds one shard's counters into the tally.
-func (t *extractTally) add(unresolved, nonLink, adj, phys int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.unresolved += unresolved
-	t.nonLink += nonLink
-	t.adj += adj
-	t.phys += phys
-}
-
-// snapshot reads the folded counters after the pool has drained.
-func (t *extractTally) snapshot() (unresolved, nonLink, adj, phys int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.unresolved, t.nonLink, t.adj, t.phys
-}
 
 // chunkBounds splits n items into at most workers contiguous chunks
 // and returns the chunk boundaries: chunk i is [bounds[i], bounds[i+1]).

@@ -2,12 +2,17 @@ package isis
 
 import "testing"
 
-// TestLSPDecodeAllocBudget pins DecodeFromBytes to its current
-// allocation count on the benchmark LSP (~8 neighbors, ~11 prefixes):
-// the TLV slice, the preallocated neighbor and prefix lists, the
-// hostname string, and per-TLV value copies. The []byte-oriented
-// decode rewrite (ROADMAP item 4) should lower the budget; nothing
-// should raise it unnoticed.
+// Allocation pins companion to the benchmarks: ReportAllocs shows a
+// regression only to someone reading benchmark output, while these
+// fail `go test` outright. The in-place decode copies every retained
+// byte into one reused arena and takes neighbor/prefix slots from
+// reused backing arrays, so a warm LSP decodes with zero allocations;
+// a cold LSP pays only the handful of one-time buffer allocations.
+
+// TestLSPDecodeAllocBudget pins the cold path: decoding into a fresh
+// LSP allocates the arena, the neighbor and prefix backing arrays, and
+// the area list — one-time buffers, not per-record garbage. (The
+// hostname intern amortizes to zero across the run.)
 func TestLSPDecodeAllocBudget(t *testing.T) {
 	wire, err := benchLSP().Encode()
 	if err != nil {
@@ -19,7 +24,55 @@ func TestLSPDecodeAllocBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if avg > 7 {
-		t.Errorf("DecodeFromBytes allocates %.1f times per LSP, budget is 7", avg)
+	budget := 4.0
+	if raceEnabled {
+		budget = 6.0 // race instrumentation adds allocations of its own
+	}
+	if avg > budget {
+		t.Errorf("cold DecodeFromBytes allocates %.1f times per LSP, budget is %.0f", avg, budget)
+	}
+}
+
+// TestLSPDecodeReuseAllocBudget pins the steady state: decoding into a
+// warm reused LSP — the arena sized, the slot arrays grown, the
+// hostname interned — must allocate nothing at all.
+func TestLSPDecodeReuseAllocBudget(t *testing.T) {
+	wire, err := benchLSP().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l LSP
+	for i := 0; i < 4; i++ {
+		if err := l.DecodeFromBytes(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := l.DecodeFromBytes(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm DecodeFromBytes allocates %.1f times per LSP, budget is 0", avg)
+	}
+}
+
+// TestNeighborKeyAllocBudget pins the listener's per-install diff
+// keys: once interned, Key, PlainKey, and IPPrefix.Key are built on
+// the stack and resolved by a lock-free map probe — zero allocations.
+func TestNeighborKeyAllocBudget(t *testing.T) {
+	l := benchLSP()
+	n := l.Neighbors[0]
+	n.SetLinkIDs(7, 9)
+	p := l.Prefixes[0]
+	// Warm the intern table: two sightings promote the snapshot.
+	for i := 0; i < 4; i++ {
+		_, _, _ = n.Key(), n.PlainKey(), p.Key()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		_, _, _ = n.Key(), n.PlainKey(), p.Key()
+	})
+	if avg != 0 {
+		t.Errorf("warm Key/PlainKey/IPPrefix.Key allocate %.1f times per batch, budget is 0", avg)
 	}
 }

@@ -36,6 +36,16 @@ type LSP struct {
 	Prefixes []IPPrefix
 	// Unknown preserves TLVs this implementation does not decode.
 	Unknown []RawTLV
+
+	// arena is the decode scratch buffer: every byte slice a decoded
+	// LSP retains (area addresses, sub-TLV values, unknown TLV values)
+	// is a subrange of this one allocation instead of an individual
+	// copy. It is sized to the PDU length — all retained bytes come
+	// from the PDU, so it never grows mid-decode — and reused across
+	// DecodeFromBytes calls on the same LSP, making steady-state decode
+	// allocation-free. The decoded LSP owns its data; nothing aliases
+	// the caller's input buffer.
+	arena []byte
 }
 
 // Type implements PDU.
@@ -109,8 +119,63 @@ func (l *LSP) Encode() ([]byte, error) {
 	return b, nil
 }
 
+// resetForDecode wipes the LSP for a fresh decode while keeping every
+// reusable backing array: the arena (regrown only if the new PDU is
+// larger than any seen before), the outer slices, and — via
+// nextNeighbor — the per-slot SubTLVs capacity inside Neighbors.
+//
+//netfail:hotpath
+func (l *LSP) resetForDecode(pduLen int) {
+	arena := l.arena
+	if cap(arena) < pduLen {
+		arena = make([]byte, 0, pduLen)
+	}
+	*l = LSP{
+		arena:      arena[:0],
+		Areas:      l.Areas[:0],
+		IfaceAddrs: l.IfaceAddrs[:0],
+		Neighbors:  l.Neighbors[:0],
+		Prefixes:   l.Prefixes[:0],
+		Unknown:    l.Unknown[:0],
+	}
+}
+
+// arenaCopy copies b into the arena and returns the full-capped
+// subrange. The arena's capacity covers the whole PDU, and every copy
+// is a disjoint region of it, so the append never grows.
+//
+//netfail:hotpath
+func (l *LSP) arenaCopy(b []byte) []byte {
+	n := len(l.arena)
+	l.arena = append(l.arena, b...)
+	return l.arena[n : n+len(b) : n+len(b)]
+}
+
+// nextNeighbor extends l.Neighbors by one slot, reusing the backing
+// array — and, crucially, the slot's previous SubTLVs capacity, which
+// a plain append of a fresh ISNeighbor would discard. Every other
+// field is overwritten by the caller.
+//
+//netfail:hotpath
+func (l *LSP) nextNeighbor() *ISNeighbor {
+	if len(l.Neighbors) < cap(l.Neighbors) {
+		l.Neighbors = l.Neighbors[:len(l.Neighbors)+1]
+	} else {
+		l.Neighbors = append(l.Neighbors, ISNeighbor{})
+	}
+	n := &l.Neighbors[len(l.Neighbors)-1]
+	n.SubTLVs = n.SubTLVs[:0]
+	return n
+}
+
 // DecodeFromBytes parses an LSP from wire bytes, validating the
-// common header, PDU length, and Fletcher checksum.
+// common header, PDU length, and Fletcher checksum. The decode is
+// in-place: a tlvCursor walks the TLV region without callbacks or
+// per-TLV copies, retained bytes land in the LSP's reused arena, and
+// the hostname is interned — so decoding into a warm reused LSP
+// allocates nothing.
+//
+//netfail:hotpath
 func (l *LSP) DecodeFromBytes(data []byte) error {
 	typ, err := PeekType(data)
 	if err != nil {
@@ -128,7 +193,7 @@ func (l *LSP) DecodeFromBytes(data []byte) error {
 	}
 	data = data[:pduLen]
 
-	*l = LSP{}
+	l.resetForDecode(pduLen)
 	l.Lifetime = binary.BigEndian.Uint16(data[10:])
 	l.ID = lspIDFromBytes(data[12:20])
 	l.Sequence = binary.BigEndian.Uint32(data[20:])
@@ -140,7 +205,12 @@ func (l *LSP) DecodeFromBytes(data []byte) error {
 	l.Attached = flags&0x40 != 0
 	l.Overload = flags&0x04 != 0
 
-	return parseTLVs(data[lspHeaderLen:], func(typ TLVType, value []byte) error {
+	cur := tlvCursor{data: data[lspHeaderLen:]}
+	for {
+		typ, value, ok := cur.next()
+		if !ok {
+			break
+		}
 		switch typ {
 		case TLVAreaAddresses:
 			for off := 0; off < len(value); {
@@ -149,11 +219,11 @@ func (l *LSP) DecodeFromBytes(data []byte) error {
 				if off+alen > len(value) {
 					return ErrTruncated
 				}
-				l.Areas = append(l.Areas, append([]byte(nil), value[off:off+alen]...))
+				l.Areas = append(l.Areas, l.arenaCopy(value[off:off+alen]))
 				off += alen
 			}
 		case TLVHostname:
-			l.Hostname = string(value)
+			l.Hostname = symbols.Intern(value)
 		case TLVIPIfaceAddr:
 			if len(value)%4 != 0 {
 				return ErrTruncated
@@ -162,22 +232,18 @@ func (l *LSP) DecodeFromBytes(data []byte) error {
 				l.IfaceAddrs = append(l.IfaceAddrs, binary.BigEndian.Uint32(value[off:]))
 			}
 		case TLVExtISReach:
-			ns, err := parseExtISReach(value)
-			if err != nil {
+			if err := l.decodeExtISReach(value); err != nil {
 				return err
 			}
-			l.Neighbors = append(l.Neighbors, ns...)
 		case TLVExtIPReach:
-			ps, err := parseExtIPReach(value)
-			if err != nil {
+			if err := l.decodeExtIPReach(value); err != nil {
 				return err
 			}
-			l.Prefixes = append(l.Prefixes, ps...)
 		default:
-			l.Unknown = append(l.Unknown, RawTLV{Type: typ, Value: append([]byte(nil), value...)})
+			l.Unknown = append(l.Unknown, RawTLV{Type: typ, Value: l.arenaCopy(value)})
 		}
-		return nil
-	})
+	}
+	return cur.err
 }
 
 // NeighborKeys returns the set of advertised IS-reachability neighbor

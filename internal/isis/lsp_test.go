@@ -226,8 +226,9 @@ func TestPrefixRoundTripQuick(t *testing.T) {
 		}
 		in := []IPPrefix{{Metric: metric, Addr: addr, Length: length, Down: down}}
 		wire := appendExtIPReach(nil, in)
-		out, err := parseExtIPReach(wire[2:])
-		return err == nil && len(out) == 1 && out[0] == in[0]
+		var l LSP
+		err := l.decodeExtIPReach(wire[2:])
+		return err == nil && len(l.Prefixes) == 1 && l.Prefixes[0] == in[0]
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

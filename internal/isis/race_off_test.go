@@ -1,0 +1,8 @@
+//go:build !race
+
+package isis
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary; its instrumentation adds allocations the cold-path
+// budget must tolerate.
+const raceEnabled = false

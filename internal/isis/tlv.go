@@ -1,10 +1,40 @@
 package isis
 
 import (
+	"errors"
 	"fmt"
+	"slices"
+	"strconv"
 
+	"netfail/internal/intern"
 	"netfail/internal/topo"
 )
+
+// symbols interns the decode vocabulary — hostnames, neighbor keys,
+// prefix keys. A campaign's LSP stream repeats the same few hundred
+// symbols millions of times; interning makes every warm sighting a
+// lock-free map probe instead of an allocation, and the canonical
+// strings double as cheap map keys in the listener's diff sets. The
+// limit bounds the table against corrupted captures: past it, unseen
+// symbols degrade to plain allocation instead of growing the table.
+var symbols = intern.Table{Limit: 1 << 16}
+
+const hexDigits = "0123456789abcdef"
+
+// appendSystemID appends the canonical lowercase "xxxx.xxxx.xxxx"
+// rendering of a system ID, byte-identical to topo.SystemID.String
+// without the fmt machinery.
+//
+//netfail:hotpath
+func appendSystemID(dst []byte, s topo.SystemID) []byte {
+	for i := 0; i < len(s); i++ {
+		if i == 2 || i == 4 {
+			dst = append(dst, '.')
+		}
+		dst = append(dst, hexDigits[s[i]>>4], hexDigits[s[i]&0xf])
+	}
+	return dst
+}
 
 // TLVType identifies a type/length/value field inside a PDU.
 type TLVType uint8
@@ -44,25 +74,54 @@ func appendTLV(b []byte, typ TLVType, value []byte) []byte {
 
 // parseTLVs walks the TLV region, invoking fn for each field. It
 // returns ErrTruncated if a declared length overruns the buffer.
-//
-//netfail:hotpath
+// Cold-path PDUs (hellos, SNPs) use this callback form; the LSP hot
+// path walks a tlvCursor instead.
 func parseTLVs(data []byte, fn func(typ TLVType, value []byte) error) error {
-	for off := 0; off < len(data); {
-		if off+2 > len(data) {
-			return ErrTruncated
+	cur := tlvCursor{data: data}
+	for {
+		typ, value, ok := cur.next()
+		if !ok {
+			break
 		}
-		typ := TLVType(data[off])
-		length := int(data[off+1])
-		off += 2
-		if off+length > len(data) {
-			return ErrTruncated
-		}
-		if err := fn(typ, data[off:off+length]); err != nil {
+		if err := fn(typ, value); err != nil {
 			return err
 		}
-		off += length
 	}
-	return nil
+	return cur.err
+}
+
+// tlvCursor is an in-place iterator over a TLV region: no callback,
+// no closure, no per-TLV bookkeeping beyond one offset. The yielded
+// value slices alias the input buffer; callers that retain them must
+// copy (the LSP decode copies into its arena).
+type tlvCursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// next yields the next TLV. ok is false at the end of the region or
+// on framing error; the cursor's err field distinguishes the two.
+//
+//netfail:hotpath
+func (c *tlvCursor) next() (typ TLVType, value []byte, ok bool) {
+	if c.off >= len(c.data) || c.err != nil {
+		return 0, nil, false
+	}
+	if c.off+2 > len(c.data) {
+		c.err = ErrTruncated
+		return 0, nil, false
+	}
+	typ = TLVType(c.data[c.off])
+	length := int(c.data[c.off+1])
+	c.off += 2
+	if c.off+length > len(c.data) {
+		c.err = ErrTruncated
+		return 0, nil, false
+	}
+	value = c.data[c.off : c.off+length]
+	c.off += length
+	return typ, value, true
 }
 
 // SubTLVLinkIDs is the Link Local/Remote Identifiers sub-TLV
@@ -85,16 +144,37 @@ type ISNeighbor struct {
 // Key returns the neighbor identity the listener diffs between
 // successive LSPs. When the entry carries link identifiers the key
 // includes them, so parallel adjacencies become distinguishable.
+// Keys are built on the stack ("sysid.pn" plus an optional "#local")
+// and interned, so the warm path allocates nothing.
+//
+//netfail:hotpath
 func (n ISNeighbor) Key() string {
+	var buf [32]byte
+	b := n.appendPlainKey(buf[:0])
 	if local, _, ok := n.LinkIDs(); ok {
-		return fmt.Sprintf("%s.%02x#%08x", n.System, n.Pseudonode, local)
+		b = append(b, '#')
+		for shift := 28; shift >= 0; shift -= 4 {
+			b = append(b, hexDigits[(local>>uint(shift))&0xf])
+		}
 	}
-	return fmt.Sprintf("%s.%02x", n.System, n.Pseudonode)
+	return symbols.Intern(b)
 }
 
 // PlainKey returns the identity without link identifiers.
+//
+//netfail:hotpath
 func (n ISNeighbor) PlainKey() string {
-	return fmt.Sprintf("%s.%02x", n.System, n.Pseudonode)
+	var buf [32]byte
+	return symbols.Intern(n.appendPlainKey(buf[:0]))
+}
+
+// appendPlainKey appends "xxxx.xxxx.xxxx.pn" (system ID plus the
+// two-hex-digit pseudonode octet).
+//
+//netfail:hotpath
+func (n *ISNeighbor) appendPlainKey(dst []byte) []byte {
+	dst = appendSystemID(dst, n.System)
+	return append(dst, '.', hexDigits[n.Pseudonode>>4], hexDigits[n.Pseudonode&0xf])
 }
 
 // SetLinkIDs attaches the RFC 5307 link local/remote identifiers.
@@ -160,42 +240,46 @@ func appendExtISReach(b []byte, neighbors []ISNeighbor) []byte {
 	return b
 }
 
+// decodeExtISReach appends one TLV 22 value's entries to l.Neighbors,
+// walking the wire bytes in place: neighbor slots come from the reused
+// backing array (nextNeighbor), and sub-TLV values are copied into the
+// LSP's arena rather than individually allocated.
+//
 //netfail:hotpath
-func parseExtISReach(value []byte) ([]ISNeighbor, error) {
+func (l *LSP) decodeExtISReach(value []byte) error {
 	// Each entry occupies at least the fixed header, which bounds the
-	// entry count and keeps the append below growth-free.
-	out := make([]ISNeighbor, 0, len(value)/isNeighborFixedLen)
+	// entry count; growing up front keeps the slot appends growth-free.
+	l.Neighbors = slices.Grow(l.Neighbors, len(value)/isNeighborFixedLen)
 	for off := 0; off < len(value); {
 		if off+isNeighborFixedLen > len(value) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		var n ISNeighbor
+		n := l.nextNeighbor()
 		copy(n.System[:], value[off:off+6])
 		n.Pseudonode = value[off+6]
 		n.Metric = uint32(value[off+7])<<16 | uint32(value[off+8])<<8 | uint32(value[off+9])
 		subLen := int(value[off+10])
 		off += isNeighborFixedLen
 		if off+subLen > len(value) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		sub := value[off : off+subLen]
 		for soff := 0; soff < len(sub); {
 			if soff+2 > len(sub) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			st := TLVType(sub[soff])
 			sl := int(sub[soff+1])
 			soff += 2
 			if soff+sl > len(sub) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
-			n.SubTLVs = append(n.SubTLVs, RawTLV{Type: st, Value: append([]byte(nil), sub[soff:soff+sl]...)})
+			n.SubTLVs = append(n.SubTLVs, RawTLV{Type: st, Value: l.arenaCopy(sub[soff : soff+sl])})
 			soff += sl
 		}
 		off += subLen
-		out = append(out, n)
 	}
-	return out, nil
+	return nil
 }
 
 // IPPrefix is one entry of the Extended IP Reachability TLV
@@ -216,8 +300,24 @@ func (p IPPrefix) String() string {
 	return fmt.Sprintf("%s/%d", topo.FormatIPv4(p.Addr), p.Length)
 }
 
-// Key returns the prefix identity without the metric.
-func (p IPPrefix) Key() string { return p.String() }
+// Key returns the prefix identity without the metric: the same
+// "a.b.c.d/len" rendering as String, built on the stack and interned
+// so the listener's per-install diff sets allocate nothing warm.
+//
+//netfail:hotpath
+func (p IPPrefix) Key() string {
+	var buf [20]byte // "255.255.255.255/32" is 18 bytes
+	b := strconv.AppendUint(buf[:0], uint64(p.Addr>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(p.Addr>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(p.Addr>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(p.Addr&0xff), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(p.Length), 10)
+	return symbols.Intern(b)
+}
 
 func appendExtIPReach(b []byte, prefixes []IPPrefix) []byte {
 	for start := 0; start < len(prefixes); {
@@ -252,13 +352,21 @@ func appendExtIPReach(b []byte, prefixes []IPPrefix) []byte {
 	return b
 }
 
+// errBadPrefixLen is preconstructed so the reject path stays
+// allocation-free on corrupted captures.
+var errBadPrefixLen = errors.New("isis: bad prefix length")
+
+// decodeExtIPReach appends one TLV 135 value's entries to l.Prefixes
+// in place; prefix entries are plain values, so the reused backing
+// array is the only storage involved.
+//
 //netfail:hotpath
-func parseExtIPReach(value []byte) ([]IPPrefix, error) {
+func (l *LSP) decodeExtIPReach(value []byte) error {
 	// Metric + control byte is the minimum entry, bounding the count.
-	out := make([]IPPrefix, 0, len(value)/5)
+	l.Prefixes = slices.Grow(l.Prefixes, len(value)/5)
 	for off := 0; off < len(value); {
 		if off+5 > len(value) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		var p IPPrefix
 		p.Metric = uint32(value[off])<<24 | uint32(value[off+1])<<16 | uint32(value[off+2])<<8 | uint32(value[off+3])
@@ -267,12 +375,12 @@ func parseExtIPReach(value []byte) ([]IPPrefix, error) {
 		subPresent := ctrl&0x40 != 0
 		p.Length = ctrl & 0x3f
 		if p.Length > 32 {
-			return nil, fmt.Errorf("isis: bad prefix length %d", p.Length)
+			return errBadPrefixLen
 		}
 		octets := int(p.Length+7) / 8
 		off += 5
 		if off+octets > len(value) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		var addr [4]byte
 		copy(addr[:], value[off:off+octets])
@@ -280,16 +388,16 @@ func parseExtIPReach(value []byte) ([]IPPrefix, error) {
 		off += octets
 		if subPresent {
 			if off >= len(value) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			subLen := int(value[off])
 			off++
 			if off+subLen > len(value) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			off += subLen // sub-TLVs ignored
 		}
-		out = append(out, p)
+		l.Prefixes = append(l.Prefixes, p)
 	}
-	return out, nil
+	return nil
 }

@@ -32,6 +32,14 @@
 // exempt: spawning a bounded worker set is structural, not
 // per-record, and is goleak's concern instead.
 //
+// The map-index exemption: a string([]byte) conversion used directly
+// as a map lookup key — m[string(b)] in rvalue position, including the
+// comma-ok form — is not flagged. The compiler elides that conversion
+// (no allocation, no copy), and it is the idiomatic zero-allocation
+// []byte-keyed probe the resolver and intern tables rely on. Map
+// *assignment* through a converted key still allocates (the stored key
+// must outlive b) and is still flagged.
+//
 // What the analyzer cannot see — allocations the compiler introduces
 // because a value escapes — is covered by the companion
 // escape-analysis baseline gate (internal/lint/escape): hotalloc
@@ -70,11 +78,14 @@ func run(pass *lint.Pass) error {
 }
 
 // state is the walk context: whether the node sits inside a loop
-// (per-iteration cost), inside a cold failure path (exempt), and the
-// result list of the enclosing function (for error-return detection).
+// (per-iteration cost), inside a cold failure path (exempt), on the
+// left-hand side of an assignment (map-index exemption does not apply
+// to writes), and the result list of the enclosing function (for
+// error-return detection).
 type state struct {
 	inLoop  bool
 	cold    bool
+	lhs     bool
 	results *ast.FieldList
 }
 
@@ -159,8 +170,10 @@ func (c *checker) stmt(n ast.Stmt, st state) {
 		for _, e := range n.Rhs {
 			c.expr(e, st)
 		}
+		wst := st
+		wst.lhs = true
 		for _, e := range n.Lhs {
-			c.expr(e, st)
+			c.expr(e, wst)
 		}
 	case *ast.DeclStmt:
 		if gd, ok := n.Decl.(*ast.GenDecl); ok {
@@ -173,7 +186,9 @@ func (c *checker) stmt(n ast.Stmt, st state) {
 			}
 		}
 	case *ast.IncDecStmt:
-		c.expr(n.X, st)
+		wst := st
+		wst.lhs = true // m[k]++ is a write: no elided-key exemption
+		c.expr(n.X, wst)
 	case *ast.SendStmt:
 		c.expr(n.Chan, st)
 		c.expr(n.Value, st)
@@ -225,7 +240,15 @@ func (c *checker) expr(n ast.Expr, st state) {
 		c.expr(n.X, st)
 	case *ast.IndexExpr:
 		c.expr(n.X, st)
-		c.expr(n.Index, st)
+		if conv := c.elidedMapKey(n, st); conv != nil {
+			// m[string(b)] lookup: the compiler elides the conversion;
+			// still walk the key's own subexpression.
+			for _, a := range conv.Args {
+				c.expr(a, st)
+			}
+		} else {
+			c.expr(n.Index, st)
+		}
 	case *ast.SliceExpr:
 		c.expr(n.X, st)
 		c.expr(n.Low, st)
@@ -270,6 +293,33 @@ func (c *checker) call(call *ast.CallExpr, st state) {
 	for _, a := range call.Args {
 		c.expr(a, st)
 	}
+}
+
+// elidedMapKey returns the string([]byte) conversion call when n is a
+// map lookup keyed directly by one — the form the compiler compiles
+// without allocating — and nil otherwise. Writes (assignment LHS,
+// IncDec) do not qualify: a stored key must be a real string.
+func (c *checker) elidedMapKey(n *ast.IndexExpr, st state) *ast.CallExpr {
+	if st.lhs {
+		return nil
+	}
+	if xt := c.pass.TypesInfo.TypeOf(n.X); xt == nil {
+		return nil
+	} else if _, ok := xt.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Index).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !isString(tv.Type) {
+		return nil
+	}
+	if from := c.pass.TypesInfo.TypeOf(call.Args[0]); from == nil || !isByteSlice(from) {
+		return nil
+	}
+	return call
 }
 
 // conversion flags string<->[]byte conversions, each an allocate-

@@ -119,6 +119,26 @@ func unannotated(msgs []message) []string {
 	return lines
 }
 
+// probe exercises the map-index exemption: m[string(b)] lookups are
+// compiled without the conversion and stay silent, in plain and
+// comma-ok form; every write through a converted key still allocates
+// the stored key and is flagged.
+//
+//netfail:hotpath
+func probe(m map[string]int, keys [][]byte) int {
+	n := 0
+	for _, b := range keys {
+		n += m[string(b)] // lookup: conversion elided, exempt
+		if v, ok := m[(string(b))]; ok {
+			n += v
+		}
+		m[string(b)] = n // want `converts \[\]byte to string`
+		m[string(b)]++   // want `converts \[\]byte to string`
+		_ = string(b)    // want `converts \[\]byte to string`
+	}
+	return n
+}
+
 // panicking exercises the panic exemption: a hot path that dies may
 // format its last words.
 //

@@ -78,3 +78,57 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context
 func StagesCtx(ctx context.Context, workers int, stages ...func(ctx context.Context)) error {
 	return ForEachCtx(ctx, len(stages), workers, func(ctx context.Context, i int) { stages[i](ctx) })
 }
+
+// ForEachWorkerCtx is ForEachCtx with the executing worker's slot
+// number passed to fn, for loops that reuse per-worker scratch across
+// tasks (see ForEachWorker). Slots are dense in [0, workers); with
+// workers <= 1 every task runs with w == 0 on the calling goroutine,
+// checking ctx between iterations.
+//
+//netfail:hotpath
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, w, i int)) error {
+	if workers > n {
+		workers = n
+	}
+	obs.Add(ctx, "pool.tasks.queued", int64(n))
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(ctx, 0, i)
+			obs.Add(ctx, "pool.tasks.ran", 1)
+			obs.Shard(ctx, i+1, n)
+		}
+		return nil
+	}
+	tasks := make(chan int)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			wctx, span := obs.StartSpan(ctx, "worker["+strconv.Itoa(w)+"]")
+			defer span.End()
+			for i := range tasks {
+				fn(wctx, w, i)
+				span.Add("tasks", 1)
+				obs.Shard(ctx, int(ran.Add(1)), n)
+			}
+		}(w)
+	}
+	err := error(nil)
+	for i := 0; i < n; i++ {
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			i = n // stop dispatching; workers drain and exit
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	obs.Add(ctx, "pool.tasks.ran", ran.Load())
+	return err
+}

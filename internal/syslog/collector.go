@@ -25,6 +25,7 @@ import (
 type Collector struct {
 	conn  *net.UDPConn
 	ref   time.Time
+	tok   *Tokenizer
 	retry backoff.Policy
 	sleep func(time.Duration) // injected in tests to pin the schedule
 
@@ -60,7 +61,7 @@ func NewCollector(addr string, ref time.Time) (*Collector, error) {
 // so tests can swap the sleeper (and pin the retry schedule) before
 // any goroutine reads the fields.
 func newCollector(conn *net.UDPConn, ref time.Time) *Collector {
-	return &Collector{conn: conn, ref: ref, retry: backoff.Default, sleep: time.Sleep, done: make(chan struct{})}
+	return &Collector{conn: conn, ref: ref, tok: NewTokenizer(), retry: backoff.Default, sleep: time.Sleep, done: make(chan struct{})}
 }
 
 // start launches the capture loop.
@@ -100,7 +101,11 @@ func (c *Collector) run() {
 			continue
 		}
 		retry.Reset()
-		m, err := Parse(string(buf[:n]), c.ref)
+		// Parse straight off the datagram buffer: ParseBytes interns
+		// the retained strings, so buf is free to be overwritten by
+		// the next read.
+		m := new(Message)
+		err = c.tok.ParseBytes(buf[:n], c.ref, m)
 		c.mu.Lock()
 		switch {
 		case err != nil:
@@ -229,16 +234,20 @@ func ReadLogLenient(r io.Reader, ref time.Time) ([]*Message, *salvage.Report, er
 	rep := &salvage.Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	// One tokenizer per archive: messages come out with interned
+	// (canonical, shared) strings instead of per-line copies, and the
+	// scanner's byte buffer is never converted to a throwaway string.
+	tok := NewTokenizer()
 	rolling := ref
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if line == "" {
+		line := sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		m, perr := Parse(line, rolling)
-		if perr != nil {
+		m := new(Message)
+		if perr := tok.ParseBytes(line, rolling, m); perr != nil {
 			rep.Skip(lineNo, "unparseable line")
 			continue
 		}

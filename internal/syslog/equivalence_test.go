@@ -1,0 +1,153 @@
+package syslog
+
+// Differential tests pinning the []byte tokenizer to the retired
+// strings-based parser (parse_reference_test.go): same accept/reject
+// decision and identical Message on every input, clean or corrupted.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netfail/internal/faultinject"
+)
+
+// equivalenceRefs exercises year resolution mid-year and across the
+// year boundary the study period straddles.
+var equivalenceRefs = []time.Time{
+	time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC),
+	time.Date(2011, 1, 1, 0, 0, 30, 0, time.UTC),
+	time.Date(2010, 12, 31, 23, 59, 0, 0, time.UTC),
+}
+
+// checkParserEquivalence runs one line through the reference parser,
+// the new string parser, and the []byte tokenizer, and fails on any
+// divergence: accept/reject, any Message field, or the derived
+// LinkEvent.
+func checkParserEquivalence(t *testing.T, tk *Tokenizer, line string) {
+	t.Helper()
+	for _, ref := range equivalenceRefs {
+		want, werr := refParse(line, ref)
+		got, gerr := Parse(line, ref)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("Parse(%q, ref=%v): err = %v, reference err = %v", line, ref, gerr, werr)
+		}
+		var m Message
+		berr := tk.ParseBytes([]byte(line), ref, &m)
+		if (werr == nil) != (berr == nil) {
+			t.Fatalf("ParseBytes(%q, ref=%v): err = %v, reference err = %v", line, ref, berr, werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if *got != *want {
+			t.Fatalf("Parse(%q, ref=%v):\n got %+v\nwant %+v", line, ref, *got, *want)
+		}
+		if m != *want {
+			t.Fatalf("ParseBytes(%q, ref=%v):\n got %+v\nwant %+v", line, ref, m, *want)
+		}
+		wantEv, weverr := refParseLinkEvent(want)
+		var ev LinkEvent
+		geverr := ParseLinkEventInto(got, &ev)
+		if (weverr == nil) != (geverr == nil) {
+			t.Fatalf("ParseLinkEventInto(%q): err = %v, reference err = %v", line, geverr, weverr)
+		}
+		if weverr == nil && ev != *wantEv {
+			t.Fatalf("ParseLinkEventInto(%q):\n got %+v\nwant %+v", line, ev, *wantEv)
+		}
+	}
+}
+
+// equivalenceCorpus renders a varied capture: every message family
+// and dialect, padded and unpadded days, a leap day, and timestamps
+// hugging the year boundary.
+func equivalenceCorpus() []byte {
+	var msgs []*Message
+	times := []time.Time{
+		time.Date(2011, 3, 3, 4, 5, 6, 789e6, time.UTC),
+		time.Date(2011, 3, 14, 23, 59, 59, 1e6, time.UTC),
+		time.Date(2012, 2, 29, 12, 0, 0, 0, time.UTC),
+		time.Date(2010, 12, 31, 23, 59, 58, 500e6, time.UTC),
+		time.Date(2011, 1, 1, 0, 0, 2, 0, time.UTC),
+	}
+	hosts := []string{"riv-core-01", "lax-agg-02", "sac-hpr-03"}
+	ifaces := []string{"TenGigE0/1/0/3", "GigabitEthernet0/0/1", "POS1/0"}
+	seq := uint64(1)
+	for _, ts := range times {
+		for i, h := range hosts {
+			ifc := ifaces[i%len(ifaces)]
+			peer := hosts[(i+1)%len(hosts)]
+			msgs = append(msgs,
+				AdjChange(DialectIOS, h, seq, ts, peer, ifc, i%2 == 0, "hold time expired"),
+				AdjChange(DialectIOSXR, h, seq+1, ts, peer, ifc, i%2 != 0, "new adjacency"),
+				LinkUpDown(h, seq+2, ts, ifc, i%2 == 0),
+				LineProtoUpDown(h, seq+3, ts, ifc, i%2 != 0),
+			)
+			seq += 4
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, msgs); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTokenizerMatchesReferenceOnCorruptedCorpus is the deterministic
+// half of the differential pin: the rendered corpus is mangled by
+// every faultinject mode over several seeds, and every resulting line
+// must parse identically under the old and new parsers.
+func TestTokenizerMatchesReferenceOnCorruptedCorpus(t *testing.T) {
+	clean := equivalenceCorpus()
+	tk := NewTokenizer()
+	for _, line := range bytes.Split(clean, []byte("\n")) {
+		checkParserEquivalence(t, tk, string(line))
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		corrupted, faults := faultinject.Corrupt(clean, faultinject.Plan{Seed: seed, Rate: 0.5})
+		if len(faults) == 0 {
+			t.Fatalf("seed %d injected no faults", seed)
+		}
+		for _, line := range bytes.Split(corrupted, []byte("\n")) {
+			checkParserEquivalence(t, tk, string(line))
+		}
+	}
+}
+
+// FuzzParseMatchesReference lets the fuzzer hunt for divergence
+// beyond the corpus: seeds cover every known quirk of the retired
+// parser (time.Parse's case-folded months, optional day padding,
+// short hours, bare and signed fractions, Unicode spaces; strconv's
+// signed PRI and sequence overflow).
+func FuzzParseMatchesReference(f *testing.F) {
+	clean := equivalenceCorpus()
+	for i, line := range bytes.Split(clean, []byte("\n")) {
+		if i%5 == 0 { // a sample keeps the seed corpus small
+			f.Add(string(line))
+		}
+	}
+	corrupted, _ := faultinject.Corrupt(clean, faultinject.Plan{Seed: 42, Rate: 0.7})
+	for i, line := range bytes.Split(corrupted, []byte("\n")) {
+		if i%7 == 0 {
+			f.Add(string(line))
+		}
+	}
+	for _, quirk := range []string{
+		"<189>mAr  3 04:05:06 h 1: %M-1-X: t",                          // case-folded month
+		"<189>Mar 3 4:05:06 x h 1: %M-1-X: t",                          // unpadded day, short hour
+		"<189>Mar  3 4:05:06.5 h 1: %M-1-X: t",                         // bare fraction in the 15-byte window
+		"<189>Mar 13 04:05:06 h 1: Mar 13 04:05:06.+42 UTC: %M-1-X: t", // signed fraction
+		"<189>Mar 13 04:05:06 h 1: Mar 13 04:05:06,042 UTC: %M-1-X: t", // comma fraction
+		"<189>Feb 29 04:05:06 h 1: %M-1-X: t",                          // leap day in year 0
+		"<+89>Mar 13 04:05:06 h 1: %M-1-X: t",                          // signed PRI
+		"<189>Mar 13 04:05:06 h 18446744073709551616: %M-1-X: t",       // seq overflow
+		"<189>Mar 13 04:05:06 h 1:  Mar 13 04:05:06.000 UTC :　%M-1-X: t",
+		"<189>Dec 31 23:59:59 h 9: %LINK-3-UPDOWN: Interface POS1/0, changed state to down",
+		"<189>Jan  1 00:00:01 h 9: %CLNS-5-ADJCHANGE: ISIS: Adjacency to p (i) Up",
+	} {
+		f.Add(quirk)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		checkParserEquivalence(t, NewTokenizer(), line)
+	})
+}

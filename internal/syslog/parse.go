@@ -3,15 +3,40 @@ package syslog
 import (
 	"errors"
 	"fmt"
-	"strconv"
 	"strings"
 	"time"
+
+	"netfail/internal/intern"
 )
 
 // Parsing errors.
 var (
 	ErrMalformed = errors.New("syslog: malformed message")
 	ErrNotLink   = errors.New("syslog: not a link-state message")
+)
+
+// The hot path returns preconstructed errors: corrupted captures make
+// parse failures routine (ReadLog counts them per line), and building
+// a fresh annotated error per bad line is exactly the per-record
+// garbage this path exists to avoid. errors.Is(err, ErrMalformed)
+// still classifies every one of them.
+var (
+	errMissingPRI      = fmt.Errorf("%w: missing PRI", ErrMalformed)
+	errBadPRI          = fmt.Errorf("%w: bad PRI", ErrMalformed)
+	errTruncatedHeader = fmt.Errorf("%w: truncated header", ErrMalformed)
+	errBadTimestamp    = fmt.Errorf("%w: bad timestamp", ErrMalformed)
+	errMissingHostname = fmt.Errorf("%w: missing hostname", ErrMalformed)
+	errMissingSeqTag   = fmt.Errorf("%w: missing sequence tag", ErrMalformed)
+	errBadSeq          = fmt.Errorf("%w: bad sequence", ErrMalformed)
+	errMissingMnemonic = fmt.Errorf("%w: missing mnemonic", ErrMalformed)
+	errMissingMnemSep  = fmt.Errorf("%w: missing mnemonic separator", ErrMalformed)
+
+	errBadAdjPrefix      = fmt.Errorf("%w: not an adjacency message", ErrMalformed)
+	errMissingInterface  = fmt.Errorf("%w: missing interface", ErrMalformed)
+	errUntermInterface   = fmt.Errorf("%w: unterminated interface", ErrMalformed)
+	errBadDirection      = fmt.Errorf("%w: bad direction", ErrMalformed)
+	errBadIfacePrefix    = fmt.Errorf("%w: not an interface message", ErrMalformed)
+	errMissingStateWords = fmt.Errorf("%w: missing state clause", ErrMalformed)
 )
 
 // Parse decodes one wire-format line. RFC 3164 timestamps carry no
@@ -21,88 +46,81 @@ var (
 //
 //netfail:hotpath
 func Parse(line string, ref time.Time) (*Message, error) {
-	var m Message
-
-	// <PRI>
-	if len(line) < 3 || line[0] != '<' {
-		return nil, fmt.Errorf("%w: missing PRI", ErrMalformed)
+	m := new(Message)
+	if err := ParseInto(line, ref, m); err != nil {
+		return nil, err
 	}
-	end := strings.IndexByte(line, '>')
-	if end < 0 || end > 4 {
-		return nil, fmt.Errorf("%w: bad PRI", ErrMalformed)
-	}
-	pri, err := strconv.Atoi(line[1:end])
-	if err != nil || pri < 0 || pri > 191 {
-		return nil, fmt.Errorf("%w: bad PRI %q", ErrMalformed, line[1:end])
-	}
-	m.Facility = Facility(pri / 8)
-	m.Severity = Severity(pri % 8)
-	rest := line[end+1:]
-
-	// TIMESTAMP: fixed 15 chars "Mmm dd hh:mm:ss".
-	if len(rest) < 16 {
-		return nil, fmt.Errorf("%w: truncated header", ErrMalformed)
-	}
-	stamp, err := time.Parse(stampLayout, rest[:15])
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad timestamp %q", ErrMalformed, rest[:15])
-	}
-	m.Timestamp = resolveYear(stamp, ref)
-	rest = rest[16:]
-
-	// HOSTNAME
-	sp := strings.IndexByte(rest, ' ')
-	if sp <= 0 {
-		return nil, fmt.Errorf("%w: missing hostname", ErrMalformed)
-	}
-	m.Hostname = rest[:sp]
-	rest = rest[sp+1:]
-
-	// "seq: " tag.
-	colon := strings.Index(rest, ": ")
-	if colon < 0 {
-		return nil, fmt.Errorf("%w: missing sequence tag", ErrMalformed)
-	}
-	seq, err := strconv.ParseUint(rest[:colon], 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad sequence %q", ErrMalformed, rest[:colon])
-	}
-	m.Seq = seq
-	rest = rest[colon+2:]
-
-	// Optional high-resolution service timestamp before the mnemonic.
-	if !strings.HasPrefix(rest, "%") {
-		pct := strings.Index(rest, "%")
-		if pct < 0 {
-			return nil, fmt.Errorf("%w: missing mnemonic", ErrMalformed)
-		}
-		if hires, ok := parseServiceStamp(strings.TrimSuffix(strings.TrimSpace(rest[:pct]), ":"), ref); ok {
-			m.Timestamp = hires
-		}
-		rest = rest[pct:]
-	}
-
-	// %MNEMONIC: text
-	colon = strings.Index(rest, ": ")
-	if colon < 0 || len(rest) < 2 {
-		return nil, fmt.Errorf("%w: missing mnemonic separator", ErrMalformed)
-	}
-	m.Mnemonic = strings.TrimPrefix(rest[:colon], "%")
-	m.Text = rest[colon+2:]
-	return &m, nil
+	return m, nil
 }
 
-// parseServiceStamp parses the Cisco "service timestamps" form
-// "Mmm dd hh:mm:ss.mmm UTC".
+// ParseInto is Parse into a caller-owned Message: the string fields
+// are substrings of line, so a successful parse performs zero
+// allocations. On error m is partially overwritten and must not be
+// used.
 //
 //netfail:hotpath
-func parseServiceStamp(s string, ref time.Time) (time.Time, bool) {
-	s = strings.TrimSuffix(s, " UTC")
-	t, err := time.Parse(stampLayout+".000", s)
-	if err != nil {
-		return time.Time{}, false
+func ParseInto(line string, ref time.Time, m *Message) error {
+	var tok tokens
+	if err := tokenize(line, ref, &tok); err != nil {
+		return err
 	}
-	return resolveYear(t, ref), true
+	m.Facility = tok.facility
+	m.Severity = tok.severity
+	m.Timestamp = tok.stamp
+	m.Seq = tok.seq
+	m.Hostname = line[tok.hostLo:tok.hostHi]
+	m.Mnemonic = line[tok.mnemLo:tok.mnemHi]
+	m.Text = line[tok.textLo:]
+	return nil
+}
+
+// Tokenizer parses wire-format lines directly from byte buffers,
+// materializing the string fields through intern tables so a warm
+// parse — every symbol already seen — allocates nothing and the
+// returned Message owns no part of the input buffer. One Tokenizer is
+// safe for concurrent use; sharing one across a capture's readers
+// also canonicalizes the strings (equal fields are pointer-equal),
+// which downstream maps exploit.
+type Tokenizer struct {
+	// Symbols interns the bounded vocabulary: hostnames and mnemonics.
+	// A month-scale campaign sees a few hundred of each.
+	Symbols *intern.Table
+	// Texts interns the free-text field. Real captures repeat a small
+	// set of texts (the same adjacency flaps over and over), but
+	// corrupted or hostile input is unbounded, so this table carries a
+	// limit past which texts degrade to ordinary fresh strings.
+	Texts *intern.Table
+}
+
+// textInternLimit caps the free-text table: generous for the repeated
+// flap messages of a real capture, harmless when corrupted input
+// blows past it.
+const textInternLimit = 1 << 16
+
+// NewTokenizer returns a Tokenizer with fresh intern tables.
+func NewTokenizer() *Tokenizer {
+	return &Tokenizer{Symbols: &intern.Table{}, Texts: &intern.Table{Limit: textInternLimit}}
+}
+
+// ParseBytes decodes one wire-format line from a byte buffer into m.
+// The buffer may be reused immediately: every retained string is
+// interned or freshly copied. On error m is partially overwritten and
+// must not be used.
+//
+//netfail:hotpath
+func (tk *Tokenizer) ParseBytes(line []byte, ref time.Time, m *Message) error {
+	var tok tokens
+	if err := tokenize(line, ref, &tok); err != nil {
+		return err
+	}
+	m.Facility = tok.facility
+	m.Severity = tok.severity
+	m.Timestamp = tok.stamp
+	m.Seq = tok.seq
+	m.Hostname = tk.Symbols.Intern(line[tok.hostLo:tok.hostHi])
+	m.Mnemonic = tk.Symbols.Intern(line[tok.mnemLo:tok.mnemHi])
+	m.Text = tk.Texts.Intern(line[tok.textLo:])
+	return nil
 }
 
 // resolveYear places a year-less timestamp in the year (of ref's
@@ -112,7 +130,7 @@ func parseServiceStamp(s string, ref time.Time) (time.Time, bool) {
 func resolveYear(t, ref time.Time) time.Time {
 	best := t.AddDate(ref.Year(), 0, 0)
 	bestDiff := absDuration(best.Sub(ref))
-	for _, y := range []int{ref.Year() - 1, ref.Year() + 1} {
+	for _, y := range [2]int{ref.Year() - 1, ref.Year() + 1} {
 		cand := t.AddDate(y, 0, 0)
 		if d := absDuration(cand.Sub(ref)); d < bestDiff {
 			best, bestDiff = cand, d
@@ -134,12 +152,34 @@ func absDuration(d time.Duration) time.Duration {
 //
 //netfail:hotpath
 func ParseLinkEvent(m *Message) (*LinkEvent, error) {
-	ev := &LinkEvent{Router: m.Hostname, Time: m.Timestamp, Seq: m.Seq}
+	ev := new(LinkEvent)
+	if err := ParseLinkEventInto(m, ev); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// ParseLinkEventInto is ParseLinkEvent into a caller-owned LinkEvent,
+// for loops that reuse one event across a capture. The string fields
+// are substrings of the message's fields, so a successful extraction
+// performs zero allocations. On error ev is partially overwritten and
+// must not be used.
+//
+//netfail:hotpath
+func ParseLinkEventInto(m *Message, ev *LinkEvent) error {
+	// Fields are assigned individually rather than via a struct
+	// literal: every success path below overwrites Interface, Up, and
+	// (for adjacency messages) Neighbor/Reason, so only the fields the
+	// path leaves untouched need explicit clearing. This keeps the
+	// extract loop from re-zeroing the whole 112-byte struct per
+	// message.
+	ev.Router = m.Hostname
+	ev.Time = m.Timestamp
+	ev.Seq = m.Seq
 	switch m.Mnemonic {
 	case "CLNS-5-ADJCHANGE":
 		ev.Type = EventISISAdj
-		text := strings.TrimPrefix(m.Text, "ISIS: ")
-		return parseAdjText(ev, text)
+		return parseAdjText(ev, strings.TrimPrefix(m.Text, "ISIS: "))
 	case "ROUTING-ISIS-4-ADJCHANGE":
 		ev.Type = EventISISAdj
 		return parseAdjText(ev, m.Text)
@@ -150,34 +190,35 @@ func ParseLinkEvent(m *Message) (*LinkEvent, error) {
 		ev.Type = EventLineProto
 		return parseIfaceText(ev, m.Text, "Line protocol on Interface ")
 	default:
-		return nil, ErrNotLink
+		return ErrNotLink
 	}
 }
 
 // parseAdjText handles "Adjacency to NEIGHBOR (IFACE) [\(L2\) ]DIR, reason".
 //
 //netfail:hotpath
-func parseAdjText(ev *LinkEvent, text string) (*LinkEvent, error) {
+func parseAdjText(ev *LinkEvent, text string) error {
 	const prefix = "Adjacency to "
 	if !strings.HasPrefix(text, prefix) {
-		return nil, fmt.Errorf("%w: %q", ErrMalformed, text)
+		return errBadAdjPrefix
 	}
 	text = text[len(prefix):]
 	open := strings.Index(text, " (")
 	if open < 0 {
-		return nil, fmt.Errorf("%w: missing interface", ErrMalformed)
+		return errMissingInterface
 	}
 	ev.Neighbor = text[:open]
 	text = text[open+2:]
 	closeP := strings.Index(text, ") ")
 	if closeP < 0 {
-		return nil, fmt.Errorf("%w: unterminated interface", ErrMalformed)
+		return errUntermInterface
 	}
 	ev.Interface = text[:closeP]
 	text = text[closeP+2:]
 	text = strings.TrimPrefix(text, "(L2) ")
 	comma := strings.Index(text, ", ")
 	dir := text
+	ev.Reason = ""
 	if comma >= 0 {
 		dir = text[:comma]
 		ev.Reason = text[comma+2:]
@@ -188,32 +229,34 @@ func parseAdjText(ev *LinkEvent, text string) (*LinkEvent, error) {
 	case "Down":
 		ev.Up = false
 	default:
-		return nil, fmt.Errorf("%w: bad direction %q", ErrMalformed, dir)
+		return errBadDirection
 	}
-	return ev, nil
+	return nil
 }
 
 // parseIfaceText handles "... IFACE, changed state to DIR".
 //
 //netfail:hotpath
-func parseIfaceText(ev *LinkEvent, text, prefix string) (*LinkEvent, error) {
+func parseIfaceText(ev *LinkEvent, text, prefix string) error {
 	if !strings.HasPrefix(text, prefix) {
-		return nil, fmt.Errorf("%w: %q", ErrMalformed, text)
+		return errBadIfacePrefix
 	}
 	text = text[len(prefix):]
 	const sep = ", changed state to "
 	i := strings.Index(text, sep)
 	if i < 0 {
-		return nil, fmt.Errorf("%w: missing state clause", ErrMalformed)
+		return errMissingStateWords
 	}
 	ev.Interface = text[:i]
+	ev.Neighbor = ""
+	ev.Reason = ""
 	switch text[i+len(sep):] {
 	case "up":
 		ev.Up = true
 	case "down":
 		ev.Up = false
 	default:
-		return nil, fmt.Errorf("%w: bad direction %q", ErrMalformed, text[i+len(sep):])
+		return errBadDirection
 	}
-	return ev, nil
+	return nil
 }

@@ -68,29 +68,98 @@ func ReconstructParallel(ctx context.Context, ts []Transition, workers int) Reco
 }
 
 // ReconstructPolicyParallel is ReconstructPolicy with per-link
-// sharding; workers <= 1 runs the sequential reference path.
+// sharding; workers <= 1 runs the sequential reference path. Each
+// worker slot owns one accumulator reused across all the links it
+// runs, and records per-link spans into it; the spans are then copied
+// into exact-size result buffers in sorted link order — the same
+// concatenation order the sequential loop produces — before the final
+// sort, so the output is byte-identical for any worker count.
 func ReconstructPolicyParallel(ctx context.Context, ts []Transition, policy AmbiguityPolicy, workers int) Reconstruction {
 	if workers <= 1 {
 		return ReconstructPolicy(ts, policy)
 	}
-	grouped := ByLink(ts)
-	links := make([]topo.LinkID, 0, len(grouped))
-	for link := range grouped {
-		links = append(links, link)
+	links, offsets, flat := groupLinkSeqs(ts)
+	type linkSpan struct {
+		w          int32 // worker slot that ran the link
+		fOff, fLen int32 // the link's slice of the worker's Failures
+		aOff, aLen int32 // ... and of its Ambiguities
 	}
-	sortLinkIDs(links)
-	shards := make([]Reconstruction, len(links))
-	_ = pool.ForEachCtx(ctx, len(links), workers, func(_ context.Context, i int) {
-		shards[i] = reconstructLink(links[i], grouped[links[i]], policy)
+	spans := make([]linkSpan, len(links))
+	accs := make([]Reconstruction, workers)
+	_ = pool.ForEachWorkerCtx(ctx, len(links), workers, func(_ context.Context, w, i int) {
+		acc := &accs[w]
+		fOff, aOff := len(acc.Failures), len(acc.Ambiguities)
+		reconstructLinkInto(links[i], flat[offsets[i]:offsets[i+1]], policy, acc)
+		spans[i] = linkSpan{
+			w:    int32(w),
+			fOff: int32(fOff), fLen: int32(len(acc.Failures) - fOff),
+			aOff: int32(aOff), aLen: int32(len(acc.Ambiguities) - aOff),
+		}
 	})
 	var rec Reconstruction
-	for _, s := range shards {
-		rec.Failures = append(rec.Failures, s.Failures...)
-		rec.Ambiguities = append(rec.Ambiguities, s.Ambiguities...)
-		rec.OpenAtEnd += s.OpenAtEnd
+	totalF, totalA := 0, 0
+	for i := range accs {
+		totalF += len(accs[i].Failures)
+		totalA += len(accs[i].Ambiguities)
+		rec.OpenAtEnd += accs[i].OpenAtEnd
+	}
+	// Exact-size merge buffers; empty streams stay nil, matching the
+	// sequential path byte for byte.
+	if totalF > 0 {
+		rec.Failures = make([]Failure, 0, totalF)
+	}
+	if totalA > 0 {
+		rec.Ambiguities = make([]Ambiguity, 0, totalA)
+	}
+	for i := range spans {
+		sp := &spans[i]
+		acc := &accs[sp.w]
+		rec.Failures = append(rec.Failures, acc.Failures[sp.fOff:sp.fOff+sp.fLen]...)
+		rec.Ambiguities = append(rec.Ambiguities, acc.Ambiguities[sp.aOff:sp.aOff+sp.aLen]...)
 	}
 	sortFailures(rec.Failures)
 	return rec
+}
+
+// groupLinkSeqs is ByLink flattened: it buckets the transitions into
+// one contiguous buffer — counting pass, prefix sums, scatter — and
+// returns the sorted link list with each link's [offsets[i],
+// offsets[i+1]) slice of the buffer, time-sorted stably (equal-time
+// transitions keep input order, matching ByLink exactly). One buffer
+// and three index slices replace ByLink's map of per-link slices.
+func groupLinkSeqs(ts []Transition) ([]topo.LinkID, []int32, []Transition) {
+	idx := make(map[topo.LinkID]int32, 64)
+	var links []topo.LinkID
+	for i := range ts {
+		if _, ok := idx[ts[i].Link]; !ok {
+			idx[ts[i].Link] = 0
+			links = append(links, ts[i].Link)
+		}
+	}
+	sortLinkIDs(links)
+	for i, l := range links {
+		idx[l] = int32(i)
+	}
+	offsets := make([]int32, len(links)+1)
+	for i := range ts {
+		offsets[idx[ts[i].Link]+1]++
+	}
+	for i := 1; i < len(offsets); i++ {
+		offsets[i] += offsets[i-1]
+	}
+	cursor := make([]int32, len(links))
+	copy(cursor, offsets)
+	flat := make([]Transition, len(ts))
+	for i := range ts {
+		li := idx[ts[i].Link]
+		flat[cursor[li]] = ts[i]
+		cursor[li]++
+	}
+	for i := 0; i < len(links); i++ {
+		g := flat[offsets[i]:offsets[i+1]]
+		sort.SliceStable(g, func(a, b int) bool { return g[a].Time.Before(g[b].Time) })
+	}
+	return links, offsets, flat
 }
 
 // ReconstructPolicy builds failure events from transitions, which may
@@ -107,29 +176,22 @@ func ReconstructPolicyParallel(ctx context.Context, ts []Transition, policy Ambi
 //     failure at the second message.
 func ReconstructPolicy(ts []Transition, policy AmbiguityPolicy) Reconstruction {
 	var rec Reconstruction
-	grouped := ByLink(ts)
-	links := make([]topo.LinkID, 0, len(grouped))
-	for link := range grouped {
-		links = append(links, link)
-	}
-	sortLinkIDs(links)
-	for _, link := range links {
-		s := reconstructLink(link, grouped[link], policy)
-		rec.Failures = append(rec.Failures, s.Failures...)
-		rec.Ambiguities = append(rec.Ambiguities, s.Ambiguities...)
-		rec.OpenAtEnd += s.OpenAtEnd
+	links, offsets, flat := groupLinkSeqs(ts)
+	for i, link := range links {
+		reconstructLinkInto(link, flat[offsets[i]:offsets[i+1]], policy, &rec)
 	}
 	sortFailures(rec.Failures)
 	return rec
 }
 
-// reconstructLink runs the state machine over one link's (time-sorted)
-// transition sequence. Links are independent, which is what makes the
-// pipeline shardable.
+// reconstructLinkInto runs the state machine over one link's
+// (time-sorted) transition sequence, appending to rec. Links are
+// independent, which is what makes the pipeline shardable; appending
+// into a long-lived accumulator is what lets the per-worker scratch
+// amortize across the many links each worker runs.
 //
 //netfail:hotpath
-func reconstructLink(link topo.LinkID, seq []Transition, policy AmbiguityPolicy) Reconstruction {
-	var rec Reconstruction
+func reconstructLinkInto(link topo.LinkID, seq []Transition, policy AmbiguityPolicy, rec *Reconstruction) {
 	down := false
 	var start time.Time
 	var lastDir Direction
@@ -169,7 +231,6 @@ func reconstructLink(link topo.LinkID, seq []Transition, policy AmbiguityPolicy)
 	if down {
 		rec.OpenAtEnd++
 	}
-	return rec
 }
 
 func sortFailures(fs []Failure) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench-compare.sh — the alloc-regression gate on the zero-allocation
+# hot paths. Runs the pinned benchmarks with -benchmem and fails if any
+# exceeds its allocs/op budget (netfail-bench -max-allocs). The pins
+# are steady-state figures: each benchmark warms its scratch before the
+# measured region, so any number above the budget means a per-record
+# allocation crept back into a //netfail:hotpath loop.
+#
+#   BenchmarkSyslogExtract  6 allocs/op  fixed obs-stage cost, ~0/message
+#   BenchmarkLSPDecode      0 allocs/op  arena decode, slot reuse
+#   BenchmarkParseLinkEvent 0 allocs/op  []byte tokenizer + interning
+#   BenchmarkAppend         0 allocs/op  reused WAL frame buffer
+#
+# verify.sh runs this as part of tier-1; `make bench-compare` runs it
+# alone. BENCHTIME trades precision for speed (default 10x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSyslogExtract$' -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkLSPDecode$|BenchmarkParseLinkEvent$' -benchmem -benchtime "$BENCHTIME" \
+    ./internal/isis ./internal/syslog | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkAppend$' -benchmem -benchtime "$BENCHTIME" ./internal/checkpoint | tee -a "$raw"
+
+go run ./cmd/netfail-bench -o /dev/null \
+    -max-allocs BenchmarkSyslogExtract=6 \
+    -max-allocs BenchmarkLSPDecode=0 \
+    -max-allocs BenchmarkParseLinkEvent=0 \
+    -max-allocs BenchmarkAppend=0 \
+    < "$raw"
+echo "bench-compare: alloc pins hold" >&2

@@ -25,6 +25,9 @@ go run ./cmd/netfail-lint ./...
 echo "==> go test ./..."
 go test ./...
 
+echo "==> bench-compare (hot-path alloc pins)"
+./scripts/bench-compare.sh > /dev/null
+
 if [ "$short" = 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
