@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint lint-baseline race verify faultinject bench bench-compare obs chaos
+.PHONY: build test lint lint-baseline race verify faultinject bench bench-compare obs chaos scale
 
 build:
 	go build ./...
@@ -39,6 +39,13 @@ bench:
 # fail if any hot path exceeds its allocs/op budget. Part of verify.
 bench-compare:
 	./scripts/bench-compare.sh
+
+# Scale gate: simulate and analyze sharded spill-to-disk campaigns at
+# 1x and 10x CENIC scale, recording events/sec, wall-clock, capture
+# size, and peak RSS into BENCH_<PR>.json; fails if peak RSS blows the
+# bound (see scripts/scale.sh for the MULTS/DAYS/MAX_RSS_MB knobs).
+scale:
+	./scripts/scale.sh
 
 # Observability smoke: run the instrumented pipeline on a one-month
 # seeded campaign; assert a non-empty span tree and zero drop counters.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"netfail/internal/core"
 	"netfail/internal/netsim"
 	"netfail/internal/topo"
 	"netfail/internal/trace"
@@ -185,37 +186,140 @@ func TestLSPSuppressionBlindsListener(t *testing.T) {
 	}
 }
 
+// ablationBenchState is the per-config setup the ablation benchmarks
+// hoist out of the measured loop: one simulated campaign, mined once,
+// replayed through the listener once, plus a long-lived Extractor.
+// The loop then measures only the ablated comparison — extraction
+// through a reused (Extractor, SyslogTraces) pair and core.Analyze
+// over pre-extracted Traces — instead of re-simulating and
+// re-allocating a campaign's worth of state every iteration.
+type ablationBenchState struct {
+	camp  *Campaign
+	mined *Study // only Mined/Listener/Tickets fields are set
+	ext   *core.Extractor
+	st    core.SyslogTraces
+}
+
+func newAblationBench(b testing.TB, cfg SimulationConfig) *ablationBenchState {
+	b.Helper()
+	ctx := context.Background()
+	camp, err := Simulate(ctx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mined, err := MineConfigs(camp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Listen(ctx, mined.Network, camp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &ablationBenchState{
+		camp: camp,
+		mined: &Study{
+			Mined:    mined,
+			Listener: res,
+			Tickets:  GenerateTickets(camp),
+		},
+		ext: core.NewExtractor(mined.Network),
+	}
+	// Warm the extractor's scratch so the measured loop is the
+	// amortized steady state.
+	s.ext.ExtractInto(ctx, camp.Syslog, 60*time.Second, 1, &s.st)
+	return s
+}
+
+// analyze runs one ablated comparison over the pre-extracted traces.
+func (s *ablationBenchState) analyze(b testing.TB, multiLink bool) *Analysis {
+	b.Helper()
+	ctx := context.Background()
+	s.ext.ExtractInto(ctx, s.camp.Syslog, 60*time.Second, 1, &s.st)
+	a, err := core.Analyze(ctx, core.Input{
+		Network:          s.mined.Mined.Network,
+		Customers:        s.camp.Network.Customers,
+		Traces:           &s.st,
+		ISTransitions:    s.mined.Listener.ISTransitions,
+		IPTransitions:    s.mined.Listener.IPTransitions,
+		Start:            s.camp.Config.Start,
+		End:              s.camp.Config.End,
+		ListenerOffline:  s.camp.ListenerOffline,
+		Tickets:          s.mined.Tickets,
+		IncludeMultiLink: multiLink,
+		Parallelism:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
 // BenchmarkAblationLinkIDs regenerates the footnote-1 experiment.
+// The campaign is simulated once; each iteration measures the
+// multi-link-inclusive comparison over reused extraction state.
 func BenchmarkAblationLinkIDs(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchMonthConfig(1)
 	cfg.EnableLinkIDs = true
+	s := newAblationBench(b, cfg)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		camp, err := Simulate(context.Background(), cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{IncludeMultiLink: true})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(len(study.Analysis.AnalyzedLinks)), "links")
+		a := s.analyze(b, true)
+		b.ReportMetric(float64(len(a.AnalyzedLinks)), "links")
 	}
 }
 
 // BenchmarkAblationNoBlackout measures the comparison with the
-// correlated-loss model disabled.
+// correlated-loss model disabled, over a campaign simulated once.
 func BenchmarkAblationNoBlackout(b *testing.B) {
 	b.ReportAllocs()
 	cfg := benchMonthConfig(1)
 	im := netsim.DefaultImpairments()
 	im.BlackoutBase, im.BlackoutFlap, im.BlackoutLong, im.DownBlackoutProb = 0, 0, 0, 0
 	cfg.Impair = &im
+	s := newAblationBench(b, cfg)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		study, err := Run(context.Background(), cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(noneFraction(study), "none-frac")
+		a := s.analyze(b, false)
+		b.ReportMetric(analysisNoneFraction(a), "none-frac")
 	}
+}
+
+// TestAblationAnalyzeAllocBudget pins the reworked ablation loop: a
+// warmed iteration must stay under a small fixed multiple of the
+// transition count, i.e. the comparison's own result slices — never
+// the ~600k allocs/op the old simulate-per-iteration loop paid.
+func TestAblationAnalyzeAllocBudget(t *testing.T) {
+	cfg := benchMonthConfig(1)
+	cfg.EnableLinkIDs = true
+	s := newAblationBench(t, cfg)
+	transitions := len(s.st.PerRouterAdj) + len(s.st.MergedAdj) + len(s.st.MergedPhysical) +
+		len(s.mined.Listener.ISTransitions) + len(s.mined.Listener.IPTransitions)
+	if transitions == 0 {
+		t.Fatal("no transitions")
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		a := s.analyze(t, true)
+		if len(a.AnalyzedLinks) == 0 {
+			t.Fatal("no analyzed links")
+		}
+	})
+	// The comparison legitimately allocates its filtered streams,
+	// reconstructions, and flap indexes — all proportional to the
+	// transition count — plus fixed stage overhead. Six per
+	// transition is comfortable headroom over the measured ~2.
+	budget := 6*float64(transitions) + 2048
+	if avg > budget {
+		t.Errorf("warmed ablation iteration allocates %.0f per op over %d transitions, budget %.0f",
+			avg, transitions, budget)
+	}
+}
+
+func analysisNoneFraction(a *Analysis) float64 {
+	t3 := a.Table3()
+	total := t3.Down.Total() + t3.Up.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t3.Down.None+t3.Up.None) / float64(total)
 }

@@ -166,9 +166,38 @@ func runSeed(ctx context.Context, seed int64, days, table int, figure, svgDir, e
 }
 
 func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int) (salvaged bool, err error) {
-	a, campaignCounts, archive, reports, err := loadAndAnalyze(ctx, dir, multi, lenient, parallelism)
-	if err != nil {
-		return false, err
+	var (
+		a              *core.Analysis
+		campaignCounts netsim.Counts
+		archive        *config.Archive
+		reports        []salvageEntry
+	)
+	if netfail.IsCaptureCampaign(dir) {
+		// Sharded spill capture: stream the shards back through the
+		// library pipeline instead of loading flat log files.
+		study, caps, cerr := netfail.AnalyzeCaptureDir(ctx, dir, lenient,
+			netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism))
+		if cerr != nil {
+			return false, cerr
+		}
+		a, campaignCounts, archive = study.Analysis, study.Campaign.Counts, study.Campaign.Archive
+		for _, c := range caps {
+			if !lenient {
+				// Strict mode only surfaces intact-but-unparseable
+				// lines, mirroring the flat loader's warning (frame
+				// damage already aborted above) — not an exit-3 salvage.
+				if c.Report.Skipped > 0 {
+					fmt.Fprintf(os.Stderr, "netfail-analyze: %s: %d records skipped\n", c.Name, c.Report.Skipped)
+				}
+				continue
+			}
+			reports = append(reports, salvageEntry{c.Name, c.Report})
+		}
+	} else {
+		a, campaignCounts, archive, reports, err = loadAndAnalyze(ctx, dir, multi, lenient, parallelism)
+		if err != nil {
+			return false, err
+		}
 	}
 	for _, r := range reports {
 		fmt.Fprintf(os.Stderr, "netfail-analyze: salvage %s: %s\n", r.name, r.rep)

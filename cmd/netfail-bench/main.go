@@ -31,6 +31,11 @@ func main() {
 	pr := flag.Int("pr", 0, "PR sequence number recorded in the report")
 	out := flag.String("o", "", "output file (default stdout)")
 	prev := flag.String("prev", "", "previous BENCH_<n>.json to print a cur-vs-prev ratio table against")
+	scale := flag.Bool("scale", false, "ignore stdin: run the spill-campaign scale points in-process and record them")
+	scaleMult := flag.String("scale-mult", "1,10", "with -scale: comma-separated CENIC multipliers, ascending")
+	scaleDays := flag.Int("scale-days", 0, "with -scale: campaign length in days (0 = the paper's full 13-month window)")
+	scaleSeed := flag.Int64("scale-seed", 1, "with -scale: campaign seed")
+	scaleMaxRSS := flag.Int64("scale-max-rss-mb", 0, "with -scale: fail if peak RSS exceeds this many MB (0 = no bound)")
 	var pairSpecs []string
 	flag.Func("pair", "record a base=variant overhead ratio (repeatable), e.g. -pair BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced", func(s string) error {
 		if !strings.Contains(s, "=") {
@@ -57,6 +62,14 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	if *scale {
+		if err := runScaleMode(*scaleMult, *scaleDays, *scaleSeed, *scaleMaxRSS, *pr, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "netfail-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	entries, goos, goarch, procs, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
@@ -123,6 +136,18 @@ func main() {
 
 	if failed {
 		os.Exit(1)
+	}
+
+	// An existing report's scale points survive a benchmark rewrite:
+	// the two sections are produced by different drivers (`make bench`
+	// vs `make scale`) but share the trajectory artifact.
+	if *out != "" {
+		if f, oerr := os.Open(*out); oerr == nil {
+			if old, rerr := benchfmt.Read(f); rerr == nil {
+				rep.Scale = old.Scale
+			}
+			f.Close()
+		}
 	}
 
 	w := os.Stdout

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"netfail"
+	"netfail/internal/benchfmt"
+	"netfail/internal/capture"
+	"netfail/internal/clock"
+	"netfail/internal/netsim"
+)
+
+// runScaleMode is the -scale entry point: run the points, print the
+// scale table, and write (or update) the BENCH_<n>.json report. An
+// existing report at out keeps its benchmark entries — scale points
+// and `go test -bench` results are gathered by different drivers but
+// land in one trajectory artifact.
+func runScaleMode(multSpec string, days int, seed, maxRSSMB int64, pr int, out string) error {
+	var mults []int
+	for _, s := range strings.Split(multSpec, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -scale-mult %q: %v", multSpec, err)
+		}
+		mults = append(mults, m)
+	}
+	results, err := runScale(mults, days, seed, maxRSSMB)
+	if len(results) > 0 {
+		benchfmt.WriteScaleTable(os.Stderr, results)
+	}
+	if err != nil {
+		return err
+	}
+	rep := benchfmt.Report{
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      results,
+	}
+	if out == "" {
+		return benchfmt.Write(os.Stdout, rep)
+	}
+	if f, rerr := os.Open(out); rerr == nil {
+		if old, oerr := benchfmt.Read(f); oerr == nil {
+			rep.Benchmarks, rep.Pairs = old.Benchmarks, old.Pairs
+		}
+		f.Close()
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := benchfmt.Write(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "netfail-bench: %d scale points -> %s\n", len(results), out)
+	return f.Close()
+}
+
+// runScale executes the spill-campaign scale points in-process: for
+// each multiplier m it simulates a sharded capture of the backbone
+// plus m-1 spine/leaf pod domains into a temp directory, streams it
+// back through the full analysis, and records events/sec, on-disk
+// capture size, per-phase wall-clock, and the process's peak RSS.
+//
+// Multipliers must ascend: ru_maxrss is a high-water mark, so running
+// small-to-large is what lets each point's reading bound that point.
+func runScale(mults []int, days int, seed int64, maxRSSMB int64) ([]benchfmt.ScaleResult, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	clk := clock.System()
+
+	var results []benchfmt.ScaleResult
+	prev := 0
+	for _, m := range mults {
+		if m < 1 {
+			return nil, fmt.Errorf("scale multiplier %d < 1", m)
+		}
+		if m <= prev {
+			return nil, fmt.Errorf("scale multipliers must ascend (peak RSS is a high-water mark), got %d after %d", m, prev)
+		}
+		prev = m
+		r, err := runScalePoint(ctx, clk, m, days, seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "netfail-bench: %s: %d events in %.1fs sim + %.1fs analyze, peak RSS %.1f MB\n",
+			r.Name, r.Events, r.SimulateSec, r.AnalyzeSec, float64(r.PeakRSSKB)/1024)
+		results = append(results, r)
+	}
+	if maxRSSMB > 0 {
+		peak := results[len(results)-1].PeakRSSKB / 1024
+		if peak > maxRSSMB {
+			return results, fmt.Errorf("peak RSS %d MB exceeds the -scale-max-rss-mb %d MB bound", peak, maxRSSMB)
+		}
+		fmt.Fprintf(os.Stderr, "netfail-bench: peak RSS %d MB within the %d MB bound\n", peak, maxRSSMB)
+	}
+	return results, nil
+}
+
+func runScalePoint(ctx context.Context, clk clock.Clock, mult, days int, seed int64) (benchfmt.ScaleResult, error) {
+	dir, err := os.MkdirTemp("", "netfail-scale-")
+	if err != nil {
+		return benchfmt.ScaleResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := netsim.Config{Seed: seed}
+	if days > 0 {
+		cfg.Start = netsim.StudyStart
+		cfg.End = netsim.StudyStart.Add(time.Duration(days) * 24 * time.Hour)
+	}
+	var fabric netfail.FabricSpec
+	if mult > 1 {
+		fabric = netfail.DefaultFabricSpec(mult - 1)
+	}
+
+	t0 := clk.Now()
+	camp, err := netfail.SimulateToCapture(ctx, cfg, fabric, dir)
+	if err != nil {
+		return benchfmt.ScaleResult{}, fmt.Errorf("scale-%dx simulate: %w", mult, err)
+	}
+	simSec := clk.Now().Sub(t0).Seconds()
+
+	t1 := clk.Now()
+	study, _, err := netfail.AnalyzeCaptureDir(ctx, dir, false)
+	if err != nil {
+		return benchfmt.ScaleResult{}, fmt.Errorf("scale-%dx analyze: %w", mult, err)
+	}
+	anSec := clk.Now().Sub(t1).Seconds()
+	if study.Analysis == nil {
+		return benchfmt.ScaleResult{}, fmt.Errorf("scale-%dx: empty analysis", mult)
+	}
+
+	cm, err := capture.ReadManifestDir(filepath.Join(dir, netfail.CaptureDirName))
+	if err != nil {
+		return benchfmt.ScaleResult{}, err
+	}
+	sy, ls := cm.Records()
+	events := sy + ls
+	rate := 0.0
+	if simSec+anSec > 0 {
+		rate = float64(events) / (simSec + anSec)
+	}
+	return benchfmt.ScaleResult{
+		Name:         fmt.Sprintf("scale-%dx", mult),
+		Multiplier:   mult,
+		Shards:       len(cm.Shards),
+		Links:        len(camp.Network.Links),
+		Events:       events,
+		CaptureBytes: dirBytes(filepath.Join(dir, netfail.CaptureDirName)),
+		SimulateSec:  simSec,
+		AnalyzeSec:   anSec,
+		EventsPerSec: rate,
+		PeakRSSKB:    peakRSSKB(),
+	}, nil
+}
+
+// dirBytes totals the regular files under dir; 0 on any walk error
+// (the size is reporting, not correctness).
+func dirBytes(dir string) int64 {
+	var total int64
+	_ = filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}

@@ -7,9 +7,16 @@
 // Usage:
 //
 //	netfail-sim -seed 1 -out ./campaign [-days 387] [-core 60 -cpe 175]
+//	netfail-sim -seed 1 -out ./campaign -spill [-shards 9]
 //
 // The defaults reproduce the scale of the paper's 13-month study.
 // netfail-analyze consumes the output directory.
+//
+// With -spill the event streams go to a sharded on-disk capture
+// (out/capture) instead of flat syslog.log/lsps.log files, keeping
+// peak memory bounded by one shard's working set; -shards N adds N
+// spine/leaf pod domains beside the backbone for data-center-scale
+// campaigns, each captured to its own shard.
 package main
 
 import (
@@ -43,6 +50,9 @@ func main() {
 		truth    = flag.Bool("truth", false, "also export ground-truth failures (truth.log)")
 		dot      = flag.Bool("dot", false, "also export the topology as Graphviz (topology.dot)")
 		progress = flag.Bool("progress", false, "stream simulation progress events to stderr")
+		spill    = flag.Bool("spill", false, "stream captures to a sharded on-disk capture (out/capture) instead of flat log files")
+		shards   = flag.Int("shards", 0, "with -spill: add this many spine/leaf pod domains beside the backbone, one capture shard each")
+		par      = flag.Int("parallelism", 0, "with -spill -shards: per-domain simulation worker pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -82,13 +92,57 @@ func main() {
 		}))
 	}
 
-	if err := run(ctx, cfg, *out, *truth, *dot, opts); err != nil {
+	if *shards > 0 && !*spill {
+		fmt.Fprintln(os.Stderr, "netfail-sim: -shards requires -spill")
+		os.Exit(2)
+	}
+
+	var err error
+	if *spill {
+		opts = append(opts, netfail.WithParallelism(*par))
+		err = runSpill(ctx, cfg, *out, *shards, opts)
+	} else {
+		err = run(ctx, cfg, *out, *truth, *dot, opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-sim:", err)
 		if errors.Is(err, context.Canceled) {
 			os.Exit(130)
 		}
 		os.Exit(1)
 	}
+}
+
+// runSpill streams the campaign to a sharded capture directory: the
+// event logs live in out/capture as CRC-framed shard segments, the
+// remaining artifacts (manifest, configs, tickets, customers) in out
+// as usual. netfail-analyze detects the capture directory and streams
+// it back shard by shard.
+func runSpill(ctx context.Context, cfg netsim.Config, out string, shards int, opts []netfail.Option) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var fabric netfail.FabricSpec
+	if shards > 0 {
+		fabric = netfail.DefaultFabricSpec(shards)
+	}
+	camp, err := netfail.SimulateToCapture(ctx, cfg, fabric, out, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spilled campaign written to %s (capture in %s)\n", out, filepath.Join(out, netfail.CaptureDirName))
+	fmt.Printf("  period:            %s - %s\n",
+		camp.Config.Start.Format("2006-01-02"), camp.Config.End.Format("2006-01-02"))
+	coreN, cpeN := camp.Network.CountRouters()
+	coreL, cpeL := camp.Network.CountLinks()
+	fmt.Printf("  shards:            %d\n", 1+shards)
+	fmt.Printf("  routers:           %d core, %d cpe\n", coreN, cpeN)
+	fmt.Printf("  links:             %d core, %d cpe\n", coreL, cpeL)
+	fmt.Printf("  config files:      %d\n", camp.Archive.FileCount())
+	fmt.Printf("  ground truth:      %d failures\n", camp.Counts.GroundTruthFailures)
+	fmt.Printf("  syslog received:   %d of %d sent\n", camp.Counts.SyslogReceived, camp.Counts.SyslogSent)
+	fmt.Printf("  IS-IS updates:     %d (%d content-bearing)\n", camp.Counts.LSPUpdates, camp.Counts.ContentLSPs)
+	return nil
 }
 
 func run(ctx context.Context, cfg netsim.Config, out string, exportTruth, exportDOT bool, opts []netfail.Option) error {

@@ -82,6 +82,49 @@ func MakePair(entries []Entry, base, variant string) (Pair, error) {
 	return Pair{Base: base, Variant: variant, NsRatio: v.NsPerOp / b.NsPerOp}, nil
 }
 
+// ScaleResult records one spill-campaign scale point: a sharded
+// capture simulated and analyzed end to end at some CENIC multiplier,
+// with the throughput and peak-memory figures `make scale` gates on.
+type ScaleResult struct {
+	// Name labels the point, e.g. "scale-10x".
+	Name string `json:"name"`
+	// Multiplier is the campaign size in CENIC-backbone units: the
+	// backbone plus multiplier-1 spine/leaf pod domains.
+	Multiplier int `json:"multiplier"`
+	// Shards and Links describe the capture's topology.
+	Shards int `json:"shards"`
+	Links  int `json:"links"`
+	// Events is the total records captured (syslog + LSP frames);
+	// CaptureBytes is the on-disk size of the capture directory —
+	// the bytes-processed figure the throughput columns derive from.
+	Events       int64 `json:"events"`
+	CaptureBytes int64 `json:"capture_bytes"`
+	// SimulateSec and AnalyzeSec are wall-clock seconds for the two
+	// phases; EventsPerSec is Events over their sum.
+	SimulateSec  float64 `json:"simulate_sec"`
+	AnalyzeSec   float64 `json:"analyze_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakRSSKB is the process's high-water resident set after the
+	// point completed (ru_maxrss). The high-water mark is monotone
+	// across a run, so points must execute in ascending multiplier
+	// order for per-point attribution to mean anything.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
+}
+
+// WriteScaleTable renders the scale points as the table `make scale`
+// prints: one row per multiplier with throughput, on-disk capture
+// size, and peak RSS.
+func WriteScaleTable(w io.Writer, rs []ScaleResult) {
+	fmt.Fprintf(w, "%-12s %7s %7s %9s %11s %11s %9s %10s %11s %12s\n",
+		"scale", "mult", "shards", "links", "events", "capture MB", "sim s", "analyze s", "events/s", "peak RSS MB")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-12s %7d %7d %9d %11d %11.1f %9.1f %10.1f %11.0f %12.1f\n",
+			r.Name, r.Multiplier, r.Shards, r.Links, r.Events,
+			float64(r.CaptureBytes)/(1<<20), r.SimulateSec, r.AnalyzeSec,
+			r.EventsPerSec, float64(r.PeakRSSKB)/1024)
+	}
+}
+
 // Report is the BENCH_<n>.json document.
 type Report struct {
 	// PR is the stacked-PR sequence number the measurement belongs
@@ -97,6 +140,9 @@ type Report struct {
 	// Pairs holds variant-vs-baseline overhead ratios (e.g. the
 	// observability-enabled analysis against the plain one).
 	Pairs []Pair `json:"pairs,omitempty"`
+	// Scale holds the spill-campaign scale points `make scale`
+	// measures, in ascending multiplier order.
+	Scale []ScaleResult `json:"scale,omitempty"`
 }
 
 // Parse reads `go test -bench` output and returns the benchmark

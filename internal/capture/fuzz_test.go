@@ -1,0 +1,171 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"netfail/internal/faultinject"
+)
+
+// corpusSegment builds a healthy segment stream of n records.
+func corpusSegment(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(segHeader)
+	var frame []byte
+	for i := 0; i < n; i++ {
+		frame = appendFrame(frame[:0], int64(1000+i), []byte("record payload bytes"))
+		buf.Write(frame)
+	}
+	return buf.Bytes()
+}
+
+// drain reads a segment stream to EOF, returning the records and the
+// first non-EOF error (strict mode only).
+func drain(sr *SegmentReader) (recs [][]byte, err error) {
+	for {
+		_, rec, e := sr.Next()
+		if e == io.EOF {
+			return recs, nil
+		}
+		if e != nil {
+			return recs, e
+		}
+		recs = append(recs, append([]byte(nil), rec...))
+	}
+}
+
+// FuzzReadSegment drives the strict/lenient shard-reader pair over
+// corrupted segment streams, mirroring checkpoint's FuzzReadWAL. The
+// seed corpus comes from the faultinject binary corruptor — torn
+// writes, truncated finals, bit flips, spliced garbage — plus a clean
+// stream and degenerate shapes; the fuzzer mutates from there.
+// Invariants, whatever the bytes:
+//
+//   - neither reader panics or over-allocates (maxFrameLen guard);
+//   - strict success implies lenient agrees record-for-record and
+//     reports a clean salvage;
+//   - the lenient reader never returns a non-EOF error on in-memory
+//     data, and its accounting matches what it returned.
+func FuzzReadSegment(f *testing.F) {
+	clean := corpusSegment(8)
+	f.Add(clean)
+	f.Add([]byte{})
+	f.Add([]byte(segHeader))
+	f.Add([]byte("not a segment at all"))
+	for seed := int64(1); seed <= 4; seed++ {
+		torn, _ := faultinject.CorruptBytes(clean, faultinject.Plan{
+			Seed: seed, Rate: 0.4, Modes: []faultinject.Mode{faultinject.TornWrite},
+		})
+		f.Add(torn)
+		truncated, _ := faultinject.CorruptBytes(clean, faultinject.Plan{
+			Seed: seed, Modes: []faultinject.Mode{faultinject.TruncateFinal},
+		})
+		f.Add(truncated)
+		mixed, _ := faultinject.CorruptBytes(clean, faultinject.Plan{Seed: seed, Rate: 0.1})
+		f.Add(mixed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var strictRecs [][]byte
+		var strictErr error
+		sr, err := NewSegmentReader(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			strictErr = err
+		} else {
+			strictRecs, strictErr = drain(sr)
+		}
+
+		lr, err := NewSegmentReaderLenient(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			t.Fatalf("lenient reader errored opening in-memory data: %v", err)
+		}
+		lenientRecs, lenientErr := drain(lr)
+		if lenientErr != nil {
+			t.Fatalf("lenient reader errored on in-memory data: %v", lenientErr)
+		}
+		rep := lr.Report()
+		if rep.Kept != len(lenientRecs) {
+			t.Fatalf("report kept %d, returned %d records", rep.Kept, len(lenientRecs))
+		}
+		if strictErr == nil {
+			if !rep.Clean() {
+				t.Fatalf("strict accepted the stream but lenient skipped: %s", rep)
+			}
+			if len(strictRecs) != len(lenientRecs) {
+				t.Fatalf("strict kept %d records, lenient %d", len(strictRecs), len(lenientRecs))
+			}
+			for i := range strictRecs {
+				if !bytes.Equal(strictRecs[i], lenientRecs[i]) {
+					t.Fatalf("record %d differs between strict and lenient", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadIndex holds the same pair invariants over the sparse index.
+func FuzzReadIndex(f *testing.F) {
+	var buf bytes.Buffer
+	buf.WriteString(idxHeader)
+	var raw [idxEntryLen]byte
+	for i := 0; i < 6; i++ {
+		le := raw[:]
+		putUint64(le[0:], uint64(1000+i*512))
+		putUint64(le[8:], uint64(len(segHeader)+i*1024))
+		putUint32(le[16:], uint32(i*512))
+		buf.Write(le)
+	}
+	clean := buf.Bytes()
+	f.Add(clean)
+	f.Add([]byte{})
+	f.Add([]byte(idxHeader))
+	f.Add(clean[:len(clean)-7])
+	for seed := int64(1); seed <= 3; seed++ {
+		mixed, _ := faultinject.CorruptBytes(clean, faultinject.Plan{Seed: seed, Rate: 0.2})
+		f.Add(mixed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strictIdx, strictErr := ReadIndex(bytes.NewReader(data))
+		lenientIdx, rep, lenientErr := ReadIndexLenient(bytes.NewReader(data))
+		if lenientErr != nil {
+			t.Fatalf("lenient index reader errored on in-memory data: %v", lenientErr)
+		}
+		if rep.Kept != len(lenientIdx) {
+			t.Fatalf("report kept %d, returned %d entries", rep.Kept, len(lenientIdx))
+		}
+		if strictErr == nil {
+			if !rep.Clean() {
+				t.Fatalf("strict accepted the index but lenient skipped: %s", rep)
+			}
+			if len(strictIdx) != len(lenientIdx) {
+				t.Fatalf("strict kept %d entries, lenient %d", len(strictIdx), len(lenientIdx))
+			}
+			for i := range strictIdx {
+				if strictIdx[i] != lenientIdx[i] {
+					t.Fatalf("entry %d differs between strict and lenient", i)
+				}
+			}
+			// Whatever the bytes, surviving entries must satisfy the
+			// Locate precondition (strictly increasing records).
+			for i := 1; i < len(strictIdx); i++ {
+				if strictIdx[i].Record <= strictIdx[i-1].Record {
+					t.Fatalf("strict index not record-ordered at %d", i)
+				}
+			}
+		}
+	})
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putUint32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

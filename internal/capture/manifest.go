@@ -1,0 +1,212 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netfail/internal/salvage"
+)
+
+// ManifestName is the capture manifest's file name inside the
+// capture directory.
+const ManifestName = "manifest.json"
+
+// Shard describes one shard in the manifest: which topology domain
+// it captures, how big that domain is, and what the shard holds.
+type Shard struct {
+	// Name is the shard's directory name inside the capture dir.
+	Name string `json:"name"`
+	// Domain labels the topology domain this shard captures.
+	Domain string `json:"domain"`
+	// Routers and Links size the domain.
+	Routers int `json:"routers"`
+	Links   int `json:"links"`
+	// SyslogRecords and LSPRecords count the framed records.
+	SyslogRecords int64 `json:"syslog_records"`
+	LSPRecords    int64 `json:"lsp_records"`
+	// FirstMs and LastMs span the shard's record timestamps
+	// (millisecond unix time, 0 when the shard is empty).
+	FirstMs int64 `json:"first_ms"`
+	LastMs  int64 `json:"last_ms"`
+}
+
+// Manifest is the campaign-level capture metadata: the shard list in
+// the fixed order the analysis consumes them.
+type Manifest struct {
+	Format string  `json:"format"`
+	Shards []Shard `json:"shards"`
+}
+
+// Records totals the framed records across all shards.
+func (m *Manifest) Records() (syslog, lsps int64) {
+	for _, s := range m.Shards {
+		syslog += s.SyslogRecords
+		lsps += s.LSPRecords
+	}
+	return syslog, lsps
+}
+
+// Span returns the earliest and latest record timestamps across all
+// non-empty shards (zero times when the capture is empty).
+func (m *Manifest) Span() (first, last time.Time) {
+	var fMs, lMs int64
+	for _, s := range m.Shards {
+		if s.SyslogRecords == 0 && s.LSPRecords == 0 {
+			continue
+		}
+		if fMs == 0 || s.FirstMs < fMs {
+			fMs = s.FirstMs
+		}
+		if s.LastMs > lMs {
+			lMs = s.LastMs
+		}
+	}
+	if fMs == 0 {
+		return time.Time{}, time.Time{}
+	}
+	return time.UnixMilli(fMs).UTC(), time.UnixMilli(lMs).UTC()
+}
+
+// writeManifestFile writes the manifest atomically into dir.
+func writeManifestFile(dir string, m *Manifest) error {
+	tmp, err := os.CreateTemp(dir, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("capture: manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(m)
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("capture: manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("capture: manifest: %w", err)
+	}
+	return nil
+}
+
+// IsCaptureDir reports whether dir looks like a capture directory
+// (has a manifest). netfail-analyze uses it to auto-detect sharded
+// campaigns.
+func IsCaptureDir(dir string) bool {
+	st, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil && !st.IsDir()
+}
+
+// ReadManifest parses a capture manifest strictly and validates the
+// format tag.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("capture: manifest: %w", err)
+	}
+	if m.Format != FormatName {
+		return nil, fmt.Errorf("capture: manifest: unknown format %q (want %q)", m.Format, FormatName)
+	}
+	return &m, nil
+}
+
+// ReadManifestDir reads dir's manifest strictly.
+func ReadManifestDir(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}
+
+// ReadManifestLenient parses a capture manifest in salvage mode:
+// garbage before or after the JSON object is skipped and accounted.
+// The manifest is small and names every shard, so corruption inside
+// the object stays fatal even here — a guessed shard list would
+// silently drop whole domains from the analysis.
+func ReadManifestLenient(r io.Reader) (*Manifest, *salvage.Report, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("capture: manifest: %w", err)
+	}
+	rep := &salvage.Report{}
+	start := bytes.IndexByte(raw, '{')
+	if start < 0 {
+		return nil, nil, fmt.Errorf("capture: manifest: no JSON object found")
+	}
+	end := matchBrace(raw, start)
+	if end < 0 {
+		return nil, nil, fmt.Errorf("capture: manifest: unterminated JSON object")
+	}
+	m, err := ReadManifest(bytes.NewReader(raw[start : end+1]))
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Kept = 1
+	for _, lineNo := range garbageLines(raw, start, end) {
+		rep.Skip(lineNo, "garbage around manifest object")
+	}
+	return m, rep, nil
+}
+
+// matchBrace returns the index of the brace closing the object opened
+// at start, honouring JSON string syntax, or -1.
+func matchBrace(data []byte, start int) int {
+	depth, inString, escaped := 0, false, false
+	for i := start; i < len(data); i++ {
+		c := data[i]
+		if inString {
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// garbageLines returns the 1-based line numbers of non-blank lines
+// falling entirely outside data[start:end+1].
+func garbageLines(data []byte, start, end int) []int {
+	var out []int
+	lineNo, lineStart := 0, 0
+	for i := 0; i <= len(data); i++ {
+		if i < len(data) && data[i] != '\n' {
+			continue
+		}
+		lineNo++
+		line := bytes.TrimSpace(data[lineStart:i])
+		if len(line) > 0 && (i <= start || lineStart > end) {
+			out = append(out, lineNo)
+		}
+		lineStart = i + 1
+	}
+	return out
+}

@@ -37,6 +37,28 @@ type SyslogTraces struct {
 	// AdjMessages and PhysMessages count resolved messages by class.
 	AdjMessages  int
 	PhysMessages int
+	// Messages counts every message the extraction consumed — the
+	// capture size Table 1 reports, carried here so pre-extracted
+	// (sharded) captures report it without retaining the messages.
+	Messages int
+}
+
+// Merge appends o's streams and counters onto st. The sharded capture
+// path extracts each topology domain separately and merges in the
+// manifest's fixed shard order; because domains are link-disjoint,
+// plain concatenation keeps every per-link stream time-sorted, and
+// skipping a global re-sort (which would be unstable across
+// equal-time entries) is what keeps single-shard captures
+// byte-identical to the in-RAM path.
+func (st *SyslogTraces) Merge(o *SyslogTraces) {
+	st.PerRouterAdj = append(st.PerRouterAdj, o.PerRouterAdj...)
+	st.MergedAdj = append(st.MergedAdj, o.MergedAdj...)
+	st.MergedPhysical = append(st.MergedPhysical, o.MergedPhysical...)
+	st.Unresolved += o.Unresolved
+	st.NonLink += o.NonLink
+	st.AdjMessages += o.AdjMessages
+	st.PhysMessages += o.PhysMessages
+	st.Messages += o.Messages
 }
 
 // Extractor resolves syslog captures against one topology. It owns
@@ -208,6 +230,7 @@ func (e *Extractor) ExtractInto(ctx context.Context, msgs []*syslog.Message, mer
 		lastSeen = s.lastK
 	}
 	st.AdjMessages, st.PhysMessages = adjN, physN
+	st.Messages = len(msgs)
 
 	st.PerRouterAdj = st.PerRouterAdj[:0]
 	if adjN > 0 {

@@ -33,7 +33,7 @@ func (a *Analysis) Table1(configFiles, isisUpdates int) Table1 {
 		ConfigFiles:             configFiles,
 		CoreLinks:               coreLinks,
 		CPELinks:                cpeLinks,
-		SyslogMessages:          len(a.In.Syslog),
+		SyslogMessages:          a.Traces.Messages,
 		ISISUpdates:             isisUpdates,
 		MultiLinkAdjacencyPairs: len(a.In.Network.MultiLinkAdjacencies()),
 		AnalyzedLinks:           len(a.AnalyzedLinks),

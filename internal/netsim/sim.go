@@ -3,7 +3,6 @@ package netsim
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"netfail/internal/config"
@@ -142,6 +141,21 @@ type Campaign struct {
 // Observability attached to ctx (obs package) traces the simulation
 // phases without affecting the generated captures.
 func Run(ctx context.Context, cfg Config) (*Campaign, error) {
+	return run(ctx, cfg, nil, newMemorySink, false)
+}
+
+// newMemorySink is Run's sink factory: classic in-RAM captures.
+func newMemorySink(camp *Campaign) (eventSink, error) {
+	return &memorySink{camp: camp}, nil
+}
+
+// run is the campaign engine behind Run and the spill variants: the
+// sink is the only degree of freedom, so every capture target replays
+// the identical RNG streams and event schedule. net overrides
+// topology generation when non-nil (the sharded runner pre-generates
+// per-domain networks); skipArchive elides the config archive for
+// per-domain runs whose caller builds one combined archive instead.
+func run(ctx context.Context, cfg Config, net *topo.Network, mkSink func(*Campaign) (eventSink, error), skipArchive bool) (*Campaign, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -152,11 +166,14 @@ func Run(ctx context.Context, cfg Config) (*Campaign, error) {
 	ctx, done := obs.Stage(ctx, "simulate")
 	defer done()
 
-	_, topoSpan := obs.StartSpan(ctx, "topology")
-	net, err := topo.Generate(cfg.Spec)
-	topoSpan.End()
-	if err != nil {
-		return nil, err
+	if net == nil {
+		_, topoSpan := obs.StartSpan(ctx, "topology")
+		var err error
+		net, err = topo.Generate(cfg.Spec)
+		topoSpan.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	root := newRNG(cfg.Seed)
 	workRNG := root.fork()
@@ -166,8 +183,10 @@ func Run(ctx context.Context, cfg Config) (*Campaign, error) {
 	camp := &Campaign{
 		Config:          cfg,
 		Network:         net,
-		Archive:         config.GenerateArchive(net, cfg.Start.Add(-24*time.Hour), cfg.End, 7*24*time.Hour),
 		ListenerOffline: cfg.ListenerOffline,
+	}
+	if !skipArchive {
+		camp.Archive = config.GenerateArchive(net, cfg.Start.Add(-24*time.Hour), cfg.End, 7*24*time.Hour)
 	}
 	cfgSpan.End()
 	_, wlSpan := obs.StartSpan(ctx, "workload")
@@ -175,10 +194,15 @@ func Run(ctx context.Context, cfg Config) (*Campaign, error) {
 	wlSpan.End()
 	camp.Counts.GroundTruthFailures = len(camp.GroundTruth)
 
+	sink, err := mkSink(camp)
+	if err != nil {
+		return nil, err
+	}
 	sim := &simulation{
 		cfg:     cfg,
 		net:     net,
 		camp:    camp,
+		sink:    sink,
 		rng:     impairRNG,
 		sched:   NewScheduler(cfg.Start),
 		devices: make(map[string]*device.Router, len(net.RouterNames)),
@@ -226,12 +250,9 @@ func Run(ctx context.Context, cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 
-	sort.SliceStable(camp.Syslog, func(i, j int) bool {
-		return camp.Syslog[i].Timestamp.Before(camp.Syslog[j].Timestamp)
-	})
-	sort.SliceStable(camp.LSPLog, func(i, j int) bool {
-		return camp.LSPLog[i].Time.Before(camp.LSPLog[j].Time)
-	})
+	if err := sink.finish(); err != nil {
+		return nil, err
+	}
 	if cfg.RefreshMode == RefreshCounted {
 		camp.Counts.LSPUpdates = camp.Counts.ContentLSPs + sim.analyticRefreshCount()
 	}
@@ -247,6 +268,7 @@ type simulation struct {
 	cfg     Config
 	net     *topo.Network
 	camp    *Campaign
+	sink    eventSink
 	rng     *rng
 	sched   *Scheduler
 	devices map[string]*device.Router
@@ -374,9 +396,7 @@ func (s *simulation) deliverLSP(d *device.Router, content bool) {
 		}
 		s.camp.Counts.LSPUpdates++
 		if content || s.cfg.RefreshMode == RefreshFull {
-			// Capture files carry millisecond resolution; quantize so
-			// the on-disk form is lossless.
-			s.camp.LSPLog = append(s.camp.LSPLog, CapturedLSP{Time: s.sched.Now().Truncate(time.Millisecond), Data: wire})
+			s.sink.lsp(s.sched.Now(), wire)
 		}
 	})
 }
@@ -400,7 +420,7 @@ func (s *simulation) emitSyslog(m *syslog.Message, lossProb float64) {
 		return
 	}
 	s.camp.Counts.SyslogReceived++
-	s.camp.Syslog = append(s.camp.Syslog, m)
+	s.sink.syslog(s.sched.Now(), m)
 }
 
 // lossProb returns the applicable loss probability.

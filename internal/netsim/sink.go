@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"netfail/internal/capture"
+	"netfail/internal/syslog"
+)
+
+// eventSink receives the simulation's two observation streams as the
+// scheduler produces them. The simulation drives the sink from the
+// identical code path regardless of implementation — same RNG draws,
+// same event schedule — so an in-RAM run and a spill run of the same
+// config produce the identical event streams.
+type eventSink interface {
+	// syslog receives a message delivered to the collector; now is
+	// the scheduler clock at delivery. Delivered messages carry
+	// millisecond-truncated timestamps computed as now-at-emission
+	// plus a non-negative processing delay, so every future delivery
+	// is stamped at or after the floor of now's millisecond — the
+	// invariant that lets the spill sink bound its reorder buffer.
+	syslog(now time.Time, m *syslog.Message)
+	// lsp receives one LSP's wire bytes captured at now. Captures
+	// arrive in scheduler order, i.e. non-decreasing time.
+	lsp(now time.Time, wire []byte)
+	// finish settles the streams once the scheduler has drained.
+	finish() error
+}
+
+// memorySink is the classic in-RAM capture: accumulate, then sort
+// once at the end. The stable sorts keep delivery order among
+// equal-timestamp messages, which the spill sink reproduces with its
+// delivery-sequence tiebreak.
+type memorySink struct{ camp *Campaign }
+
+func (ms *memorySink) syslog(_ time.Time, m *syslog.Message) {
+	ms.camp.Syslog = append(ms.camp.Syslog, m)
+}
+
+func (ms *memorySink) lsp(now time.Time, wire []byte) {
+	// Capture files carry millisecond resolution; quantize so the
+	// on-disk form is lossless.
+	ms.camp.LSPLog = append(ms.camp.LSPLog, CapturedLSP{Time: now.Truncate(time.Millisecond), Data: wire})
+}
+
+func (ms *memorySink) finish() error {
+	camp := ms.camp
+	sort.SliceStable(camp.Syslog, func(i, j int) bool {
+		return camp.Syslog[i].Timestamp.Before(camp.Syslog[j].Timestamp)
+	})
+	sort.SliceStable(camp.LSPLog, func(i, j int) bool {
+		return camp.LSPLog[i].Time.Before(camp.LSPLog[j].Time)
+	})
+	return nil
+}
+
+// spillEntry is one syslog message waiting in the spill sink's
+// reorder buffer.
+type spillEntry struct {
+	tsMs int64
+	seq  int64 // delivery order, the equal-timestamp tiebreak
+	m    *syslog.Message
+}
+
+// spillHeap is a hand-rolled min-heap over (tsMs, seq). A specialized
+// heap keeps the per-message path free of the interface boxing
+// container/heap would impose.
+type spillHeap []spillEntry
+
+func (h spillHeap) less(i, j int) bool {
+	if h[i].tsMs != h[j].tsMs {
+		return h[i].tsMs < h[j].tsMs
+	}
+	return h[i].seq < h[j].seq
+}
+
+//netfail:hotpath
+func (h *spillHeap) push(e spillEntry) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+//netfail:hotpath
+func (h *spillHeap) pop() spillEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = spillEntry{}
+	q = q[:last]
+	*h = q
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(q) && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(q) && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+// spillSink streams both observation channels to one capture shard
+// with bounded memory. LSP captures already arrive in non-decreasing
+// millisecond order and are framed immediately. Syslog messages carry
+// timestamps up to the processing-delay horizon (~1s of simulated
+// time) ahead of the scheduler, so a min-heap keyed (timestamp,
+// delivery sequence) reorders them; an entry is framed only once the
+// scheduler clock passes its millisecond, after which no
+// earlier-stamped message can be delivered. Heap occupancy is bounded
+// by that horizon's message volume, never the campaign's.
+type spillSink struct {
+	sw   *capture.ShardWriter
+	heap spillHeap
+	seq  int64
+	buf  []byte // reused render buffer
+	err  error  // first write error; surfaced by finish
+}
+
+//netfail:hotpath
+func (sp *spillSink) syslog(now time.Time, m *syslog.Message) {
+	sp.seq++
+	sp.heap.push(spillEntry{tsMs: m.Timestamp.UnixMilli(), seq: sp.seq, m: m})
+	sp.flush(now.UnixMilli())
+}
+
+// flush frames every buffered message stamped strictly before
+// beforeMs. Messages stamped in the scheduler's current millisecond
+// stay buffered: a later delivery could still share their stamp, and
+// the sequence tiebreak only orders entries that meet in the heap.
+//
+//netfail:hotpath
+func (sp *spillSink) flush(beforeMs int64) {
+	for sp.err == nil && len(sp.heap) > 0 && sp.heap[0].tsMs < beforeMs {
+		e := sp.heap.pop()
+		sp.buf = e.m.AppendRender(sp.buf[:0])
+		sp.err = sp.sw.AppendSyslog(e.tsMs, sp.buf)
+	}
+}
+
+//netfail:hotpath
+func (sp *spillSink) lsp(now time.Time, wire []byte) {
+	if sp.err != nil {
+		return
+	}
+	sp.err = sp.sw.AppendLSP(now.Truncate(time.Millisecond).UnixMilli(), wire)
+}
+
+func (sp *spillSink) finish() error {
+	sp.flush(math.MaxInt64)
+	return sp.err
+}

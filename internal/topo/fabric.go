@@ -1,0 +1,148 @@
+package topo
+
+import "fmt"
+
+// Domain is one shard of a multi-domain topology: an IS-IS area
+// simulated and captured independently of its siblings. Domains are
+// fully disjoint — no shared routers, links, subnets, or system IDs —
+// which is what lets the sharded analysis treat per-domain results as
+// concatenable without a global merge sort.
+type Domain struct {
+	// Name labels the domain (the capture manifest's Domain field).
+	Name string
+	// Net is the domain's network.
+	Net *Network
+}
+
+// FabricSpec parameterizes the data-center fabric generator: a set of
+// identical spine/leaf domains laid out alongside (and disjoint from)
+// the CENIC-style backbone. One domain is one two-tier Clos pod:
+// every spine connects to every leaf.
+type FabricSpec struct {
+	// Domains is the number of fabric domains to generate.
+	Domains int
+	// Spines and Leaves size each domain; each domain carries
+	// Spines*Leaves links.
+	Spines int
+	Leaves int
+	// Metric is the configured IS-IS metric on fabric links.
+	Metric uint32
+}
+
+// DefaultFabricSpec sizes one pod at roughly one CENIC of links (10
+// spines x 30 leaves = 300 links vs CENIC's 299), so an N-domain
+// fabric plus the backbone is an (N+1)x-CENIC campaign.
+func DefaultFabricSpec(domains int) FabricSpec {
+	return FabricSpec{Domains: domains, Spines: 10, Leaves: 30, Metric: 10}
+}
+
+// fabricIDBase keeps fabric system-ID indexes clear of the backbone's
+// (cores at 1+, CPEs at 1000+): domain d uses 10000+d*1000 for spines
+// and 10000+d*1000+500 for leaves.
+const fabricIDBase = 10000
+
+// Fabric generates the fabric domains. Namespaces are disjoint from
+// the backbone generator's and from each other: hostnames carry the
+// domain prefix ("d01-spine-01"), loopbacks come from per-domain /24s
+// under 10.(100+d), and link /31s from 138.(d).0.0/16 — all clear of
+// the backbone's 10.1/10.2 loopbacks and 137.164/16 links.
+func Fabric(spec FabricSpec) ([]Domain, error) {
+	if spec.Domains < 0 || spec.Domains > 80 {
+		return nil, fmt.Errorf("topo: fabric domains %d out of range [0, 80]", spec.Domains)
+	}
+	if spec.Domains > 0 && (spec.Spines < 1 || spec.Leaves < 1) {
+		return nil, fmt.Errorf("topo: fabric needs at least 1 spine and 1 leaf per domain")
+	}
+	if spec.Spines > 499 || spec.Leaves > 499 {
+		return nil, fmt.Errorf("topo: fabric domain too large (%d spines, %d leaves; max 499 each)", spec.Spines, spec.Leaves)
+	}
+	metric := spec.Metric
+	if metric == 0 {
+		metric = 10
+	}
+	domains := make([]Domain, 0, spec.Domains)
+	for d := 1; d <= spec.Domains; d++ {
+		n := NewNetwork()
+		spines := make([]string, spec.Spines)
+		for i := 0; i < spec.Spines; i++ {
+			name := fmt.Sprintf("d%02d-spine-%02d", d, i+1)
+			spines[i] = name
+			if err := n.AddRouter(&Router{
+				Name:     name,
+				Class:    Core,
+				SystemID: SystemIDFromIndex(fabricIDBase + d*1000 + i + 1),
+				Loopback: 10<<24 | uint32(100+d)<<16 | uint32(i+1),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		leaves := make([]string, spec.Leaves)
+		for i := 0; i < spec.Leaves; i++ {
+			name := fmt.Sprintf("d%02d-leaf-%03d", d, i+1)
+			leaves[i] = name
+			if err := n.AddRouter(&Router{
+				Name:     name,
+				Class:    CPE,
+				SystemID: SystemIDFromIndex(fabricIDBase + d*1000 + 500 + i + 1),
+				Loopback: 10<<24 | uint32(100+d)<<16 | 1<<8 | uint32(i+1),
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		alloc := &subnetAllocator{next: 138<<24 | uint32(d)<<16}
+		ports := newPortAllocator()
+		for _, spine := range spines {
+			sr := n.Routers[spine]
+			for _, leaf := range leaves {
+				lr := n.Routers[leaf]
+				a := Endpoint{Host: spine, Port: ports.next(sr)}
+				b := Endpoint{Host: leaf, Port: ports.next(lr)}
+				if _, err := n.AddLink(a, b, alloc.take(), metric); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Every leaf serves one customer site, so domain failures feed
+		// the isolation analysis the same way backbone CPE uplinks do.
+		for i, leaf := range leaves {
+			n.Customers = append(n.Customers, &Customer{
+				Name:    fmt.Sprintf("d%02d-site-%03d", d, i+1),
+				Routers: []string{leaf},
+			})
+		}
+		domains = append(domains, Domain{Name: fmt.Sprintf("fabric-%02d", d), Net: n})
+	}
+	return domains, nil
+}
+
+// Merge unions disjoint networks into one. The inputs must not share
+// hostnames, system IDs, link IDs, or subnets (the Domain contract);
+// routers and links are registered by reference, so the merged view
+// aliases the inputs — suitable for the read-only consumers (config
+// mining, the IS-IS listener, analysis), not for further topology
+// edits.
+func Merge(nets ...*Network) (*Network, error) {
+	out := NewNetwork()
+	for _, n := range nets {
+		for _, name := range n.RouterNames {
+			if err := out.AddRouter(n.Routers[name]); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range n.Links {
+			if _, dup := out.byLink[l.ID]; dup {
+				return nil, fmt.Errorf("topo: merge: duplicate link %s", l.ID)
+			}
+			if _, dup := out.bySubnet[l.Subnet]; dup {
+				return nil, fmt.Errorf("topo: merge: duplicate subnet %s", FormatIPv4(l.Subnet))
+			}
+			out.Links = append(out.Links, l)
+			out.byLink[l.ID] = l
+			out.byAdjacency[l.Adjacency] = append(out.byAdjacency[l.Adjacency], l)
+			out.bySubnet[l.Subnet] = l
+		}
+		out.Customers = append(out.Customers, n.Customers...)
+	}
+	return out, nil
+}

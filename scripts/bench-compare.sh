@@ -10,6 +10,9 @@
 #   BenchmarkLSPDecode      0 allocs/op  arena decode, slot reuse
 #   BenchmarkParseLinkEvent 0 allocs/op  []byte tokenizer + interning
 #   BenchmarkAppend         0 allocs/op  reused WAL frame buffer
+#   BenchmarkSegmentAppend  0 allocs/op  reused capture frame buffer
+#   BenchmarkSegmentRead   16 allocs/op  zero-copy reader (buffer growth
+#                                        amortized over 4096 records/op)
 #
 # verify.sh runs this as part of tier-1; `make bench-compare` runs it
 # alone. BENCHTIME trades precision for speed (default 10x).
@@ -25,11 +28,15 @@ go test -run '^$' -bench 'BenchmarkSyslogExtract$' -benchmem -benchtime "$BENCHT
 go test -run '^$' -bench 'BenchmarkLSPDecode$|BenchmarkParseLinkEvent$' -benchmem -benchtime "$BENCHTIME" \
     ./internal/isis ./internal/syslog | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkAppend$' -benchmem -benchtime "$BENCHTIME" ./internal/checkpoint | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkSegmentAppend$|BenchmarkSegmentRead$' -benchmem -benchtime "$BENCHTIME" \
+    ./internal/capture | tee -a "$raw"
 
 go run ./cmd/netfail-bench -o /dev/null \
     -max-allocs BenchmarkSyslogExtract=6 \
     -max-allocs BenchmarkLSPDecode=0 \
     -max-allocs BenchmarkParseLinkEvent=0 \
     -max-allocs BenchmarkAppend=0 \
+    -max-allocs BenchmarkSegmentAppend=0 \
+    -max-allocs BenchmarkSegmentRead=16 \
     < "$raw"
 echo "bench-compare: alloc pins hold" >&2

@@ -5,12 +5,12 @@
 # per PR records how the pipeline's cost moves across the stack.
 #
 # Environment knobs:
-#   PR        stack sequence number stamped into the report (default 5)
+#   PR        stack sequence number stamped into the report (default 9)
 #   BENCHTIME go test -benchtime (default 1x: one measured iteration,
 #             enough for trajectory tracking without minutes of CI)
 #   BENCH     -bench regexp (default ".")
 #   PKGS      packages with benchmarks (default: root + the codec,
-#             stats, and checkpoint suites)
+#             stats, checkpoint, and capture suites)
 #   PAIRS     space-separated base=variant overhead pairs recorded in
 #             the report (default: the observability-enabled analysis
 #             against its plain baseline)
@@ -24,10 +24,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-5}"
+PR="${PR:-9}"
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
-PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis ./internal/checkpoint}"
+PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis ./internal/checkpoint ./internal/capture}"
 PAIRS="${PAIRS:-BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced}"
 OUT="${OUT:-BENCH_${PR}.json}"
 

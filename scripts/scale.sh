@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Scale gate: simulate and analyze sharded spill-to-disk campaigns at
+# increasing CENIC multipliers, recording events/sec, per-phase
+# wall-clock, on-disk capture size, and peak RSS into the BENCH_<PR>
+# trajectory artifact (scale points merge with `make bench` results
+# rather than replacing them). Fails if peak RSS exceeds MAX_RSS_MB —
+# the spill format's whole point is that campaign size stops being a
+# memory ceiling.
+#
+# Environment knobs:
+#   PR          stack sequence number stamped into the report (default 9)
+#   MULTS       comma-separated ascending multipliers (default 1,10)
+#   DAYS        campaign days (default 0 = the full 13-month study)
+#   SEED        campaign seed (default 1)
+#   MAX_RSS_MB  peak-RSS bound in MB, 0 disables (default 2048)
+#   OUT         output path (default BENCH_${PR}.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${PR:-9}"
+MULTS="${MULTS:-1,10}"
+DAYS="${DAYS:-0}"
+SEED="${SEED:-1}"
+MAX_RSS_MB="${MAX_RSS_MB:-2048}"
+OUT="${OUT:-BENCH_${PR}.json}"
+
+echo "scale: multipliers $MULTS, $DAYS days (0 = full study), RSS bound ${MAX_RSS_MB} MB" >&2
+go run ./cmd/netfail-bench -scale \
+    -scale-mult "$MULTS" -scale-days "$DAYS" -scale-seed "$SEED" \
+    -scale-max-rss-mb "$MAX_RSS_MB" -pr "$PR" -o "$OUT"
+echo "scale: wrote $OUT" >&2
