@@ -1,6 +1,6 @@
 # Developer entrypoints. `make verify` is the tier-1 gate CI enforces.
 
-.PHONY: build test lint lint-baseline race verify faultinject bench bench-compare obs chaos scale
+.PHONY: build test lint lint-baseline race verify faultinject bench bench-compare obs chaos scale query
 
 build:
 	go build ./...
@@ -51,6 +51,12 @@ scale:
 # seeded campaign; assert a non-empty span tree and zero drop counters.
 obs:
 	./scripts/obs-smoke.sh
+
+# Query smoke: build an indexed failure store from a seeded campaign,
+# drive every netfail-query verb, and hit the /api/v1 HTTP surface
+# including the shared error envelope. Part of verify.
+query:
+	./scripts/query.sh
 
 # Crash-safety gate: SIGKILL netfail-serve mid-ingest and assert the
 # resumed report is byte-identical, plus the overload soak and drain

@@ -35,11 +35,11 @@ func TestLinkIDExtensionRecoversMultiLinkCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	legacy, err := AnalyzeCampaign(campBase)
+	legacy, err := Analyze(context.Background(), campBase)
 	if err != nil {
 		t.Fatal(err)
 	}
-	extended, err := AnalyzeCampaignWithOptions(campIDs, AnalysisOptions{IncludeMultiLink: true})
+	extended, err := Analyze(context.Background(), campIDs, WithMultiLink(true))
 	if err != nil {
 		t.Fatal(err)
 	}

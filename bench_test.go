@@ -308,7 +308,7 @@ func BenchmarkAnalyzeMonth(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		study, err := AnalyzeCampaign(camp)
+		study, err := Analyze(context.Background(), camp)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -355,7 +355,7 @@ func BenchmarkAnalyzeMonthSequential(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: 1})
+		study, err := Analyze(context.Background(), camp, WithParallelism(1))
 		if err != nil {
 			b.Fatal(err)
 		}

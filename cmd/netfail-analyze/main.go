@@ -72,14 +72,21 @@ func main() {
 		export    = flag.String("export", "", "also write the reconstructed transition streams into this directory")
 		multi     = flag.Bool("multilink", false, "include multi-link adjacencies (pair with netfail-sim -linkids)")
 		md        = flag.Bool("markdown", false, "emit a markdown reproduction report with automated verdicts")
-		lenient   = flag.Bool("lenient", false, "salvage malformed capture records instead of aborting; exit 3 if any were dropped")
-		par       = flag.Int("parallelism", 0, "analysis worker pool size: 0 = one worker per CPU, 1 = sequential; output is byte-identical either way")
-		traceTree = flag.Bool("trace", false, "print the stage/worker span tree to stderr after the run")
-		traceJSON = flag.String("trace-json", "", "write the span tree as Chrome trace_event JSON to this file")
-		metrics   = flag.Bool("metrics", false, "print pipeline counters to stderr after the run")
-		progress  = flag.Bool("progress", false, "stream stage/shard progress events to stderr")
+		storeDir  = flag.String("store", "", "also write an indexed failure store into this directory (query with netfail-query)")
+		strictF   = config.StrictnessFlags(flag.CommandLine, false)
+		par       = config.ParallelismFlag(flag.CommandLine)
+		traceTree = config.TraceFlag(flag.CommandLine)
+		traceJSON = config.TraceJSONFlag(flag.CommandLine)
+		metrics   = config.MetricsFlag(flag.CommandLine)
+		progress  = config.ProgressFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	lenientMode, err := strictF.Lenient()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-analyze:", err)
+		os.Exit(2)
+	}
+	lenient := &lenientMode
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -100,12 +107,11 @@ func main() {
 		})
 	}
 
-	var err error
 	salvaged := false
 	if *seed != 0 {
-		err = runSeed(ctx, *seed, *days, *table, *figure, *svgDir, *export, *multi, *md, *par)
+		err = runSeed(ctx, *seed, *days, *table, *figure, *svgDir, *export, *multi, *md, *par, *storeDir)
 	} else {
-		salvaged, err = run(ctx, *data, *table, *figure, *svgDir, *export, *multi, *md, *lenient, *par)
+		salvaged, err = run(ctx, *data, *table, *figure, *svgDir, *export, *multi, *md, *lenient, *par, *storeDir)
 	}
 	// The observability artifacts describe whatever ran, so they are
 	// written even when the pipeline was canceled midway.
@@ -150,14 +156,17 @@ func writeChrome(tracer *obs.Tracer, path string) error {
 
 // runSeed simulates and analyzes entirely in memory via the public
 // pipeline (the context already carries any observability consumers).
-func runSeed(ctx context.Context, seed int64, days, table int, figure, svgDir, exportDir string, multi, md bool, parallelism int) error {
+func runSeed(ctx context.Context, seed int64, days, table int, figure, svgDir, exportDir string, multi, md bool, parallelism int, storeDir string) error {
 	cfg := netsim.Config{Seed: seed}
 	if days > 0 {
 		cfg.Start = netsim.StudyStart
 		cfg.End = netsim.StudyStart.Add(time.Duration(days) * 24 * time.Hour)
 	}
-	study, err := netfail.Run(ctx, cfg,
-		netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism))
+	opts := []netfail.Option{netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism)}
+	if storeDir != "" {
+		opts = append(opts, netfail.WithStoreDir(storeDir))
+	}
+	study, err := netfail.Run(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}
@@ -165,7 +174,7 @@ func runSeed(ctx context.Context, seed int64, days, table int, figure, svgDir, e
 		table, figure, svgDir, exportDir, md)
 }
 
-func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int) (salvaged bool, err error) {
+func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir string, multi, md, lenient bool, parallelism int, storeDir string) (salvaged bool, err error) {
 	var (
 		a              *core.Analysis
 		campaignCounts netsim.Counts
@@ -175,8 +184,11 @@ func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir s
 	if netfail.IsCaptureCampaign(dir) {
 		// Sharded spill capture: stream the shards back through the
 		// library pipeline instead of loading flat log files.
-		study, caps, cerr := netfail.AnalyzeCaptureDir(ctx, dir, lenient,
-			netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism))
+		opts := []netfail.Option{netfail.WithMultiLink(multi), netfail.WithParallelism(parallelism)}
+		if storeDir != "" {
+			opts = append(opts, netfail.WithStoreDir(storeDir))
+		}
+		study, caps, cerr := netfail.AnalyzeCaptureDir(ctx, dir, lenient, opts...)
 		if cerr != nil {
 			return false, cerr
 		}
@@ -194,6 +206,9 @@ func run(ctx context.Context, dir string, table int, figure, svgDir, exportDir s
 			reports = append(reports, salvageEntry{c.Name, c.Report})
 		}
 	} else {
+		if storeDir != "" {
+			return false, fmt.Errorf("-store needs the library pipeline: use -seed mode or a sharded capture campaign (netfail-sim -spill)")
+		}
 		a, campaignCounts, archive, reports, err = loadAndAnalyze(ctx, dir, multi, lenient, parallelism)
 		if err != nil {
 			return false, err

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"netfail/internal/api"
 	"netfail/internal/backoff"
 	"netfail/internal/clock"
 	"netfail/internal/config"
@@ -44,7 +45,7 @@ func main() {
 		replay  = flag.String("replay", "", "LSP capture file to transmit (replay mode)")
 		to      = flag.String("to", "", "destination address (replay mode)")
 		limit   = flag.Int("limit", 0, "stop after this many LSPs (0 = unlimited)")
-		debug   = flag.String("debug-addr", "", "serve live counters and pprof on this HTTP address (receive mode)")
+		debug   = config.DebugAddrFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func receive(addr, configDir string, limit int, clk clock.Clock, debugAddr strin
 	reg := obs.NewRegistry()
 	if debugAddr != "" {
 		obs.Publish("netfail-listener", reg)
-		srv := &http.Server{Addr: debugAddr, Handler: obs.DebugMux(reg)}
+		srv := &http.Server{Addr: debugAddr, Handler: api.NewMux(api.Options{Registry: reg})}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "debug endpoint: %v\n", err)

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonEncoder builds the CLI's indented JSON encoder — the same
+// rendering the HTTP surface uses, so -json output and curl output
+// diff cleanly.
+func jsonEncoder(w io.Writer) *json.Encoder {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc
+}

@@ -1,0 +1,498 @@
+// Command netfail-query answers questions against an indexed failure
+// store (written by netfail-analyze -store, netfail.WithStoreDir, or
+// AnalyzeCaptureDir) without re-running the analysis pipeline: window
+// and link lookups ride the store's sparse time indexes and posting
+// lists instead of a full replay.
+//
+// Usage:
+//
+//	netfail-query -store ./store links
+//	netfail-query -store ./store failures -link "a:0|b:0" -source isis
+//	netfail-query -store ./store transitions -stream syslog-adj -dir down \
+//	    -from 2010-10-02T00:00:00Z -to 2010-10-03T00:00:00Z
+//	netfail-query -store ./store messages -host cpe-017 -contains UPDOWN
+//	netfail-query -store ./store flaps -source syslog
+//	netfail-query -store ./store table -n 4
+//	netfail-query -store ./store info
+//	netfail-query -store ./store serve -debug-addr 127.0.0.1:8080
+//
+// Every verb accepts -json for machine-readable output (the same wire
+// shapes the /api/v1 HTTP surface serves); serve mounts that surface
+// over HTTP. -lenient opens the store in salvage mode, printing what
+// was skipped to stderr and exiting 3 if anything was — the same
+// convention as netfail-analyze.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"netfail/internal/api"
+	"netfail/internal/config"
+	"netfail/internal/report"
+	"netfail/internal/store"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "store", "store directory written by netfail-analyze -store")
+		jsonOut  = config.JSONFlag(flag.CommandLine)
+		strict   = config.StrictnessFlags(flag.CommandLine, false)
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	lenient, err := strict.Lenient()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-query:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *storeDir, lenient, *jsonOut, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-query:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: netfail-query [flags] <verb> [verb flags]
+
+verbs:
+  links        list the link catalog
+  failures     query stored failures      (-link -source -from -to -limit)
+  transitions  query stored transitions   (-link -stream -dir -kind -reporter -from -to -limit)
+  messages     query stored syslog lines  (-host -contains -from -to -limit)
+  flaps        group failures into flap episodes (-source -link -from -to)
+  table        print a precomputed agreement table (-n 1..7)
+  info         print the store's campaign metadata and record counts
+  serve        serve the /api/v1 HTTP query surface (-debug-addr)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(ctx context.Context, dir string, lenient, jsonOut bool, args []string) error {
+	if !store.IsStoreDir(dir) {
+		return fmt.Errorf("%s is not a store directory (no %s); write one with netfail-analyze -store", dir, store.ManifestName)
+	}
+	var s *store.Store
+	var err error
+	if lenient {
+		s, err = store.OpenLenient(dir)
+	} else {
+		s, err = store.Open(dir)
+	}
+	if err != nil {
+		return err
+	}
+
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "links":
+		err = runLinks(ctx, s, jsonOut, rest)
+	case "failures":
+		err = runFailures(ctx, s, jsonOut, rest)
+	case "transitions":
+		err = runTransitions(ctx, s, jsonOut, rest)
+	case "messages":
+		err = runMessages(ctx, s, jsonOut, rest)
+	case "flaps":
+		err = runFlaps(ctx, s, jsonOut, rest)
+	case "table":
+		err = runTable(s, jsonOut, rest)
+	case "info":
+		err = runInfo(s, jsonOut, rest)
+	case "serve":
+		err = runServe(ctx, s, rest)
+	default:
+		return fmt.Errorf("unknown verb %q (want links, failures, transitions, messages, flaps, table, info, or serve)", verb)
+	}
+	if err != nil {
+		return err
+	}
+	return reportSalvage(s)
+}
+
+// reportSalvage prints the lenient accounting and exits 3 when any
+// record was skipped, mirroring netfail-analyze's salvage convention.
+func reportSalvage(s *store.Store) error {
+	if !s.Lenient() {
+		return nil
+	}
+	salvaged := false
+	for _, cs := range s.Salvage() {
+		fmt.Fprintf(os.Stderr, "netfail-query: salvage %s: %s\n", cs.Name, cs.Report)
+		if !cs.Report.Clean() {
+			salvaged = true
+		}
+	}
+	if salvaged {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// windowFlags registers the shared -from/-to pair on a verb flag set
+// and returns a resolver producing the store option.
+func windowFlags(fs *flag.FlagSet) func() ([]store.Option, error) {
+	from := fs.String("from", "", "window start (RFC 3339)")
+	to := fs.String("to", "", "window end (RFC 3339)")
+	return func() ([]store.Option, error) {
+		if *from == "" && *to == "" {
+			return nil, nil
+		}
+		if *from == "" || *to == "" {
+			return nil, errors.New("-from and -to must be given together")
+		}
+		ft, err := time.Parse(time.RFC3339, *from)
+		if err != nil {
+			return nil, fmt.Errorf("-from: %w", err)
+		}
+		tt, err := time.Parse(time.RFC3339, *to)
+		if err != nil {
+			return nil, fmt.Errorf("-to: %w", err)
+		}
+		if !ft.Before(tt) {
+			return nil, fmt.Errorf("-to %s is not after -from %s", *to, *from)
+		}
+		return []store.Option{store.WithWindow(ft, tt)}, nil
+	}
+}
+
+func verbFlags(verb string) *flag.FlagSet {
+	fs := flag.NewFlagSet("netfail-query "+verb, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+func runLinks(ctx context.Context, s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("links")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	links, err := s.Links(ctx)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make([]map[string]string, len(links))
+		for i, l := range links {
+			out[i] = map[string]string{"id": string(l.ID), "class": l.Class.String()}
+		}
+		return printJSON(map[string]any{"links": out, "count": len(out)})
+	}
+	for _, l := range links {
+		fmt.Printf("%-8s %s\n", l.Class, l.ID)
+	}
+	fmt.Printf("%d links\n", len(links))
+	return nil
+}
+
+func runFailures(ctx context.Context, s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("failures")
+	link := fs.String("link", "", "restrict to one link ID")
+	source := fs.String("source", "", "restrict to one reconstruction: syslog or isis")
+	limit := fs.Int("limit", 0, "cap the result count (0 = unlimited)")
+	window := windowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := window()
+	if err != nil {
+		return err
+	}
+	if *link != "" {
+		opts = append(opts, store.WithLink(topo.LinkID(*link)))
+	}
+	if *source != "" {
+		src, err := store.ParseSource(*source)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, store.WithSource(src))
+	}
+	if *limit > 0 {
+		opts = append(opts, store.WithLimit(*limit))
+	}
+	recs, err := s.Failures(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make([]any, len(recs))
+		for i, r := range recs {
+			out[i] = api.FailureJSON(r)
+		}
+		return printJSON(map[string]any{"failures": out, "count": len(out)})
+	}
+	for _, r := range recs {
+		fmt.Printf("%-7s %s  %s  (%s)  %s\n", r.Source,
+			r.Start.Format(time.RFC3339), r.End.Format(time.RFC3339),
+			r.End.Sub(r.Start), r.Link)
+	}
+	fmt.Printf("%d failures\n", len(recs))
+	return nil
+}
+
+func runTransitions(ctx context.Context, s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("transitions")
+	link := fs.String("link", "", "restrict to one link ID")
+	stream := fs.String("stream", "", "restrict to one stream: syslog-adj, syslog-per-router, syslog-physical, is-reach, or ip-reach")
+	dir := fs.String("dir", "", "restrict to one direction: down or up")
+	kind := fs.String("kind", "", "restrict to one observation kind (e.g. isis-adj, physical)")
+	reporter := fs.String("reporter", "", "restrict to one reporting router")
+	limit := fs.Int("limit", 0, "cap the result count (0 = unlimited)")
+	window := windowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := window()
+	if err != nil {
+		return err
+	}
+	if *link != "" {
+		opts = append(opts, store.WithLink(topo.LinkID(*link)))
+	}
+	if *stream != "" {
+		st, err := store.ParseStream(*stream)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, store.WithStream(st))
+	}
+	switch *dir {
+	case "":
+	case "down":
+		opts = append(opts, store.WithDirection(trace.Down))
+	case "up":
+		opts = append(opts, store.WithDirection(trace.Up))
+	default:
+		return fmt.Errorf("-dir: want \"down\" or \"up\", got %q", *dir)
+	}
+	if *kind != "" {
+		k, err := trace.ParseKind(*kind)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, store.WithKind(k))
+	}
+	if *reporter != "" {
+		opts = append(opts, store.WithReporter(*reporter))
+	}
+	if *limit > 0 {
+		opts = append(opts, store.WithLimit(*limit))
+	}
+	recs, err := s.Transitions(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make([]any, len(recs))
+		for i, r := range recs {
+			out[i] = api.TransitionJSON(r)
+		}
+		return printJSON(map[string]any{"transitions": out, "count": len(out)})
+	}
+	for _, r := range recs {
+		fmt.Printf("%s  %-17s %-4s %-10s %-12s %s\n", r.Time.Format(time.RFC3339),
+			r.Stream, r.Dir, r.Kind, r.Reporter, r.Link)
+	}
+	fmt.Printf("%d transitions\n", len(recs))
+	return nil
+}
+
+func runMessages(ctx context.Context, s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("messages")
+	host := fs.String("host", "", "restrict to one emitting host")
+	contains := fs.String("contains", "", "restrict to lines containing this substring")
+	limit := fs.Int("limit", 0, "cap the result count (0 = unlimited)")
+	window := windowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := window()
+	if err != nil {
+		return err
+	}
+	if *host != "" {
+		opts = append(opts, store.WithHost(*host))
+	}
+	if *contains != "" {
+		opts = append(opts, store.WithContains(*contains))
+	}
+	if *limit > 0 {
+		opts = append(opts, store.WithLimit(*limit))
+	}
+	recs, err := s.Messages(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make([]any, len(recs))
+		for i, r := range recs {
+			out[i] = api.MessageJSON(r)
+		}
+		return printJSON(map[string]any{"messages": out, "count": len(out)})
+	}
+	for _, r := range recs {
+		fmt.Println(r.Line)
+	}
+	fmt.Fprintf(os.Stderr, "%d messages\n", len(recs))
+	return nil
+}
+
+func runFlaps(ctx context.Context, s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("flaps")
+	source := fs.String("source", "syslog", "reconstruction to group: syslog or isis")
+	link := fs.String("link", "", "restrict to one link ID")
+	window := windowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := store.ParseSource(*source)
+	if err != nil {
+		return err
+	}
+	opts, err := window()
+	if err != nil {
+		return err
+	}
+	if *link != "" {
+		opts = append(opts, store.WithLink(topo.LinkID(*link)))
+	}
+	eps, err := s.Flaps(ctx, src, opts...)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := make([]any, len(eps))
+		for i, e := range eps {
+			out[i] = api.EpisodeJSON(src, e)
+		}
+		return printJSON(map[string]any{"episodes": out, "count": len(out)})
+	}
+	flaps := 0
+	for _, e := range eps {
+		tag := " "
+		if e.IsFlap() {
+			tag = "*"
+			flaps++
+		}
+		fmt.Printf("%s %s  %s  %3d failures  %s\n", tag,
+			e.Start().Format(time.RFC3339), e.End().Format(time.RFC3339),
+			len(e.Failures), e.Link)
+	}
+	fmt.Printf("%d episodes (%d flapping)\n", len(eps), flaps)
+	return nil
+}
+
+func runTable(s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("table")
+	n := fs.Int("n", 0, "table number (1-7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	table, err := s.Table(*n)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(map[string]any{"table": *n, "data": table})
+	}
+	t := s.Tables()
+	switch *n {
+	case 1:
+		return report.RenderTable1(os.Stdout, t.Table1)
+	case 2:
+		return report.RenderTable2(os.Stdout, t.Table2)
+	case 3:
+		return report.RenderTable3(os.Stdout, t.Table3)
+	case 4:
+		return report.RenderTable4(os.Stdout, t.Table4)
+	case 5:
+		return report.RenderTable5(os.Stdout, t.Table5)
+	case 6:
+		return report.RenderTable6(os.Stdout, t.Table6)
+	case 7:
+		return report.RenderTable7(os.Stdout, t.Table7)
+	}
+	return fmt.Errorf("no table %d", *n)
+}
+
+func runInfo(s *store.Store, jsonOut bool, args []string) error {
+	fs := verbFlags("info")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	man := s.Manifest()
+	var msgs int64
+	for _, m := range man.Messages {
+		msgs += m.Records
+	}
+	if jsonOut {
+		return printJSON(man)
+	}
+	fmt.Printf("store:        %s (%s)\n", s.Dir(), man.Format)
+	fmt.Printf("campaign:     seed %d, %s - %s\n", man.Seed,
+		man.Start.Format(time.RFC3339), man.End.Format(time.RFC3339))
+	fmt.Printf("catalogs:     %d links, %d reporters, %d hosts\n",
+		len(man.Links), len(man.Reporters), len(man.Hosts))
+	fmt.Printf("records:      %d failures, %d transitions, %d messages in %d segments\n",
+		man.Failures.Records, man.Transitions.Records, msgs, len(man.Messages))
+	fmt.Printf("params:       window %s, flap gap %s, merge window %s, multilink %v\n",
+		man.Params.Window, man.Params.FlapGap, man.Params.MergeWindow,
+		man.Params.IncludeMultiLink)
+	return nil
+}
+
+func runServe(ctx context.Context, s *store.Store, args []string) error {
+	fs := verbFlags("serve")
+	addr := config.DebugAddrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return errors.New("serve: -debug-addr is required")
+	}
+	srv := &http.Server{Addr: *addr, Handler: api.NewMux(api.Options{Store: s})}
+	errCh := make(chan error, 1)
+	go func() {
+		select {
+		case errCh <- srv.ListenAndServe():
+		case <-ctx.Done():
+		}
+	}()
+	fmt.Printf("serving /api/v1 on http://%s\n", *addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shctx)
+	}
+}
+
+func printJSON(v any) error {
+	enc := jsonEncoder(os.Stdout)
+	return enc.Encode(v)
+}

@@ -20,9 +20,12 @@
 //	-snapshot-every N       checkpoint cadence (appends per snapshot)
 //	-drain-timeout D        bound on the SIGTERM drain
 //	-fsync-each             power-loss durability (fsync per append)
-//	-strict                 refuse damaged checkpoint state
-//	-debug-addr ADDR        /debug/netfail, /debug/vars, /debug/pprof,
-//	                        plus /ready and /healthz
+//	-strict / -lenient      refuse vs. salvage damaged checkpoint state
+//	-debug-addr ADDR        the versioned /api/v1 surface (metrics,
+//	                        health, ready) plus the /debug, /ready and
+//	                        /healthz aliases
+//	-store DIR              also serve this indexed failure store's
+//	                        query endpoints under /api/v1
 //
 // The chaos harness drives -chaos-kill-after N: the daemon SIGKILLs
 // itself after N durable appends, and `make chaos` asserts that a
@@ -44,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"netfail/internal/api"
 	"netfail/internal/clock"
 	"netfail/internal/config"
 	"netfail/internal/core"
@@ -52,6 +56,7 @@ import (
 	"netfail/internal/obs"
 	"netfail/internal/report"
 	"netfail/internal/serve"
+	"netfail/internal/store"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
 	"netfail/internal/topo"
@@ -70,15 +75,21 @@ func main() {
 		snapshotEvery = flag.Int("snapshot-every", 4096, "checkpoint the full state every N durable appends (0: only at shutdown)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "bound on the shutdown drain; older backlog is shed")
 		fsyncEach     = flag.Bool("fsync-each", false, "fsync every append: power-loss durability instead of kill durability")
-		strict        = flag.Bool("strict", false, "refuse damaged checkpoint state instead of salvaging around it")
-		debugAddr     = flag.String("debug-addr", "", "serve debug counters, pprof, /ready and /healthz on this HTTP address")
+		strictness    = config.StrictnessFlags(flag.CommandLine, true)
+		debugAddr     = config.DebugAddrFlag(flag.CommandLine)
+		storeDir      = flag.String("store", "", "indexed failure store to serve read-only under /api/v1 on -debug-addr")
 		chaosKill     = flag.Int("chaos-kill-after", 0, "SIGKILL this process after N durable appends (chaos harness)")
 	)
 	flag.Parse()
 
+	lenient, err := strictness.Lenient()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netfail-serve:", err)
+		os.Exit(2)
+	}
 	if err := run(*data, *listenSyslog, *listenISIS, *configs, *state, *reportPath,
-		*queueSize, *policyFlag, *snapshotEvery, *drainTimeout, *fsyncEach, *strict,
-		*debugAddr, *chaosKill); err != nil {
+		*queueSize, *policyFlag, *snapshotEvery, *drainTimeout, *fsyncEach, !lenient,
+		*debugAddr, *storeDir, *chaosKill); err != nil {
 		fmt.Fprintln(os.Stderr, "netfail-serve:", err)
 		os.Exit(1)
 	}
@@ -86,7 +97,7 @@ func main() {
 
 func run(data, listenSyslog, listenISIS, configDir, state, reportPath string,
 	queueSize int, policyFlag string, snapshotEvery int, drainTimeout time.Duration,
-	fsyncEach, strict bool, debugAddr string, chaosKill int) error {
+	fsyncEach, strict bool, debugAddr, storeDir string, chaosKill int) error {
 	if state == "" {
 		return fmt.Errorf("-state is required: the checkpoint directory is what makes the daemon crash-safe")
 	}
@@ -121,35 +132,49 @@ func run(data, listenSyslog, listenISIS, configDir, state, reportPath string,
 
 	switch {
 	case data != "":
-		return runReplay(ctx, cfg, reg, data, reportPath, debugAddr)
+		return runReplay(ctx, cfg, reg, data, reportPath, debugAddr, storeDir)
 	case listenSyslog != "" || listenISIS != "":
 		if configDir == "" {
 			return fmt.Errorf("live mode needs -configs for the link namespace")
 		}
-		return runLive(ctx, cfg, reg, listenSyslog, listenISIS, configDir, debugAddr)
+		return runLive(ctx, cfg, reg, listenSyslog, listenISIS, configDir, debugAddr, storeDir)
 	default:
 		return fmt.Errorf("need either -data (replay mode) or -listen-syslog/-listen-isis with -configs (live mode)")
 	}
 }
 
-// serveDebug starts the debug endpoint, wiring the supervisor's
-// readiness and liveness handlers next to the usual counters/pprof.
-func serveDebug(addr string, reg *obs.Registry, sup *serve.Supervisor) func() {
+// serveDebug starts the HTTP endpoint: the versioned /api/v1 surface
+// (metrics, health, readiness, and — with -store — the failure-store
+// query endpoints) plus the pre-versioning /debug and probe aliases.
+func serveDebug(addr, storeDir string, reg *obs.Registry, sup *serve.Supervisor) (func(), error) {
 	if addr == "" {
-		return func() {}
+		return func() {}, nil
+	}
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		// The daemon serves the store read-only; open leniently so a
+		// partially damaged store still answers what it can (salvage
+		// accounting is visible at /api/v1/store).
+		if st, err = store.OpenLenient(storeDir); err != nil {
+			return nil, fmt.Errorf("-store %s: %w", storeDir, err)
+		}
 	}
 	obs.Publish("netfail-serve", reg)
-	mux := obs.DebugMux(reg)
-	mux.Handle("/ready", sup.ReadyHandler())
-	mux.Handle("/healthz", sup.HealthzHandler())
+	mux := api.NewMux(api.Options{
+		Registry: reg,
+		Store:    st,
+		Ready:    sup.ReadyHandler(),
+		Healthz:  sup.HealthzHandler(),
+	})
 	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "debug endpoint: %v\n", err)
 		}
 	}()
-	fmt.Printf("debug endpoint on http://%s/debug/netfail\n", addr)
-	return func() { srv.Close() }
+	fmt.Printf("debug endpoint on http://%s/debug/netfail (API at /api/v1)\n", addr)
+	return func() { srv.Close() }, nil
 }
 
 // ---- replay mode ----------------------------------------------------
@@ -221,7 +246,7 @@ func (s *fileSource) Run(ctx context.Context, emit func(serve.Record) error) err
 	return nil
 }
 
-func runReplay(ctx context.Context, cfg serve.Config, reg *obs.Registry, dir, reportPath, debugAddr string) error {
+func runReplay(ctx context.Context, cfg serve.Config, reg *obs.Registry, dir, reportPath, debugAddr, storeDir string) error {
 	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return err
@@ -261,7 +286,10 @@ func runReplay(ctx context.Context, cfg serve.Config, reg *obs.Registry, dir, re
 	syslogSrc.start = rcv.PerSource["syslog"]
 	isisSrc.start = rcv.PerSource["isis"]
 
-	stopDebug := serveDebug(debugAddr, reg, sup)
+	stopDebug, err := serveDebug(debugAddr, storeDir, reg, sup)
+	if err != nil {
+		return err
+	}
 	defer stopDebug()
 	if err := sup.Run(ctx); err != nil {
 		return err
@@ -427,7 +455,7 @@ func (s *udpSource) Run(ctx context.Context, emit func(serve.Record) error) erro
 	}
 }
 
-func runLive(ctx context.Context, cfg serve.Config, reg *obs.Registry, listenSyslog, listenISIS, configDir, debugAddr string) error {
+func runLive(ctx context.Context, cfg serve.Config, reg *obs.Registry, listenSyslog, listenISIS, configDir, debugAddr, storeDir string) error {
 	archive, err := config.LoadDir(configDir)
 	if err != nil {
 		return err
@@ -454,7 +482,10 @@ func runLive(ctx context.Context, cfg serve.Config, reg *obs.Registry, listenSys
 	}
 	fmt.Printf("serving: %d routers, %d links in namespace\n",
 		len(mined.Network.Routers), len(mined.Network.Links))
-	stopDebug := serveDebug(debugAddr, reg, sup)
+	stopDebug, err := serveDebug(debugAddr, storeDir, reg, sup)
+	if err != nil {
+		return err
+	}
 	defer stopDebug()
 	if err := sup.Run(ctx); err != nil {
 		return err

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"netfail"
+	"netfail/internal/config"
 	"netfail/internal/netsim"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
@@ -49,10 +50,10 @@ func main() {
 		inband   = flag.Bool("inband", false, "lose syslog from routers partitioned away from the collector")
 		truth    = flag.Bool("truth", false, "also export ground-truth failures (truth.log)")
 		dot      = flag.Bool("dot", false, "also export the topology as Graphviz (topology.dot)")
-		progress = flag.Bool("progress", false, "stream simulation progress events to stderr")
+		progress = config.ProgressFlag(flag.CommandLine)
 		spill    = flag.Bool("spill", false, "stream captures to a sharded on-disk capture (out/capture) instead of flat log files")
 		shards   = flag.Int("shards", 0, "with -spill: add this many spine/leaf pod domains beside the backbone, one capture shard each")
-		par      = flag.Int("parallelism", 0, "with -spill -shards: per-domain simulation worker pool size (0 = one per CPU)")
+		par      = config.ParallelismFlag(flag.CommandLine)
 	)
 	flag.Parse()
 

@@ -1,0 +1,470 @@
+// Package api is the versioned HTTP query surface shared by
+// netfail-serve, netfail-query serve, and netfail-listener: every
+// /api/v1 endpoint speaks JSON, reports failures through one error
+// envelope, honors per-request cancellation, and sits next to the
+// pre-versioning debug paths, which remain mounted as back-compat
+// aliases.
+//
+// The surface is read-only by construction — the store is written
+// once at the end of an analysis run and queried forever after, so
+// every endpoint is GET (HEAD is accepted and returns headers only,
+// per net/http's automatic handling).
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"netfail/internal/obs"
+	"netfail/internal/store"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Options wires the mux's data sources. Any field may be nil: a nil
+// Registry drops the metrics endpoints, a nil Store makes the query
+// endpoints answer 404 no_store (the daemon may be serving live
+// without an attached store), nil Ready/Healthz report a flat 200.
+type Options struct {
+	// Registry backs /api/v1/metrics and the /debug aliases.
+	Registry *obs.Registry
+	// Store backs the query endpoints.
+	Store *store.Store
+	// Ready is the readiness probe (nil means always ready).
+	Ready http.Handler
+	// Healthz is the liveness probe (nil means always healthy).
+	Healthz http.Handler
+}
+
+// NewMux builds the versioned API mux:
+//
+//	GET /api/v1/links
+//	GET /api/v1/failures    ?link&source&from&to&limit
+//	GET /api/v1/transitions ?link&stream&dir&kind&reporter&from&to&limit
+//	GET /api/v1/messages    ?host&contains&from&to&limit
+//	GET /api/v1/flaps       ?source&link&from&to
+//	GET /api/v1/tables/{n}
+//	GET /api/v1/store
+//	GET /api/v1/metrics
+//	GET /api/v1/health
+//	GET /api/v1/ready
+//
+// plus the pre-versioning aliases /debug/vars, /debug/netfail,
+// /debug/pprof/*, /healthz, and /ready. Errors are always the shared
+// envelope {"error":{"code":..., "message":...}}.
+func NewMux(o Options) *http.ServeMux {
+	var mux *http.ServeMux
+	if o.Registry != nil {
+		mux = obs.DebugMux(o.Registry)
+	} else {
+		mux = http.NewServeMux()
+	}
+
+	get := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+					fmt.Sprintf("%s is read-only: use GET", r.URL.Path))
+				return
+			}
+			h(w, r)
+		})
+	}
+	withStore := func(h func(*store.Store, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if o.Store == nil {
+				writeError(w, http.StatusNotFound, "no_store",
+					"no failure store attached to this endpoint")
+				return
+			}
+			h(o.Store, w, r)
+		}
+	}
+
+	get("/api/v1/links", withStore(handleLinks))
+	get("/api/v1/failures", withStore(handleFailures))
+	get("/api/v1/transitions", withStore(handleTransitions))
+	get("/api/v1/messages", withStore(handleMessages))
+	get("/api/v1/flaps", withStore(handleFlaps))
+	get("/api/v1/tables/{n}", withStore(handleTable))
+	get("/api/v1/store", withStore(handleStore))
+
+	get("/api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if o.Registry == nil {
+			writeError(w, http.StatusNotFound, "no_metrics", "no metrics registry attached")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, o.Registry.String())
+	})
+	probe := func(h http.Handler) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if h != nil {
+				h.ServeHTTP(w, r)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	get("/api/v1/health", probe(o.Healthz))
+	get("/api/v1/ready", probe(o.Ready))
+	// Pre-versioning spellings, kept as aliases (the /debug tree is
+	// mounted by obs.DebugMux above when a registry is attached).
+	get("/healthz", probe(o.Healthz))
+	get("/ready", probe(o.Ready))
+	return mux
+}
+
+// errorBody is the shared error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return // client went away; headers are already out
+	}
+}
+
+// queryError maps a store query failure onto the envelope: a canceled
+// or timed-out request is the client's doing, anything else is the
+// store's.
+func queryError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		r.Context().Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "store_error", err.Error())
+}
+
+// badParam writes the envelope for a malformed query parameter.
+func badParam(w http.ResponseWriter, name string, err error) {
+	writeError(w, http.StatusBadRequest, "bad_param",
+		fmt.Sprintf("parameter %q: %v", name, err))
+}
+
+// queryOptions translates the shared filter parameters into store
+// query options. The boolean reports whether parsing succeeded (the
+// envelope is already written otherwise).
+func queryOptions(w http.ResponseWriter, r *http.Request) ([]store.Option, bool) {
+	q := r.URL.Query()
+	var opts []store.Option
+	if v := q.Get("link"); v != "" {
+		opts = append(opts, store.WithLink(topo.LinkID(v)))
+	}
+	if v := q.Get("source"); v != "" {
+		src, err := store.ParseSource(v)
+		if err != nil {
+			badParam(w, "source", err)
+			return nil, false
+		}
+		opts = append(opts, store.WithSource(src))
+	}
+	if v := q.Get("stream"); v != "" {
+		st, err := store.ParseStream(v)
+		if err != nil {
+			badParam(w, "stream", err)
+			return nil, false
+		}
+		opts = append(opts, store.WithStream(st))
+	}
+	if v := q.Get("dir"); v != "" {
+		switch v {
+		case "down":
+			opts = append(opts, store.WithDirection(trace.Down))
+		case "up":
+			opts = append(opts, store.WithDirection(trace.Up))
+		default:
+			badParam(w, "dir", fmt.Errorf("want \"down\" or \"up\", got %q", v))
+			return nil, false
+		}
+	}
+	if v := q.Get("kind"); v != "" {
+		k, err := trace.ParseKind(v)
+		if err != nil {
+			badParam(w, "kind", err)
+			return nil, false
+		}
+		opts = append(opts, store.WithKind(k))
+	}
+	if v := q.Get("reporter"); v != "" {
+		opts = append(opts, store.WithReporter(v))
+	}
+	if v := q.Get("host"); v != "" {
+		opts = append(opts, store.WithHost(v))
+	}
+	if v := q.Get("contains"); v != "" {
+		opts = append(opts, store.WithContains(v))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			badParam(w, "limit", fmt.Errorf("want a non-negative integer, got %q", v))
+			return nil, false
+		}
+		opts = append(opts, store.WithLimit(n))
+	}
+	from, to := q.Get("from"), q.Get("to")
+	switch {
+	case from != "" && to != "":
+		ft, err := time.Parse(time.RFC3339, from)
+		if err != nil {
+			badParam(w, "from", err)
+			return nil, false
+		}
+		tt, err := time.Parse(time.RFC3339, to)
+		if err != nil {
+			badParam(w, "to", err)
+			return nil, false
+		}
+		if !ft.Before(tt) {
+			badParam(w, "to", fmt.Errorf("window end %s is not after start %s", to, from))
+			return nil, false
+		}
+		opts = append(opts, store.WithWindow(ft, tt))
+	case from != "" || to != "":
+		name := "from"
+		if to != "" {
+			name = "to"
+		}
+		badParam(w, name, errors.New("from and to must be given together (RFC 3339)"))
+		return nil, false
+	}
+	return opts, true
+}
+
+// Wire shapes. Enumerations travel as their string names, never their
+// storage ordinals — the JSON surface is versioned, the binary format
+// is not part of it.
+
+type linkJSON struct {
+	ID    string `json:"id"`
+	Class string `json:"class"`
+}
+
+type failureJSON struct {
+	Source string    `json:"source"`
+	Link   string    `json:"link"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+type transitionJSON struct {
+	Stream   string    `json:"stream"`
+	Time     time.Time `json:"time"`
+	Link     string    `json:"link"`
+	Dir      string    `json:"dir"`
+	Kind     string    `json:"kind"`
+	Reporter string    `json:"reporter"`
+}
+
+type messageJSON struct {
+	Time time.Time `json:"time"`
+	Host string    `json:"host"`
+	Line string    `json:"line"`
+}
+
+type episodeJSON struct {
+	Link     string        `json:"link"`
+	Start    time.Time     `json:"start"`
+	End      time.Time     `json:"end"`
+	Flap     bool          `json:"flap"`
+	Failures []failureJSON `json:"failures"`
+}
+
+// FailureJSON converts a stored failure to its wire shape. Exported
+// for netfail-query, which renders the same JSON from the Go API.
+func FailureJSON(r store.FailureRecord) any {
+	return failureJSON{Source: r.Source.String(), Link: string(r.Link), Start: r.Start, End: r.End}
+}
+
+// TransitionJSON converts a stored transition to its wire shape.
+func TransitionJSON(r store.TransitionRecord) any {
+	return transitionJSON{
+		Stream: r.Stream.String(), Time: r.Time, Link: string(r.Link),
+		Dir: r.Dir.String(), Kind: r.Kind.String(), Reporter: r.Reporter,
+	}
+}
+
+// MessageJSON converts a stored message to its wire shape.
+func MessageJSON(r store.MessageRecord) any {
+	return messageJSON{Time: r.Time, Host: r.Host, Line: r.Line}
+}
+
+// EpisodeJSON converts a flap episode (with its source) to its wire
+// shape.
+func EpisodeJSON(src store.Source, e trace.Episode) any {
+	out := episodeJSON{
+		Link:  string(e.Link),
+		Start: e.Start(), End: e.End(),
+		Flap:     e.IsFlap(),
+		Failures: make([]failureJSON, len(e.Failures)),
+	}
+	for i, f := range e.Failures {
+		out.Failures[i] = failureJSON{Source: src.String(), Link: string(f.Link), Start: f.Start, End: f.End}
+	}
+	return out
+}
+
+func handleLinks(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	links, err := s.Links(r.Context())
+	if err != nil {
+		queryError(w, r, err)
+		return
+	}
+	out := make([]linkJSON, len(links))
+	for i, l := range links {
+		out[i] = linkJSON{ID: string(l.ID), Class: l.Class.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"links": out, "count": len(out)})
+}
+
+func handleFailures(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	opts, ok := queryOptions(w, r)
+	if !ok {
+		return
+	}
+	recs, err := s.Failures(r.Context(), opts...)
+	if err != nil {
+		queryError(w, r, err)
+		return
+	}
+	out := make([]any, len(recs))
+	for i, rec := range recs {
+		out[i] = FailureJSON(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"failures": out, "count": len(out)})
+}
+
+func handleTransitions(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	opts, ok := queryOptions(w, r)
+	if !ok {
+		return
+	}
+	recs, err := s.Transitions(r.Context(), opts...)
+	if err != nil {
+		queryError(w, r, err)
+		return
+	}
+	out := make([]any, len(recs))
+	for i, rec := range recs {
+		out[i] = TransitionJSON(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"transitions": out, "count": len(out)})
+}
+
+func handleMessages(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	opts, ok := queryOptions(w, r)
+	if !ok {
+		return
+	}
+	recs, err := s.Messages(r.Context(), opts...)
+	if err != nil {
+		queryError(w, r, err)
+		return
+	}
+	out := make([]any, len(recs))
+	for i, rec := range recs {
+		out[i] = MessageJSON(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"messages": out, "count": len(out)})
+}
+
+func handleFlaps(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	srcParam := r.URL.Query().Get("source")
+	if srcParam == "" {
+		badParam(w, "source", errors.New("required: \"syslog\" or \"isis\""))
+		return
+	}
+	src, err := store.ParseSource(srcParam)
+	if err != nil {
+		badParam(w, "source", err)
+		return
+	}
+	opts, ok := queryOptions(w, r)
+	if !ok {
+		return
+	}
+	eps, err := s.Flaps(r.Context(), src, opts...)
+	if err != nil {
+		queryError(w, r, err)
+		return
+	}
+	out := make([]any, len(eps))
+	for i, e := range eps {
+		out[i] = EpisodeJSON(src, e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"episodes": out, "count": len(out)})
+}
+
+func handleTable(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		badParam(w, "n", fmt.Errorf("want a table number, got %q", r.PathValue("n")))
+		return
+	}
+	table, err := s.Table(n)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no_such_table", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": n, "data": table})
+}
+
+// handleStore summarizes the opened store: the manifest's campaign
+// metadata and record counts, plus any salvage accumulated so far when
+// the store is lenient.
+func handleStore(s *store.Store, w http.ResponseWriter, r *http.Request) {
+	man := s.Manifest()
+	out := map[string]any{
+		"format":  man.Format,
+		"seed":    man.Seed,
+		"start":   man.Start,
+		"end":     man.End,
+		"links":   len(man.Links),
+		"hosts":   len(man.Hosts),
+		"lenient": s.Lenient(),
+		"records": map[string]int64{
+			"failures":    man.Failures.Records,
+			"transitions": man.Transitions.Records,
+			"messages":    messageRecords(man),
+		},
+	}
+	if s.Lenient() {
+		salv := map[string]string{}
+		for _, cs := range s.Salvage() {
+			salv[cs.Name] = cs.Report.String()
+		}
+		out["salvage"] = salv
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func messageRecords(man *store.Manifest) int64 {
+	var n int64
+	for _, m := range man.Messages {
+		n += m.Records
+	}
+	return n
+}

@@ -202,6 +202,44 @@ func (s *segmentWriter) close() error {
 	return err
 }
 
+// SegmentFileWriter streams frames to one standalone segment file,
+// maintaining the sparse time index alongside — the same on-disk
+// format as a capture shard's segments, exported so other subsystems
+// (the failure store) can write CRC-framed, time-indexed record
+// streams without re-implementing the framing. It is not safe for
+// concurrent use.
+type SegmentFileWriter struct {
+	s *segmentWriter
+}
+
+// CreateSegmentFile creates (truncating) the segment file seg and its
+// companion sparse index idx inside dir.
+func CreateSegmentFile(dir, seg, idx string) (*SegmentFileWriter, error) {
+	s, err := newSegmentWriter(dir, seg, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &SegmentFileWriter{s: s}, nil
+}
+
+// Append frames one record. Records must arrive in non-decreasing
+// timestamp order — the index contract every segment reader relies on.
+func (w *SegmentFileWriter) Append(tsMs int64, rec []byte) error {
+	return w.s.append(tsMs, rec)
+}
+
+// Records returns how many records have been appended.
+func (w *SegmentFileWriter) Records() int64 { return w.s.records }
+
+// Span returns the first and last appended timestamps (zero when the
+// segment is empty).
+func (w *SegmentFileWriter) Span() (firstMs, lastMs int64) {
+	return w.s.firstMs, w.s.lastMs
+}
+
+// Finish flushes and syncs the segment and index files.
+func (w *SegmentFileWriter) Finish() error { return w.s.finish() }
+
 // ShardWriter streams one shard's two segments. It is not safe for
 // concurrent use; the sharded simulator gives each domain its own.
 type ShardWriter struct {

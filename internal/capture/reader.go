@@ -108,6 +108,18 @@ func openSegment(path string, lenient bool) (*SegmentReader, error) {
 // offset is the frame's byte offset, record its ordinal. Reading
 // proceeds from that record to the end of the segment.
 func OpenSegmentAt(path string, offset int64, record int64) (*SegmentReader, error) {
+	return openSegmentAt(path, offset, record, false)
+}
+
+// OpenSegmentAtLenient is OpenSegmentAt in salvage mode: damage after
+// the seek point is skipped and accounted instead of aborting. An
+// index entry pointing into a damaged region simply resynchronizes on
+// the next sync marker.
+func OpenSegmentAtLenient(path string, offset int64, record int64) (*SegmentReader, error) {
+	return openSegmentAt(path, offset, record, true)
+}
+
+func openSegmentAt(path string, offset int64, record int64, lenient bool) (*SegmentReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("capture: %w", err)
@@ -121,12 +133,13 @@ func OpenSegmentAt(path string, offset int64, record int64) (*SegmentReader, err
 		return nil, fmt.Errorf("capture: %s: %w", path, err)
 	}
 	sr := &SegmentReader{
-		br:     bufio.NewReaderSize(f, 256<<10),
-		c:      f,
-		name:   path,
-		off:    offset,
-		record: record,
-		rep:    &salvage.Report{},
+		br:      bufio.NewReaderSize(f, 256<<10),
+		c:       f,
+		name:    path,
+		off:     offset,
+		record:  record,
+		lenient: lenient,
+		rep:     &salvage.Report{},
 	}
 	return sr, nil
 }

@@ -1,0 +1,98 @@
+package config
+
+import (
+	"flag"
+	"fmt"
+)
+
+// This file is the shared CLI flag vocabulary: every netfail binary
+// registers its common knobs through these helpers so the spelling,
+// default, and help text of -parallelism, -debug-addr, -json,
+// -strict/-lenient, and -trace never drift between commands. (It
+// lives in the config package because that is the one internal
+// package every binary already imports.)
+
+// ParallelismFlag registers -parallelism: the analysis/simulation
+// worker pool bound. 0 means one worker per CPU; 1 forces the
+// sequential reference path. Every setting produces byte-identical
+// output.
+func ParallelismFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallelism", 0,
+		"worker pool size: 0 = one worker per CPU, 1 = sequential; output is byte-identical either way")
+}
+
+// DebugAddrFlag registers -debug-addr: the HTTP address serving the
+// versioned /api/v1 surface (query endpoints, metrics, health) plus
+// the pre-versioning /debug and probe aliases.
+func DebugAddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("debug-addr", "",
+		"serve the /api/v1 HTTP surface (metrics, health, store queries) and /debug aliases on this address")
+}
+
+// JSONFlag registers -json: machine-readable output instead of the
+// rendered text form.
+func JSONFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("json", false, "emit JSON instead of rendered text")
+}
+
+// TraceFlag registers -trace: print the stage/worker span tree to
+// stderr after the run.
+func TraceFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("trace", false, "print the stage/worker span tree to stderr after the run")
+}
+
+// TraceJSONFlag registers -trace-json: write the span tree as Chrome
+// trace_event JSON.
+func TraceJSONFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace-json", "", "write the span tree as Chrome trace_event JSON to this file")
+}
+
+// MetricsFlag registers -metrics: print pipeline counters to stderr
+// after the run.
+func MetricsFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("metrics", false, "print pipeline counters to stderr after the run")
+}
+
+// ProgressFlag registers -progress: stream stage/shard progress
+// events to stderr.
+func ProgressFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("progress", false, "stream stage/shard progress events to stderr")
+}
+
+// Strictness is the resolved -strict/-lenient pair. Binaries differ
+// in which mode they default to (netfail-analyze refuses damage
+// unless asked to salvage; the serving daemons salvage unless asked
+// to refuse), but every binary accepts both spellings.
+type Strictness struct {
+	strict, lenient *bool
+	defaultLenient  bool
+}
+
+// StrictnessFlags registers the -strict and -lenient pair with the
+// given default mode.
+func StrictnessFlags(fs *flag.FlagSet, defaultLenient bool) *Strictness {
+	s := &Strictness{defaultLenient: defaultLenient}
+	strictDefault, lenientDefault := "", " (the default)"
+	if defaultLenient {
+		strictDefault, lenientDefault = " (the default is lenient)", ""
+	}
+	s.strict = fs.Bool("strict", false,
+		"abort on the first damaged record with an offset-accurate error"+strictDefault)
+	s.lenient = fs.Bool("lenient", false,
+		"salvage damaged records instead of aborting, accounting every skip"+lenientDefault)
+	return s
+}
+
+// Lenient resolves the pair after flag parsing: an explicit flag
+// wins, neither means the binary's default, both is an error.
+func (s *Strictness) Lenient() (bool, error) {
+	switch {
+	case *s.strict && *s.lenient:
+		return false, fmt.Errorf("-strict and -lenient are mutually exclusive")
+	case *s.strict:
+		return false, nil
+	case *s.lenient:
+		return true, nil
+	}
+	return s.defaultLenient, nil
+}

@@ -52,6 +52,29 @@ func (r *Report) Skip(line int, reason string) {
 // Clean reports whether every line parsed.
 func (r *Report) Clean() bool { return r.Skipped == 0 }
 
+// Merge folds o's accounting into r — the accumulator for readers
+// that salvage the same component across several passes (the store's
+// query layer reopens segments per query).
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	r.Kept += o.Kept
+	r.Skipped += o.Skipped
+	if o.FirstBad > 0 && (r.FirstBad == 0 || o.FirstBad < r.FirstBad) {
+		r.FirstBad = o.FirstBad
+	}
+	if o.LastBad > r.LastBad {
+		r.LastBad = o.LastBad
+	}
+	for reason, n := range o.Reasons {
+		if r.Reasons == nil {
+			r.Reasons = make(map[string]int)
+		}
+		r.Reasons[reason] += n
+	}
+}
+
 // String renders the report in one line with reasons in deterministic
 // (sorted) order, e.g.
 //

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadPostings is the index-reader fuzz target: arbitrary bytes
+// must never panic either reader, the lenient reader must always
+// return (salvage mode has no failure case beyond I/O), and when the
+// strict reader accepts a stream both readers must agree — a stream
+// with nothing to salvage must salvage to itself.
+func FuzzReadPostings(f *testing.F) {
+	clean := []byte(pstHeader)
+	clean = appendPstFrame(clean, 0, []uint32{0, 3, 7})
+	clean = appendPstFrame(clean, 2, []uint32{1, 2})
+	clean = appendPstFrame(clean, 9, []uint32{4, 5, 6, 8})
+	f.Add(clean)
+	f.Add([]byte(pstHeader))
+	f.Add([]byte{})
+	f.Add([]byte("GARBAGE\n"))
+	f.Add(clean[:len(clean)-3])
+	flipped := append([]byte(nil), clean...)
+	flipped[len(pstHeader)+pstFrameOverhead+2] ^= 0xFF
+	f.Add(flipped)
+	desynced := append([]byte(nil), clean...)
+	desynced[len(pstHeader)] = 0x00
+	f.Add(desynced)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strictOut, strictErr := ReadPostings(bytes.NewReader(data), "fuzz")
+		lenOut, rep, lenErr := ReadPostingsLenient(bytes.NewReader(data), "fuzz")
+		if lenErr != nil {
+			t.Fatalf("lenient reader errored: %v", lenErr)
+		}
+		if rep == nil {
+			t.Fatal("lenient reader returned no salvage report")
+		}
+		if strictErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(strictOut, lenOut) {
+			t.Fatalf("strict accepted the stream but lenient parsed it differently:\nstrict %v\nlenient %v", strictOut, lenOut)
+		}
+		if !rep.Clean() {
+			t.Fatalf("strict accepted the stream but lenient skipped frames: %s", rep)
+		}
+		for k, ords := range strictOut {
+			prev := int64(-1)
+			for _, o := range ords {
+				if int64(o) <= prev {
+					t.Fatalf("key %d: accepted non-increasing ordinals %v", k, ords)
+				}
+				prev = int64(o)
+			}
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePostings() map[uint32][]uint32 {
+	return map[uint32][]uint32{
+		0: {0, 3, 7, 9},
+		2: {1, 2, 4},
+		5: {5, 6, 8, 10, 11},
+		9: {12},
+	}
+}
+
+// pstFrameStart computes the file offset where key's frame begins,
+// mirroring the writer's layout: header, then one frame per key in
+// increasing key order.
+func pstFrameStart(lists map[uint32][]uint32, key uint32) int64 {
+	keys := make([]uint32, 0, len(lists))
+	for k := range lists {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	off := int64(len(pstHeader))
+	for _, k := range keys {
+		if k == key {
+			return off
+		}
+		off += int64(pstFrameOverhead + 4 + 4*len(lists[k]))
+	}
+	panic("key not in lists")
+}
+
+func writeSamplePostings(t *testing.T) (string, map[uint32][]uint32) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.pst")
+	lists := samplePostings()
+	if err := writePostings(path, lists); err != nil {
+		t.Fatal(err)
+	}
+	return path, lists
+}
+
+func TestPostingsRoundTrip(t *testing.T) {
+	path, lists := writeSamplePostings(t)
+
+	got, rep, err := loadPostings(path, false)
+	if err != nil {
+		t.Fatalf("strict load: %v", err)
+	}
+	if rep != nil {
+		t.Errorf("strict load returned a salvage report: %+v", rep)
+	}
+	if !reflect.DeepEqual(got, lists) {
+		t.Errorf("strict round trip:\n got %v\nwant %v", got, lists)
+	}
+
+	got, rep, err = loadPostings(path, true)
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if !reflect.DeepEqual(got, lists) {
+		t.Errorf("lenient round trip:\n got %v\nwant %v", got, lists)
+	}
+	if !rep.Clean() || rep.Kept != len(lists) {
+		t.Errorf("lenient report on clean file: %s", rep)
+	}
+}
+
+func TestPostingsMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.pst")
+	for _, lenient := range []bool{false, true} {
+		_, _, err := loadPostings(path, lenient)
+		if !errors.Is(err, ErrNoPostings) {
+			t.Errorf("lenient=%v: got %v, want ErrNoPostings", lenient, err)
+		}
+	}
+}
+
+func TestPostingsStrictCorruptionIsOffsetAccurate(t *testing.T) {
+	path, lists := writeSamplePostings(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the second frame (key 2): the frame
+	// boundary stays intact but the CRC no longer matches.
+	frameStart := pstFrameStart(lists, 2)
+	data[frameStart+int64(pstFrameOverhead)+4] ^= 0xFF
+
+	_, err = ReadPostings(bytes.NewReader(data), "t.pst")
+	if err == nil {
+		t.Fatal("strict read of corrupted postings succeeded")
+	}
+	want := fmt.Sprintf("postings frame 2 at offset %d: crc mismatch", frameStart)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not pin the damage: want substring %q", err, want)
+	}
+}
+
+func TestPostingsLenientSalvagesCRCDamage(t *testing.T) {
+	path, lists := writeSamplePostings(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[pstFrameStart(lists, 2)+int64(pstFrameOverhead)+4] ^= 0xFF
+
+	got, rep, err := ReadPostingsLenient(bytes.NewReader(data), "t.pst")
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if rep.Skipped != 1 || rep.Reasons["crc mismatch"] != 1 {
+		t.Errorf("salvage accounting: %s", rep)
+	}
+	if rep.Kept != len(lists)-1 {
+		t.Errorf("kept %d frames, want %d", rep.Kept, len(lists)-1)
+	}
+	if _, ok := got[2]; ok {
+		t.Error("damaged key 2 survived salvage")
+	}
+	for _, k := range []uint32{0, 5, 9} {
+		if !reflect.DeepEqual(got[k], lists[k]) {
+			t.Errorf("key %d: got %v, want %v", k, got[k], lists[k])
+		}
+	}
+}
+
+func TestPostingsLenientResyncsAfterBadSync(t *testing.T) {
+	path, lists := writeSamplePostings(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the second frame's sync marker: the lenient reader must
+	// scan forward to the next marker instead of giving up.
+	data[pstFrameStart(lists, 2)] = 0x00
+
+	if _, err := ReadPostings(bytes.NewReader(data), "t.pst"); err == nil ||
+		!strings.Contains(err.Error(), "bad sync marker") {
+		t.Errorf("strict read: got %v, want bad sync marker error", err)
+	}
+
+	got, rep, err := ReadPostingsLenient(bytes.NewReader(data), "t.pst")
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if rep.Clean() {
+		t.Error("salvage report claims a clean file")
+	}
+	if _, ok := got[2]; ok {
+		t.Error("frame with destroyed sync marker survived")
+	}
+	// Whatever resync recovered must agree with the clean file: a
+	// salvaged postings list may lose keys, never invent them.
+	for k, ords := range got {
+		if !reflect.DeepEqual(ords, lists[k]) {
+			t.Errorf("key %d: got %v, want %v", k, ords, lists[k])
+		}
+	}
+	if !reflect.DeepEqual(got[0], lists[0]) {
+		t.Errorf("frame before the damage lost: got %v", got[0])
+	}
+}
+
+func TestPostingsTruncatedTail(t *testing.T) {
+	path, lists := writeSamplePostings(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the final frame (key 9) in half.
+	data = data[:pstFrameStart(lists, 9)+5]
+
+	if _, err := ReadPostings(bytes.NewReader(data), "t.pst"); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Errorf("strict read: got %v, want truncation error", err)
+	}
+
+	got, rep, err := ReadPostingsLenient(bytes.NewReader(data), "t.pst")
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if rep.Kept != 3 || rep.Skipped == 0 {
+		t.Errorf("salvage accounting: %s", rep)
+	}
+	for _, k := range []uint32{0, 2, 5} {
+		if !reflect.DeepEqual(got[k], lists[k]) {
+			t.Errorf("key %d: got %v, want %v", k, got[k], lists[k])
+		}
+	}
+}
+
+// appendPstFrame frames one posting list with a valid CRC — the tool
+// for forging streams the writer would never produce.
+func appendPstFrame(b []byte, key uint32, ords []uint32) []byte {
+	payload := binary.LittleEndian.AppendUint32(nil, key)
+	for _, o := range ords {
+		payload = binary.LittleEndian.AppendUint32(payload, o)
+	}
+	b = append(b, pstSync0, pstSync1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+func TestPostingsRejectsNonMonotoneFrames(t *testing.T) {
+	// Valid CRCs, rotten semantics: keys out of order, then ordinals
+	// out of order. Both must fail strict and be skipped lenient —
+	// CRC-valid forgeries must not poison query plans.
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"decreasing keys", appendPstFrame(appendPstFrame([]byte(pstHeader), 5, []uint32{1, 2}), 3, []uint32{4})},
+		{"decreasing ordinals", appendPstFrame([]byte(pstHeader), 1, []uint32{3, 1})},
+		{"duplicate key", appendPstFrame(appendPstFrame([]byte(pstHeader), 5, []uint32{1}), 5, []uint32{2})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadPostings(bytes.NewReader(tc.data), "t.pst")
+			if err == nil || !strings.Contains(err.Error(), "implausible postings frame") {
+				t.Errorf("strict: got %v, want implausible-frame error", err)
+			}
+			_, rep, err := ReadPostingsLenient(bytes.NewReader(tc.data), "t.pst")
+			if err != nil {
+				t.Fatalf("lenient: %v", err)
+			}
+			if rep.Reasons["implausible postings frame"] == 0 {
+				t.Errorf("salvage accounting: %s", rep)
+			}
+		})
+	}
+}
+
+func TestPostingsBadHeader(t *testing.T) {
+	data := []byte("GARBAGE\nnot a postings file")
+	if _, err := ReadPostings(bytes.NewReader(data), "t.pst"); err == nil ||
+		!strings.Contains(err.Error(), "bad postings header") {
+		t.Errorf("strict: got %v, want bad-header error", err)
+	}
+	got, rep, err := ReadPostingsLenient(bytes.NewReader(data), "t.pst")
+	if err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	if len(got) != 0 || rep.Clean() {
+		t.Errorf("lenient bad header: got %v, report %s", got, rep)
+	}
+}

@@ -1,0 +1,386 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"netfail/internal/salvage"
+	"netfail/internal/topo"
+	"netfail/internal/trace"
+)
+
+// Query carries one query's resolved filters. Build it with the
+// functional options; the zero value matches everything.
+type Query struct {
+	link     *topo.LinkID
+	source   *Source
+	stream   *Stream
+	dir      *trace.Direction
+	kind     *trace.Kind
+	reporter *string
+	host     *string
+	contains []byte
+	from, to time.Time
+	window   bool
+	limit    int
+}
+
+// Option narrows a query.
+type Option func(*Query)
+
+// WithLink restricts results to one link.
+func WithLink(id topo.LinkID) Option { return func(q *Query) { q.link = &id } }
+
+// WithSource restricts failures to one reconstruction.
+func WithSource(src Source) Option { return func(q *Query) { q.source = &src } }
+
+// WithStream restricts transitions to one analysis stream.
+func WithStream(st Stream) Option { return func(q *Query) { q.stream = &st } }
+
+// WithDirection restricts transitions to one direction.
+func WithDirection(d trace.Direction) Option { return func(q *Query) { q.dir = &d } }
+
+// WithKind restricts transitions to one observation kind.
+func WithKind(k trace.Kind) Option { return func(q *Query) { q.kind = &k } }
+
+// WithReporter restricts transitions to one reporting router.
+func WithReporter(r string) Option { return func(q *Query) { q.reporter = &r } }
+
+// WithHost restricts messages to one emitting host.
+func WithHost(h string) Option { return func(q *Query) { q.host = &h } }
+
+// WithContains restricts messages to lines containing the substring.
+func WithContains(sub string) Option { return func(q *Query) { q.contains = []byte(sub) } }
+
+// WithWindow restricts results to a time window: transitions and
+// messages with from <= t < to, failures overlapping [from, to) — the
+// same interval conventions as the pipeline (trace.Failure.Overlaps).
+func WithWindow(from, to time.Time) Option {
+	return func(q *Query) { q.from, q.to, q.window = from, to, true }
+}
+
+// WithLimit caps the result count (0 means unlimited). Results arrive
+// in the store's canonical order, so a limit returns a stable prefix.
+func WithLimit(n int) Option { return func(q *Query) { q.limit = n } }
+
+func resolveQuery(opts []Option) Query {
+	var q Query
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// full reports whether the result set has hit the query's limit.
+func (q *Query) full(n int) bool { return q.limit > 0 && n >= q.limit }
+
+// Links returns the link catalog — the analysis namespace the stored
+// records reference.
+func (s *Store) Links(ctx context.Context) ([]LinkEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return append([]LinkEntry(nil), s.man.Links...), nil
+}
+
+// Tables returns the precomputed agreement tables.
+func (s *Store) Tables() *Tables { return &s.man.Tables }
+
+// Table returns precomputed table n (1–7).
+func (s *Store) Table(n int) (any, error) { return s.man.Tables.Table(n) }
+
+// Failures returns stored failures matching the options, in canonical
+// store order. A link filter uses the posting lists; a window uses the
+// sparse time index (seeking to from minus the longest stored failure
+// span, so failures that started before the window but overlap it are
+// found); filters are always re-verified against the decoded records.
+func (s *Store) Failures(ctx context.Context, opts ...Option) ([]FailureRecord, error) {
+	q := resolveQuery(opts)
+	var out []FailureRecord
+	collect := func(tsMs int64, rec []byte) error {
+		r, err := s.decodeFailure(rec)
+		if err != nil {
+			return s.recordDamage(FailuresSegment, err)
+		}
+		if !s.matchFailure(&q, r) {
+			return nil
+		}
+		out = append(out, r)
+		if q.full(len(out)) {
+			return errStopScan
+		}
+		return nil
+	}
+
+	if q.link != nil && s.failPost != nil {
+		ord, ok := s.linkOrd[*q.link]
+		if !ok {
+			return nil, nil
+		}
+		if err := s.fetchOrdinals(ctx, FailuresSegment, s.failIdx, s.failPost[ord], collect); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	seekMs := int64(0)
+	if q.window {
+		seekMs = q.from.UnixMilli() - s.man.Failures.MaxSpanMs - 1
+	}
+	stop := func(tsMs int64, rec []byte) error {
+		if q.window && tsMs > q.to.UnixMilli() {
+			return errStopScan
+		}
+		return collect(tsMs, rec)
+	}
+	if err := s.scan(ctx, FailuresSegment, s.failIdx, q.window, seekMs, stop); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeFailure maps one failures.seg record back through the
+// catalogs.
+func (s *Store) decodeFailure(rec []byte) (FailureRecord, error) {
+	source, link, startNs, endNs, err := decodeFailureRecord(rec)
+	if err != nil {
+		return FailureRecord{}, err
+	}
+	id, err := s.linkByOrd(link)
+	if err != nil {
+		return FailureRecord{}, err
+	}
+	return FailureRecord{
+		Source: source,
+		Link:   id,
+		Start:  time.Unix(0, startNs).UTC(),
+		End:    time.Unix(0, endNs).UTC(),
+	}, nil
+}
+
+func (s *Store) matchFailure(q *Query, r FailureRecord) bool {
+	if q.link != nil && r.Link != *q.link {
+		return false
+	}
+	if q.source != nil && r.Source != *q.source {
+		return false
+	}
+	if q.window && !r.Failure().Overlaps(q.from, q.to) {
+		return false
+	}
+	return true
+}
+
+// Transitions returns stored transitions matching the options, in
+// canonical store order.
+func (s *Store) Transitions(ctx context.Context, opts ...Option) ([]TransitionRecord, error) {
+	q := resolveQuery(opts)
+	var out []TransitionRecord
+	collect := func(tsMs int64, rec []byte) error {
+		r, err := s.decodeTransition(rec)
+		if err != nil {
+			return s.recordDamage(TransitionsSegment, err)
+		}
+		if !s.matchTransition(&q, r) {
+			return nil
+		}
+		out = append(out, r)
+		if q.full(len(out)) {
+			return errStopScan
+		}
+		return nil
+	}
+
+	if q.link != nil && s.tranPost != nil {
+		ord, ok := s.linkOrd[*q.link]
+		if !ok {
+			return nil, nil
+		}
+		if err := s.fetchOrdinals(ctx, TransitionsSegment, s.tranIdx, s.tranPost[ord], collect); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	stop := func(tsMs int64, rec []byte) error {
+		if q.window && tsMs > q.to.UnixMilli() {
+			return errStopScan
+		}
+		return collect(tsMs, rec)
+	}
+	if err := s.scan(ctx, TransitionsSegment, s.tranIdx, q.window, q.from.UnixMilli()-1, stop); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeTransition maps one transitions.seg record back through the
+// catalogs.
+func (s *Store) decodeTransition(rec []byte) (TransitionRecord, error) {
+	stream, dir, kind, link, reporter, timeNs, err := decodeTransitionRecord(rec)
+	if err != nil {
+		return TransitionRecord{}, err
+	}
+	id, err := s.linkByOrd(link)
+	if err != nil {
+		return TransitionRecord{}, err
+	}
+	rep, err := s.reporterByOrd(reporter)
+	if err != nil {
+		return TransitionRecord{}, err
+	}
+	return TransitionRecord{
+		Stream:   stream,
+		Time:     time.Unix(0, timeNs).UTC(),
+		Link:     id,
+		Dir:      dir,
+		Kind:     kind,
+		Reporter: rep,
+	}, nil
+}
+
+func (s *Store) matchTransition(q *Query, r TransitionRecord) bool {
+	if q.link != nil && r.Link != *q.link {
+		return false
+	}
+	if q.stream != nil && r.Stream != *q.stream {
+		return false
+	}
+	if q.dir != nil && r.Dir != *q.dir {
+		return false
+	}
+	if q.kind != nil && r.Kind != *q.kind {
+		return false
+	}
+	if q.reporter != nil && r.Reporter != *q.reporter {
+		return false
+	}
+	if q.window && (r.Time.Before(q.from) || !r.Time.Before(q.to)) {
+		return false
+	}
+	return true
+}
+
+// Messages returns stored syslog lines matching the options, in
+// capture order (segment by segment, each time-ordered — exactly the
+// order the pipeline consumes them). A host filter uses the per-
+// segment posting lists; a window uses each segment's sparse index.
+func (s *Store) Messages(ctx context.Context, opts ...Option) ([]MessageRecord, error) {
+	q := resolveQuery(opts)
+	var out []MessageRecord
+	for i, meta := range s.man.Messages {
+		collect := func(tsMs int64, rec []byte) error {
+			host, line, err := decodeMessageRecord(rec)
+			if err != nil {
+				return s.recordDamage(meta.Name, err)
+			}
+			name, err := s.hostByOrd(host)
+			if err != nil {
+				return s.recordDamage(meta.Name, err)
+			}
+			if q.host != nil && name != *q.host {
+				return nil
+			}
+			if len(q.contains) > 0 && !bytes.Contains(line, q.contains) {
+				return nil
+			}
+			t := time.UnixMilli(tsMs).UTC()
+			if q.window && (t.Before(q.from) || !t.Before(q.to)) {
+				return nil
+			}
+			out = append(out, MessageRecord{Time: t, Host: name, Line: string(line)})
+			if q.full(len(out)) {
+				return errStopScan
+			}
+			return nil
+		}
+		if q.full(len(out)) {
+			break
+		}
+		// Skip segments whose span cannot intersect the window.
+		if q.window && meta.Records > 0 &&
+			(meta.LastMs < q.from.UnixMilli() || meta.FirstMs > q.to.UnixMilli()) {
+			continue
+		}
+		if q.host != nil && s.msgPost[i] != nil {
+			ord, ok := s.hostOrd[*q.host]
+			if !ok {
+				return out, nil
+			}
+			if err := s.fetchOrdinals(ctx, meta.Name, s.msgIdx[i], s.msgPost[i][ord], collect); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stop := func(tsMs int64, rec []byte) error {
+			if q.window && tsMs > q.to.UnixMilli() {
+				return errStopScan
+			}
+			return collect(tsMs, rec)
+		}
+		if err := s.scan(ctx, meta.Name, s.msgIdx[i], q.window, q.from.UnixMilli()-1, stop); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Flaps groups one source's stored failures into flapping episodes
+// using the flap gap the store was analyzed with — the starting point
+// for "messages during flap F" workflows (take an episode's span,
+// query Messages with that window). Accepts WithLink and WithWindow
+// to narrow the failure set first.
+func (s *Store) Flaps(ctx context.Context, src Source, opts ...Option) ([]trace.Episode, error) {
+	recs, err := s.Failures(ctx, append(opts, WithSource(src))...)
+	if err != nil {
+		return nil, err
+	}
+	fs := make([]trace.Failure, len(recs))
+	for i, r := range recs {
+		fs[i] = r.Failure()
+	}
+	return trace.Episodes(fs, s.man.Params.FlapGap), nil
+}
+
+// errCatalog builds the decode error for a record referencing an
+// ordinal past the manifest catalog.
+func errCatalog(kind string, ord uint32) error {
+	return fmt.Errorf("store: record references unknown %s ordinal %d", kind, ord)
+}
+
+// recordDamage handles a CRC-intact record that fails to decode
+// (format or catalog mismatch): lenient stores account it as a skip,
+// strict stores surface the error.
+func (s *Store) recordDamage(name string, err error) error {
+	if !s.lenient {
+		return err
+	}
+	rep := &salvage.Report{}
+	rep.Skip(0, "undecodable record")
+	s.addSalvage(name, rep)
+	return nil
+}
+
+// linkByOrd resolves a link catalog ordinal.
+func (s *Store) linkByOrd(ord uint32) (topo.LinkID, error) {
+	if int(ord) >= len(s.man.Links) {
+		return "", errCatalog("link", ord)
+	}
+	return s.man.Links[ord].ID, nil
+}
+
+// reporterByOrd resolves a reporter catalog ordinal.
+func (s *Store) reporterByOrd(ord uint32) (string, error) {
+	if int(ord) >= len(s.man.Reporters) {
+		return "", errCatalog("reporter", ord)
+	}
+	return s.man.Reporters[ord], nil
+}
+
+// hostByOrd resolves a host catalog ordinal.
+func (s *Store) hostByOrd(ord uint32) (string, error) {
+	if int(ord) >= len(s.man.Hosts) {
+		return "", errCatalog("host", ord)
+	}
+	return s.man.Hosts[ord], nil
+}

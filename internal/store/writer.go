@@ -1,0 +1,291 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netfail/internal/capture"
+	"netfail/internal/core"
+	"netfail/internal/trace"
+)
+
+// Writer builds a store directory. The write protocol mirrors how an
+// analysis run produces data:
+//
+//	w := store.NewWriter(dir)
+//	w.SetSeed(seed)
+//	w.StartMessageSegment()          // once per capture shard
+//	w.AppendMessage(...)             // streamed during extraction
+//	...
+//	w.WriteAnalysis(analysis, configFiles, isisUpdates)
+//	w.Finish()                       // writes the manifest last
+//
+// Messages stream through bounded segment writers as the extraction
+// reads them, so building a store adds no RAM ceiling; failures and
+// transitions are written in one pass from the finished analysis. The
+// manifest is written last, atomically — a crash mid-build leaves a
+// directory without a manifest, which readers reject, never a
+// plausible half store.
+//
+// Writer is not safe for concurrent use.
+type Writer struct {
+	dir  string
+	man  Manifest
+	seed int64
+
+	hosts   []string
+	hostIdx map[string]uint32
+
+	msg      *capture.SegmentFileWriter
+	msgPost  map[uint32][]uint32
+	msgMaxMs int64
+	rec      []byte // reused record-encode buffer
+
+	analysisDone bool
+}
+
+// NewWriter creates (or truncates into) a store directory.
+func NewWriter(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Writer{dir: dir, hostIdx: make(map[string]uint32)}, nil
+}
+
+// SetSeed records the campaign seed in the manifest.
+func (w *Writer) SetSeed(seed int64) { w.seed = seed }
+
+// StartMessageSegment rolls to the next numbered message segment. One
+// segment per capture shard keeps each segment's frame timestamps
+// non-decreasing (shards cover disjoint domains with overlapping
+// clocks), which is the sparse-index contract.
+func (w *Writer) StartMessageSegment() error {
+	if err := w.finishMessageSegment(); err != nil {
+		return err
+	}
+	n := len(w.man.Messages)
+	sw, err := capture.CreateSegmentFile(w.dir, MessageSegmentName(n), MessageIndexName(n))
+	if err != nil {
+		return err
+	}
+	w.msg = sw
+	w.msgPost = make(map[uint32][]uint32)
+	w.man.Messages = append(w.man.Messages, MessageSegmentMeta{Name: MessageSegmentName(n)})
+	return nil
+}
+
+// AppendMessage frames one raw syslog line into the current message
+// segment (starting segment 0 implicitly if none is open), interning
+// the host into the catalog and posting the record under it.
+func (w *Writer) AppendMessage(tsMs int64, host string, line []byte) error {
+	if w.msg == nil {
+		if err := w.StartMessageSegment(); err != nil {
+			return err
+		}
+	}
+	h, ok := w.hostIdx[host]
+	if !ok {
+		h = uint32(len(w.hosts))
+		w.hosts = append(w.hosts, host)
+		w.hostIdx[host] = h
+	}
+	ord := uint32(w.msg.Records())
+	w.rec = appendMessageRecord(w.rec[:0], h, line)
+	if err := w.msg.Append(tsMs, w.rec); err != nil {
+		return err
+	}
+	w.msgPost[h] = append(w.msgPost[h], ord)
+	return nil
+}
+
+// finishMessageSegment closes the open message segment, writing its
+// postings and recording its metadata.
+func (w *Writer) finishMessageSegment() error {
+	if w.msg == nil {
+		return nil
+	}
+	n := len(w.man.Messages) - 1
+	if err := w.msg.Finish(); err != nil {
+		return err
+	}
+	meta := &w.man.Messages[n]
+	meta.Records = w.msg.Records()
+	meta.FirstMs, meta.LastMs = w.msg.Span()
+	if err := writePostings(filepath.Join(w.dir, MessagePostingsName(n)), w.msgPost); err != nil {
+		return err
+	}
+	w.msg, w.msgPost = nil, nil
+	return nil
+}
+
+// WriteAnalysis writes the failure and transition segments (with
+// their postings) from a finished analysis and fills the manifest:
+// catalogs, parameters, sanitize accounting, and the precomputed
+// tables. ConfigFiles and isisUpdates are the campaign-level counts
+// Table 1 needs.
+func (w *Writer) WriteAnalysis(a *core.Analysis, configFiles, isisUpdates int) error {
+	if w.analysisDone {
+		return fmt.Errorf("store: WriteAnalysis called twice")
+	}
+	w.analysisDone = true
+
+	// Link catalog, in the analysis's deterministic link order.
+	linkOrd := make(map[string]uint32, len(a.AnalyzedLinks))
+	for _, l := range a.AnalyzedLinks {
+		linkOrd[string(l.ID)] = uint32(len(w.man.Links))
+		w.man.Links = append(w.man.Links, LinkEntry{ID: l.ID, Class: l.Class})
+	}
+
+	// Failures: both sources, canonical order.
+	recs := make([]FailureRecord, 0, len(a.SyslogFailures)+len(a.ISISFailures))
+	for _, f := range a.SyslogFailures {
+		recs = append(recs, FailureRecord{Source: SourceSyslog, Link: f.Link, Start: f.Start, End: f.End})
+	}
+	for _, f := range a.ISISFailures {
+		recs = append(recs, FailureRecord{Source: SourceISIS, Link: f.Link, Start: f.Start, End: f.End})
+	}
+	SortFailureRecords(recs)
+	fmeta, err := w.writeFailures(recs, linkOrd)
+	if err != nil {
+		return err
+	}
+	w.man.Failures = fmeta
+
+	// Transitions: the five filtered streams, canonical order.
+	trecs := make([]TransitionRecord, 0,
+		len(a.SyslogAdj)+len(a.SyslogPerRtr)+len(a.SyslogPhysical)+len(a.ISReach)+len(a.IPReach))
+	appendStream := func(st Stream, ts []trace.Transition) {
+		for _, t := range ts {
+			trecs = append(trecs, TransitionRecord{
+				Stream: st, Time: t.Time, Link: t.Link, Dir: t.Dir, Kind: t.Kind, Reporter: t.Reporter,
+			})
+		}
+	}
+	appendStream(StreamSyslogAdj, a.SyslogAdj)
+	appendStream(StreamSyslogPerRouter, a.SyslogPerRtr)
+	appendStream(StreamSyslogPhysical, a.SyslogPhysical)
+	appendStream(StreamISReach, a.ISReach)
+	appendStream(StreamIPReach, a.IPReach)
+	SortTransitionRecords(trecs)
+	tmeta, err := w.writeTransitions(trecs, linkOrd)
+	if err != nil {
+		return err
+	}
+	w.man.Transitions = tmeta
+
+	// Campaign identity and parameters. The analysis input carries the
+	// resolved defaults, so a query layer replaying flap or window
+	// logic uses exactly the values the pipeline did.
+	w.man.Start = a.In.Start
+	w.man.End = a.In.End
+	w.man.ListenerOffline = a.In.ListenerOffline
+	w.man.ConfigFiles = configFiles
+	w.man.ISISUpdates = isisUpdates
+	w.man.Params = Params{
+		Window:           a.In.Window,
+		FlapGap:          a.In.FlapGap,
+		MergeWindow:      a.In.MergeWindow,
+		IncludeMultiLink: a.In.IncludeMultiLink,
+	}
+	w.man.SyslogSanitize = sanitizeCounts(a.SyslogSanitize)
+	w.man.ISISSanitize = sanitizeCounts(a.ISISSanitize)
+	w.man.Tables = Tables{
+		Table1: a.Table1(configFiles, isisUpdates),
+		Table2: a.Table2(),
+		Table3: a.Table3(),
+		Table4: a.Table4(),
+		Table5: a.Table5(),
+		Table6: a.Table6(),
+		Table7: a.Table7(),
+	}
+	return nil
+}
+
+// writeFailures writes failures.seg/.idx/.pst.
+func (w *Writer) writeFailures(recs []FailureRecord, linkOrd map[string]uint32) (SegmentMeta, error) {
+	sw, err := capture.CreateSegmentFile(w.dir, FailuresSegment, FailuresIndex)
+	if err != nil {
+		return SegmentMeta{}, err
+	}
+	post := make(map[uint32][]uint32)
+	var maxSpanMs int64
+	for i, r := range recs {
+		link, ok := linkOrd[string(r.Link)]
+		if !ok {
+			return SegmentMeta{}, fmt.Errorf("store: failure on uncataloged link %q", r.Link)
+		}
+		w.rec = appendFailureRecord(w.rec[:0], r.Source, link, r.Start.UnixNano(), r.End.UnixNano())
+		if err := sw.Append(r.Start.UnixMilli(), w.rec); err != nil {
+			return SegmentMeta{}, err
+		}
+		if span := r.End.UnixMilli() - r.Start.UnixMilli(); span > maxSpanMs {
+			maxSpanMs = span
+		}
+		post[link] = append(post[link], uint32(i))
+	}
+	if err := sw.Finish(); err != nil {
+		return SegmentMeta{}, err
+	}
+	if err := writePostings(filepath.Join(w.dir, FailuresPostings), post); err != nil {
+		return SegmentMeta{}, err
+	}
+	meta := SegmentMeta{Records: sw.Records(), MaxSpanMs: maxSpanMs + 1}
+	meta.FirstMs, meta.LastMs = sw.Span()
+	return meta, nil
+}
+
+// writeTransitions writes transitions.seg/.idx/.pst, interning
+// reporters into the catalog in record order.
+func (w *Writer) writeTransitions(recs []TransitionRecord, linkOrd map[string]uint32) (SegmentMeta, error) {
+	sw, err := capture.CreateSegmentFile(w.dir, TransitionsSegment, TransitionsIndex)
+	if err != nil {
+		return SegmentMeta{}, err
+	}
+	post := make(map[uint32][]uint32)
+	repOrd := make(map[string]uint32)
+	for i, r := range recs {
+		link, ok := linkOrd[string(r.Link)]
+		if !ok {
+			return SegmentMeta{}, fmt.Errorf("store: transition on uncataloged link %q", r.Link)
+		}
+		rep, ok := repOrd[r.Reporter]
+		if !ok {
+			rep = uint32(len(w.man.Reporters))
+			w.man.Reporters = append(w.man.Reporters, r.Reporter)
+			repOrd[r.Reporter] = rep
+		}
+		w.rec = appendTransitionRecord(w.rec[:0], r.Stream, r.Dir, r.Kind, link, rep, r.Time.UnixNano())
+		if err := sw.Append(r.Time.UnixMilli(), w.rec); err != nil {
+			return SegmentMeta{}, err
+		}
+		post[link] = append(post[link], uint32(i))
+	}
+	if err := sw.Finish(); err != nil {
+		return SegmentMeta{}, err
+	}
+	if err := writePostings(filepath.Join(w.dir, TransitionsPostings), post); err != nil {
+		return SegmentMeta{}, err
+	}
+	meta := SegmentMeta{Records: sw.Records()}
+	meta.FirstMs, meta.LastMs = sw.Span()
+	return meta, nil
+}
+
+// Finish closes any open message segment and writes the manifest.
+// WriteAnalysis must have been called.
+func (w *Writer) Finish() error {
+	if !w.analysisDone {
+		return fmt.Errorf("store: Finish before WriteAnalysis")
+	}
+	if err := w.finishMessageSegment(); err != nil {
+		return err
+	}
+	w.man.Format = FormatName
+	w.man.Seed = w.seed
+	w.man.Hosts = w.hosts
+	if w.man.Links == nil {
+		w.man.Links = []LinkEntry{}
+	}
+	return writeManifestFile(w.dir, &w.man)
+}

@@ -106,10 +106,10 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // AnalysisOptions tune the comparison without changing the captures.
 //
-// This struct remains the options carrier for the deprecated
-// AnalyzeCampaignWithOptions entry point; new code passes the
-// equivalent functional options (WithWindow, WithFlapGap,
-// WithMergeWindow, WithMultiLink, WithParallelism) to Run or Analyze.
+// It is the bulk carrier behind the equivalent functional options
+// (WithWindow, WithFlapGap, WithMergeWindow, WithMultiLink,
+// WithParallelism); pass a whole struct at once to Run or Analyze
+// with WithAnalysisOptions.
 type AnalysisOptions struct {
 	// Window is the matching window (default ten seconds).
 	Window time.Duration
@@ -133,6 +133,7 @@ type options struct {
 	tracer   *Tracer
 	metrics  *Metrics
 	progress ProgressFunc
+	storeDir string
 }
 
 // Option configures a Run, Analyze, or Simulate call.
@@ -158,7 +159,7 @@ func WithMultiLink(include bool) Option { return func(o *options) { o.ao.Include
 func WithParallelism(n int) Option { return func(o *options) { o.ao.Parallelism = n } }
 
 // WithAnalysisOptions applies a whole AnalysisOptions struct at once —
-// the bridge for callers migrating off AnalyzeCampaignWithOptions.
+// the bulk alternative to the per-field options above.
 func WithAnalysisOptions(ao AnalysisOptions) Option { return func(o *options) { o.ao = ao } }
 
 // WithTracer records a span per pipeline stage and pool worker into t.
@@ -170,6 +171,15 @@ func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } 
 // WithProgress streams stage and shard events to fn as the pipeline
 // runs. fn may be called concurrently; it must synchronize.
 func WithProgress(fn ProgressFunc) Option { return func(o *options) { o.progress = fn } }
+
+// WithStoreDir makes Run, Analyze, and AnalyzeCaptureDir write an
+// indexed failure store (internal/store) into dir at the end of the
+// pipeline: CRC-framed failure/transition/message segments with
+// sparse time indexes and per-link/per-host postings, plus a manifest
+// carrying the catalogs and the precomputed agreement tables. Query
+// it with netfail-query, the /api/v1 HTTP surface, or the store
+// package's Go API.
+func WithStoreDir(dir string) Option { return func(o *options) { o.storeDir = dir } }
 
 // resolve folds opts and instruments ctx with any attached
 // observability consumers.
@@ -264,18 +274,19 @@ func Run(ctx context.Context, cfg SimulationConfig, opts ...Option) (*Study, err
 	if err != nil {
 		return nil, err
 	}
-	return analyze(ctx, camp, o.ao)
+	return analyze(ctx, camp, o)
 }
 
 // Analyze runs the analysis pipeline over an existing campaign:
 // mine configs, listen, generate tickets, compare.
 func Analyze(ctx context.Context, camp *Campaign, opts ...Option) (*Study, error) {
 	ctx, o := resolve(ctx, opts)
-	return analyze(ctx, camp, o.ao)
+	return analyze(ctx, camp, o)
 }
 
 // analyze is the shared mine → listen → tickets → compare tail.
-func analyze(ctx context.Context, camp *Campaign, ao AnalysisOptions) (*Study, error) {
+func analyze(ctx context.Context, camp *Campaign, o options) (*Study, error) {
+	ao := o.ao
 	mctx, mdone := obs.Stage(ctx, "mine")
 	mined, err := MineConfigs(camp)
 	obs.Add(mctx, "mine.config_files", int64(camp.Archive.FileCount()))
@@ -313,31 +324,19 @@ func analyze(ctx context.Context, camp *Campaign, ao AnalysisOptions) (*Study, e
 		}
 		return nil, fmt.Errorf("netfail: %w", err)
 	}
-	return &Study{
+	study := &Study{
 		Campaign: camp,
 		Mined:    mined,
 		Listener: res,
 		Tickets:  tix,
 		Analysis: analysis,
-	}, nil
-}
-
-// AnalyzeCampaign runs the analysis pipeline over an existing
-// campaign with the paper's default options.
-//
-// Deprecated: use Analyze with a context — it adds cancellation and
-// observability; behavior is otherwise identical.
-func AnalyzeCampaign(camp *Campaign) (*Study, error) {
-	return Analyze(context.Background(), camp)
-}
-
-// AnalyzeCampaignWithOptions runs the analysis pipeline with custom
-// options.
-//
-// Deprecated: use Analyze with a context and functional options
-// (or WithAnalysisOptions to carry an existing AnalysisOptions over).
-func AnalyzeCampaignWithOptions(camp *Campaign, opts AnalysisOptions) (*Study, error) {
-	return Analyze(context.Background(), camp, WithAnalysisOptions(opts))
+	}
+	if o.storeDir != "" {
+		if err := writeStudyStore(ctx, o.storeDir, study); err != nil {
+			return nil, err
+		}
+	}
+	return study, nil
 }
 
 // Report renders every table and figure of the paper's evaluation

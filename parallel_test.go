@@ -18,7 +18,7 @@ func TestParallelismIsByteIdentical(t *testing.T) {
 	}
 	render := func(parallelism int) []byte {
 		t.Helper()
-		study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: parallelism})
+		study, err := Analyze(context.Background(), camp, WithParallelism(parallelism))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,14 +69,14 @@ func TestParallelismIsByteIdentical(t *testing.T) {
 }
 
 // TestParallelismKnobThreaded pins the knob's plumbing: the value
-// handed to AnalyzeCampaignWithOptions must be the one the analysis
+// handed to WithParallelism must be the one the analysis
 // (and therefore Study.Report's fan-out) actually ran with.
 func TestParallelismKnobThreaded(t *testing.T) {
 	camp, err := Simulate(context.Background(), smallConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	study, err := AnalyzeCampaignWithOptions(camp, AnalysisOptions{Parallelism: 3})
+	study, err := Analyze(context.Background(), camp, WithParallelism(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func TestFilePipelineMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inMem, err := AnalyzeCampaign(camp)
+	inMem, err := Analyze(context.Background(), camp)
 	if err != nil {
 		t.Fatal(err)
 	}

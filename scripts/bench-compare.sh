@@ -13,6 +13,10 @@
 #   BenchmarkSegmentAppend  0 allocs/op  reused capture frame buffer
 #   BenchmarkSegmentRead   16 allocs/op  zero-copy reader (buffer growth
 #                                        amortized over 4096 records/op)
+#   BenchmarkStoreWindowQueryWarm
+#                          20 allocs/op  warm one-day/one-link store
+#                                        query: two segment opens plus
+#                                        result slices
 #
 # verify.sh runs this as part of tier-1; `make bench-compare` runs it
 # alone. BENCHTIME trades precision for speed (default 10x).
@@ -30,6 +34,7 @@ go test -run '^$' -bench 'BenchmarkLSPDecode$|BenchmarkParseLinkEvent$' -benchme
 go test -run '^$' -bench 'BenchmarkAppend$' -benchmem -benchtime "$BENCHTIME" ./internal/checkpoint | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkSegmentAppend$|BenchmarkSegmentRead$' -benchmem -benchtime "$BENCHTIME" \
     ./internal/capture | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkStoreWindowQueryWarm$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$raw"
 
 go run ./cmd/netfail-bench -o /dev/null \
     -max-allocs BenchmarkSyslogExtract=6 \
@@ -38,5 +43,6 @@ go run ./cmd/netfail-bench -o /dev/null \
     -max-allocs BenchmarkAppend=0 \
     -max-allocs BenchmarkSegmentAppend=0 \
     -max-allocs BenchmarkSegmentRead=16 \
+    -max-allocs BenchmarkStoreWindowQueryWarm=20 \
     < "$raw"
 echo "bench-compare: alloc pins hold" >&2

@@ -5,7 +5,7 @@
 # per PR records how the pipeline's cost moves across the stack.
 #
 # Environment knobs:
-#   PR        stack sequence number stamped into the report (default 9)
+#   PR        stack sequence number stamped into the report (default 10)
 #   BENCHTIME go test -benchtime (default 1x: one measured iteration,
 #             enough for trajectory tracking without minutes of CI)
 #   BENCH     -bench regexp (default ".")
@@ -13,7 +13,9 @@
 #             stats, checkpoint, and capture suites)
 #   PAIRS     space-separated base=variant overhead pairs recorded in
 #             the report (default: the observability-enabled analysis
-#             against its plain baseline)
+#             against its plain baseline, plus the store's warm window
+#             query against a full pipeline re-run — the stored ratio
+#             is the store's speedup, >=100x by acceptance)
 #   OUT       output path (default BENCH_${PR}.json in the repo root)
 #   PREV      previous BENCH_<n>.json for the cur-vs-prev ratio table
 #             (default: the highest-numbered committed report below PR)
@@ -24,11 +26,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-9}"
+PR="${PR:-10}"
 BENCHTIME="${BENCHTIME:-1x}"
 BENCH="${BENCH:-.}"
 PKGS="${PKGS:-. ./internal/stats ./internal/syslog ./internal/isis ./internal/checkpoint ./internal/capture}"
-PAIRS="${PAIRS:-BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced}"
+PAIRS="${PAIRS:-BenchmarkAnalyzeMonth=BenchmarkAnalyzeMonthTraced BenchmarkStoreWindowQueryWarm=BenchmarkAnalyzeCaptureDirMonth}"
 OUT="${OUT:-BENCH_${PR}.json}"
 
 if [ -z "${PREV:-}" ]; then

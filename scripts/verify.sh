@@ -35,6 +35,9 @@ if [ "$short" = 0 ]; then
     echo "==> obs smoke (instrumented 1-month run)"
     ./scripts/obs-smoke.sh
 
+    echo "==> query smoke (store build + netfail-query + /api/v1)"
+    ./scripts/query.sh
+
     echo "==> scale smoke (2-shard spill campaign, 7 days)"
     MULTS=1,2 DAYS=7 MAX_RSS_MB=1024 OUT="$(mktemp)" ./scripts/scale.sh > /dev/null
 

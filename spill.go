@@ -18,6 +18,7 @@ import (
 	"netfail/internal/obs"
 	"netfail/internal/pool"
 	"netfail/internal/salvage"
+	"netfail/internal/store"
 	"netfail/internal/syslog"
 	"netfail/internal/tickets"
 	"netfail/internal/topo"
@@ -205,6 +206,14 @@ func AnalyzeCaptureDir(ctx context.Context, dir string, lenient bool, opts ...Op
 	}
 	workers := pool.Resolve(o.ao.Parallelism)
 
+	var sw *store.Writer
+	if o.storeDir != "" {
+		if sw, err = store.NewWriter(o.storeDir); err != nil {
+			return fail(err)
+		}
+		sw.SetSeed(manifest.Seed)
+	}
+
 	ectx, extractDone := obs.Stage(ctx, "extract")
 	merged := &core.SyslogTraces{}
 	ext := core.NewExtractor(mined.Network)
@@ -216,7 +225,7 @@ func AnalyzeCaptureDir(ctx context.Context, dir string, lenient bool, opts ...Op
 			extractDone()
 			return fail(err)
 		}
-		msgs, shardReports, err := readShardSyslog(capDir, sh.Name, tok, manifest.Start, lenient)
+		msgs, shardReports, err := readShardSyslog(capDir, sh.Name, tok, manifest.Start, lenient, sw)
 		reports = append(reports, shardReports...)
 		if err != nil {
 			extractDone()
@@ -302,6 +311,19 @@ func AnalyzeCaptureDir(ctx context.Context, dir string, lenient bool, opts ...Op
 		Tickets:  tix,
 		Analysis: analysis,
 	}
+	if sw != nil {
+		wctx, storeDone := obs.Stage(ctx, "store")
+		if err := sw.WriteAnalysis(analysis, archive.FileCount(), manifest.Counts.LSPUpdates); err != nil {
+			storeDone()
+			return fail(err)
+		}
+		if err := sw.Finish(); err != nil {
+			storeDone()
+			return fail(fmt.Errorf("netfail: writing store: %w", err))
+		}
+		obs.Add(wctx, "store.messages", msgCount)
+		storeDone()
+	}
 	return study, reports, nil
 }
 
@@ -347,18 +369,25 @@ func readCampaignSideFiles(dir string) ([]tickets.Ticket, []*topo.Customer, erro
 // messages. Frame damage is governed by the segment reader's
 // strict/lenient mode; unparseable (but CRC-intact) lines are skipped
 // and accounted in both modes, mirroring the flat loader's tolerance
-// for malformed syslog lines.
-func readShardSyslog(capDir, shard string, tok *syslog.Tokenizer, ref time.Time, lenient bool) ([]*syslog.Message, []CaptureSalvage, error) {
+// for malformed syslog lines. With a store writer attached, every
+// parsed line is copied into a fresh store message segment — one per
+// shard, since timestamps restart at each shard boundary.
+func readShardSyslog(capDir, shard string, tok *syslog.Tokenizer, ref time.Time, lenient bool, sw *store.Writer) ([]*syslog.Message, []CaptureSalvage, error) {
 	path := filepath.Join(capDir, shard, capture.SyslogSegment)
 	sr, err := openSegment(path, lenient)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer sr.Close()
+	if sw != nil {
+		if err := sw.StartMessageSegment(); err != nil {
+			return nil, nil, err
+		}
+	}
 	var msgs []*syslog.Message
 	parseSkips := 0
 	for {
-		_, rec, nerr := sr.Next()
+		tsMs, rec, nerr := sr.Next()
 		if errors.Is(nerr, io.EOF) {
 			break
 		}
@@ -369,6 +398,11 @@ func readShardSyslog(capDir, shard string, tok *syslog.Tokenizer, ref time.Time,
 		if perr := tok.ParseBytes(rec, ref, m); perr != nil {
 			parseSkips++
 			continue
+		}
+		if sw != nil {
+			if serr := sw.AppendMessage(tsMs, m.Hostname, rec); serr != nil {
+				return nil, nil, serr
+			}
 		}
 		msgs = append(msgs, m)
 	}

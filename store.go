@@ -1,0 +1,51 @@
+package netfail
+
+import (
+	"context"
+	"fmt"
+
+	"netfail/internal/obs"
+	"netfail/internal/store"
+)
+
+// writeStudyStore writes an indexed failure store from an in-RAM
+// study: every raw syslog line (rendered through the zero-allocation
+// wire encoder, exactly the bytes a capture shard would hold) into
+// one message segment, then the analysis's failures, transitions,
+// catalogs, and precomputed tables.
+func writeStudyStore(ctx context.Context, dir string, st *Study) error {
+	ctx, done := obs.Stage(ctx, "store")
+	defer done()
+	w, err := store.NewWriter(dir)
+	if err != nil {
+		return err
+	}
+	w.SetSeed(st.Campaign.Config.Seed)
+	if len(st.Campaign.Syslog) > 0 {
+		if err := w.StartMessageSegment(); err != nil {
+			return err
+		}
+		var buf []byte
+		for i, m := range st.Campaign.Syslog {
+			if i%listenCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			buf = m.AppendRender(buf[:0])
+			if err := w.AppendMessage(m.Timestamp.UnixMilli(), m.Hostname, buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.WriteAnalysis(st.Analysis,
+		st.Campaign.Archive.FileCount(), st.Campaign.Counts.LSPUpdates); err != nil {
+		return err
+	}
+	if err := w.Finish(); err != nil {
+		return fmt.Errorf("netfail: writing store: %w", err)
+	}
+	obs.Add(ctx, "store.messages", int64(len(st.Campaign.Syslog)))
+	obs.Add(ctx, "store.links", int64(len(st.Analysis.AnalyzedLinks)))
+	return nil
+}

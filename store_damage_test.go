@@ -1,0 +1,346 @@
+package netfail
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netfail/internal/store"
+)
+
+// Damage drills for the store: every component (segment, sparse
+// index, postings, manifest) gets deterministically damaged, then the
+// strict reader must refuse with an offset-accurate error and the
+// lenient reader must salvage — returning a subset of the clean
+// answers (indexes and postings are accelerators: losing them may
+// hide records, never misattribute them) with accurate accounting.
+
+// buildDamageStore runs one small campaign into a store directory.
+func buildDamageStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), smallConfig(2), WithStoreDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// copyStore clones a store directory so each damage case starts from
+// the same clean bytes.
+func copyStore(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// flipByte flips one byte in the middle of the file's frame region,
+// past the header so the reader's resync logic is what gets tested.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 64 {
+		t.Fatalf("%s too small to damage meaningfully (%d bytes)", path, len(data))
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// asJSONSet renders records as a multiset of JSON lines for
+// subset checks.
+func asJSONSet(t *testing.T, vs []string) map[string]int {
+	set := make(map[string]int)
+	for _, v := range vs {
+		set[v]++
+	}
+	return set
+}
+
+func jsonLines[T any](t *testing.T, recs []T) []string {
+	t.Helper()
+	out := make([]string, len(recs))
+	for i := range recs {
+		out[i] = mustJSON(t, recs[i])
+	}
+	return out
+}
+
+// assertSubset fails unless got ⊆ want as multisets.
+func assertSubset(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) >= len(want) {
+		t.Errorf("%s: salvage returned %d records, clean store has %d — damage lost nothing?", what, len(got), len(want))
+	}
+	wset := asJSONSet(t, want)
+	for _, g := range got {
+		if wset[g] == 0 {
+			t.Fatalf("%s: salvaged record not in the clean result set (misattribution): %s", what, g)
+		}
+		wset[g]--
+	}
+}
+
+func salvageFor(s *store.Store, name string) *store.ComponentSalvage {
+	for _, cs := range s.Salvage() {
+		if cs.Name == name {
+			return &cs
+		}
+	}
+	return nil
+}
+
+func TestStoreSegmentDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	ctx := context.Background()
+	clean := buildDamageStore(t)
+	cs, err := store.Open(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFails, err := cs.Failures(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanTrans, err := cs.Transitions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanMsgs, err := cs.Messages(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		file  string
+		query func(s *store.Store) ([]string, error)
+		clean []string
+	}{
+		{store.FailuresSegment, func(s *store.Store) ([]string, error) {
+			rs, err := s.Failures(ctx)
+			return jsonLines(t, rs), err
+		}, jsonLines(t, cleanFails)},
+		{store.TransitionsSegment, func(s *store.Store) ([]string, error) {
+			rs, err := s.Transitions(ctx)
+			return jsonLines(t, rs), err
+		}, jsonLines(t, cleanTrans)},
+		{store.MessageSegmentName(0), func(s *store.Store) ([]string, error) {
+			rs, err := s.Messages(ctx)
+			return jsonLines(t, rs), err
+		}, jsonLines(t, cleanMsgs)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			dir := copyStore(t, clean)
+			flipByte(t, filepath.Join(dir, tc.file))
+
+			strict, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("strict open must succeed (damage is in a segment): %v", err)
+			}
+			if _, err := tc.query(strict); err == nil {
+				t.Error("strict query crossed a damaged frame without failing")
+			} else if !strings.Contains(err.Error(), "at offset") {
+				t.Errorf("strict error %q does not pin the damaged offset", err)
+			}
+
+			sal, err := store.OpenLenient(dir)
+			if err != nil {
+				t.Fatalf("lenient open: %v", err)
+			}
+			got, err := tc.query(sal)
+			if err != nil {
+				t.Fatalf("lenient query: %v", err)
+			}
+			assertSubset(t, tc.file, got, tc.clean)
+			sv := salvageFor(sal, tc.file)
+			if sv == nil || sv.Report.Skipped == 0 {
+				t.Errorf("salvage accounting for %s missing or empty: %+v", tc.file, sv)
+			} else if sv.Report.Kept == 0 {
+				t.Errorf("salvage kept nothing from %s: %s", tc.file, sv.Report)
+			}
+		})
+	}
+}
+
+func TestStoreAdvisoryFileDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	ctx := context.Background()
+	clean := buildDamageStore(t)
+	cs, err := store.Open(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFails, err := cs.Failures(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := cleanFails[0].Link
+	cleanByLink, err := cs.Failures(ctx, store.WithLink(link))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Damaged index and postings files: strict refuses at Open (the
+	// files are loaded eagerly), lenient salvages and — because these
+	// files are accelerators, not authority — still answers every
+	// query identically to the clean store.
+	for _, file := range []string{store.FailuresIndex, store.FailuresPostings} {
+		t.Run(file, func(t *testing.T) {
+			dir := copyStore(t, clean)
+			// Truncating mid-entry tears the file; a torn advisory file
+			// must fail strict opens.
+			data, err := os.ReadFile(filepath.Join(dir, file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, file), data[:len(data)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := store.Open(dir); err == nil {
+				t.Errorf("strict open accepted a torn %s", file)
+			}
+
+			sal, err := store.OpenLenient(dir)
+			if err != nil {
+				t.Fatalf("lenient open: %v", err)
+			}
+			got, err := sal.Failures(ctx, store.WithLink(link))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareJSON(t, "per-link failures with damaged "+file, got, cleanByLink)
+			all, err := sal.Failures(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareJSON(t, "failures with damaged "+file, all, cleanFails)
+		})
+	}
+
+	// A deleted advisory file is not damage at all: both modes fall
+	// back to scanning and answer identically.
+	t.Run("missing advisory files", func(t *testing.T) {
+		dir := copyStore(t, clean)
+		for _, file := range []string{store.FailuresIndex, store.FailuresPostings} {
+			if err := os.Remove(filepath.Join(dir, file)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		strict, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("strict open with missing advisory files: %v", err)
+		}
+		got, err := strict.Failures(ctx, store.WithLink(link))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareJSON(t, "per-link failures without advisory files", got, cleanByLink)
+	})
+}
+
+func TestStoreManifestDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	ctx := context.Background()
+	clean := buildDamageStore(t)
+	cs, err := store.Open(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFails, err := cs.Failures(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("garbage around JSON", func(t *testing.T) {
+		dir := copyStore(t, clean)
+		path := filepath.Join(dir, store.ManifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty := append([]byte("\x00\x01torn header residue\n"), data...)
+		dirty = append(dirty, []byte("\x00tail")...)
+		if err := os.WriteFile(path, dirty, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		if _, err := store.Open(dir); err == nil {
+			t.Error("strict open accepted a manifest with leading garbage")
+		}
+		sal, err := store.OpenLenient(dir)
+		if err != nil {
+			t.Fatalf("lenient open: %v", err)
+		}
+		got, err := sal.Failures(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareJSON(t, "failures after manifest salvage", got, cleanFails)
+		sv := salvageFor(sal, store.ManifestName)
+		if sv == nil || sv.Report.Clean() {
+			t.Error("manifest salvage unaccounted")
+		}
+	})
+
+	t.Run("corruption inside JSON", func(t *testing.T) {
+		// The manifest holds the record catalogs; damage inside the
+		// object is fatal in both modes.
+		dir := copyStore(t, clean)
+		path := filepath.Join(dir, store.ManifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Open(dir); err == nil {
+			t.Error("strict open accepted a torn manifest")
+		}
+		if _, err := store.OpenLenient(dir); err == nil {
+			t.Error("lenient open accepted a torn manifest")
+		}
+	})
+
+	t.Run("missing manifest", func(t *testing.T) {
+		dir := copyStore(t, clean)
+		if err := os.Remove(filepath.Join(dir, store.ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Open(dir); err == nil {
+			t.Error("strict open accepted a store without a manifest")
+		}
+		if _, err := store.OpenLenient(dir); err == nil {
+			t.Error("lenient open accepted a store without a manifest")
+		}
+		if store.IsStoreDir(dir) {
+			t.Error("IsStoreDir true without a manifest")
+		}
+	})
+}
